@@ -1,0 +1,351 @@
+package storypivot
+
+// Benchmark harness regenerating the paper's evaluation artifacts
+// (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results). Every figure of the paper has a bench
+// target here; the full-size sweeps live in cmd/storypivot-bench.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks report domain metrics (events/op, F1, comparisons) through
+// b.ReportMetric next to the usual ns/op, and print the statistics-module
+// tables once per run via b.Logf (visible with -v).
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/identify"
+	"repro/internal/stream"
+)
+
+// benchCorpus memoises generated corpora across benchmarks so repeated
+// b.N iterations measure the pipeline, not the generator.
+var benchCorpus = struct {
+	sync.Mutex
+	m map[int64]*datagen.Corpus
+}{m: map[int64]*datagen.Corpus{}}
+
+func corpusFor(b *testing.B, size, sources int, seed int64) *datagen.Corpus {
+	b.Helper()
+	key := int64(size)<<20 | int64(sources)<<40 | seed
+	benchCorpus.Lock()
+	defer benchCorpus.Unlock()
+	if c, ok := benchCorpus.m[key]; ok {
+		return c
+	}
+	c := datagen.Generate(experiments.CorpusScale(size, sources, seed))
+	benchCorpus.m[key] = c
+	return c
+}
+
+// --- E1 / Figure 7 (Performance): per-event identification time ---------
+
+func benchmarkIdentify(b *testing.B, mode identify.Mode, sketch bool) {
+	c := corpusFor(b, 8000, 10, 1)
+	parts := c.BySource()
+	cfg := identify.DefaultConfig()
+	cfg.Mode = mode
+	cfg.UseSketchIndex = sketch
+	b.ResetTimer()
+	events, comparisons := 0, 0
+	for i := 0; i < b.N; i++ {
+		alloc := &identify.IDAlloc{}
+		events, comparisons = 0, 0
+		for src, sns := range parts {
+			id := identify.New(src, cfg, alloc)
+			for _, s := range sns {
+				id.Process(s)
+			}
+			st := id.Stats()
+			events += st.Processed
+			comparisons += st.Comparisons
+		}
+	}
+	b.ReportMetric(float64(events), "events/op")
+	b.ReportMetric(float64(comparisons), "comparisons/op")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events)/1e3, "us/event")
+}
+
+func BenchmarkE1_PerformanceVsEventsComplete(b *testing.B) {
+	benchmarkIdentify(b, identify.ModeComplete, false)
+}
+
+func BenchmarkE1_PerformanceVsEventsTemporal(b *testing.B) {
+	benchmarkIdentify(b, identify.ModeTemporal, false)
+}
+
+func BenchmarkE1_PerformanceVsEventsTemporalSketch(b *testing.B) {
+	benchmarkIdentify(b, identify.ModeTemporal, true)
+}
+
+// BenchmarkE1_Sweep prints the full Figure 7 performance table.
+func BenchmarkE1_Sweep(b *testing.B) {
+	cfg := experiments.E1Config{Sizes: []int{1000, 4000, 12000}, Sources: 10, Seed: 1}
+	var rows []experiments.E1Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunE1(cfg)
+	}
+	logTable(b, experiments.E1Table(rows))
+}
+
+// --- E2 / Figure 7 (Quality): F-measure vs #events ----------------------
+
+func BenchmarkE2_QualityVsEvents(b *testing.B) {
+	cfg := experiments.E2Config{Sizes: []int{2000, 6000}, Sources: 10, Seed: 2}
+	var rows []experiments.E2Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunE2(cfg)
+	}
+	logTable(b, experiments.E2Table(rows))
+	best := 0.0
+	for _, r := range rows {
+		if r.F1 > best {
+			best = r.F1
+		}
+	}
+	b.ReportMetric(best, "bestF1")
+}
+
+// TestE2_QualityTable asserts the Figure 7 quality shape on a fixed
+// corpus: temporal >= complete, alignment lifts F over identification.
+func TestE2_QualityTable(t *testing.T) {
+	rows := experiments.RunE2(experiments.E2Config{Sizes: []int{2500}, Sources: 8, Seed: 2})
+	get := func(si, sa string) float64 {
+		for _, r := range rows {
+			if r.SIMethod == si && r.SAMethod == sa {
+				return r.F1
+			}
+		}
+		t.Fatalf("missing %s/%s", si, sa)
+		return 0
+	}
+	if tp, cp := get("temporal", "none"), get("complete", "none"); tp < cp-0.02 {
+		t.Errorf("temporal SI %.3f below complete %.3f (paper: temporal wins on evolving stories)", tp, cp)
+	}
+	if ar, al := get("temporal", "align+refine"), get("temporal", "align"); ar < al-0.05 {
+		t.Errorf("refinement degraded alignment: %.3f vs %.3f", ar, al)
+	}
+}
+
+// --- E3 / Figure 2: window-size ablation ---------------------------------
+
+func BenchmarkE3_WindowSweep(b *testing.B) {
+	day := 24 * time.Hour
+	cfg := experiments.E3Config{
+		Windows: []time.Duration{2 * day, 7 * day, 14 * day, 30 * day},
+		Size:    4000, Sources: 6, Seed: 3,
+	}
+	var rows []experiments.E3Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunE3(cfg)
+	}
+	logTable(b, experiments.E3Table(rows))
+}
+
+// --- E4 / §2.3: alignment scaling with #sources --------------------------
+
+func BenchmarkE4_AlignmentVsSources(b *testing.B) {
+	cfg := experiments.E4Config{SourceCounts: []int{2, 8, 16}, SizePerSrc: 250, Seed: 4}
+	var rows []experiments.E4Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunE4(cfg)
+	}
+	logTable(b, experiments.E4Table(rows))
+}
+
+// --- E5 / §2.4: out-of-order delivery ------------------------------------
+
+func BenchmarkE5_OutOfOrder(b *testing.B) {
+	cfg := experiments.E5Config{Fractions: []float64{0, 0.25, 0.5}, MaxDisp: 40, Size: 3000, Sources: 6, Seed: 5}
+	var rows []experiments.E5Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunE5(cfg)
+	}
+	logTable(b, experiments.E5Table(rows))
+}
+
+// TestE5_OutOfOrderQuality asserts graceful degradation.
+func TestE5_OutOfOrderQuality(t *testing.T) {
+	rows := experiments.RunE5(experiments.E5Config{
+		Fractions: []float64{0, 0.5}, MaxDisp: 40, Size: 2000, Sources: 5, Seed: 5,
+	})
+	if rows[1].F1 < rows[0].F1-0.25 {
+		t.Fatalf("out-of-order collapsed quality: %.3f -> %.3f", rows[0].F1, rows[1].F1)
+	}
+}
+
+// --- E6 / §2.4: sketches vs full similarity ------------------------------
+
+func BenchmarkE6_SketchVsFull(b *testing.B) {
+	cfg := experiments.E6Config{Size: 4000, Sources: 8, Seed: 6}
+	var rows []experiments.E6Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunE6(cfg)
+	}
+	logTable(b, experiments.E6Table(rows))
+}
+
+// --- E7 / §2.2: incremental split/merge repair ---------------------------
+
+func BenchmarkE7_IncrementalRepair(b *testing.B) {
+	cfg := experiments.E7Config{Size: 3000, Sources: 4, Seed: 7}
+	var rows []experiments.E7Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunE7(cfg)
+	}
+	logTable(b, experiments.E7Table(rows))
+}
+
+// TestE7_SplitMergeQuality asserts repair recovers planted structure.
+func TestE7_SplitMergeQuality(t *testing.T) {
+	rows := experiments.RunE7(experiments.E7Config{Size: 2000, Sources: 3, Seed: 7})
+	single, incr := rows[0], rows[1]
+	if incr.Splits+incr.Merges == 0 {
+		t.Fatal("incremental repair did nothing on a split/merge corpus")
+	}
+	if incr.F1 < single.F1-0.02 {
+		t.Fatalf("repair degraded F1: %.3f -> %.3f", single.F1, incr.F1)
+	}
+}
+
+// --- E8 / §2.1: dynamic source addition ----------------------------------
+
+func BenchmarkE8_SourceAddition(b *testing.B) {
+	cfg := experiments.E8Config{Sources: 10, SizePerSrc: 250, Seed: 8}
+	var rows []experiments.E8Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunE8(cfg)
+	}
+	logTable(b, experiments.E8Table(rows))
+	if len(rows) == 2 && rows[1].Comparisons > 0 {
+		b.ReportMetric(float64(rows[0].Comparisons)/float64(rows[1].Comparisons), "incr/full-comparisons")
+	}
+}
+
+// --- E9 / Figure 7 dataset panel: end-to-end throughput ------------------
+
+func BenchmarkE9_EndToEnd(b *testing.B) {
+	var row experiments.E9Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = experiments.RunE9(experiments.E9Config{Size: 8000, Sources: 10, Seed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, experiments.E9Table([]experiments.E9Row{row}))
+	b.ReportMetric(row.Throughput, "events/s")
+	b.ReportMetric(row.F1, "F1")
+}
+
+func BenchmarkE9_EndToEndWithStorage(b *testing.B) {
+	var row experiments.E9Row
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp(b.TempDir(), "e9-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		row, err = experiments.RunE9(experiments.E9Config{Size: 8000, Sources: 10, Seed: 9, StorageDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.Throughput, "events/s")
+}
+
+// --- E10 / Figure 1d: refinement corrections ------------------------------
+
+func BenchmarkE10_Refinement(b *testing.B) {
+	cfg := experiments.E10Config{NoiseRates: []float64{0.05}, Size: 2500, Sources: 5, Seed: 10}
+	var rows []experiments.E10Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunE10(cfg)
+	}
+	logTable(b, experiments.E10Table(rows))
+	if len(rows) == 1 && rows[0].Injected > 0 {
+		b.ReportMetric(float64(rows[0].Corrections)/float64(rows[0].Injected), "corrected-frac")
+	}
+}
+
+// TestE10_RefinementCorrections asserts refinement repairs injected noise.
+func TestE10_RefinementCorrections(t *testing.T) {
+	rows := experiments.RunE10(experiments.E10Config{
+		NoiseRates: []float64{0.05}, Size: 1500, Sources: 4, Seed: 10,
+	})
+	r := rows[0]
+	if r.Corrections == 0 {
+		t.Fatal("no corrections on noisy identification")
+	}
+	if r.FAfter < r.FBefore {
+		t.Fatalf("refinement reduced F1: %.3f -> %.3f", r.FBefore, r.FAfter)
+	}
+}
+
+// --- Ablations: design choices called out in DESIGN.md --------------------
+
+func BenchmarkAblations(b *testing.B) {
+	cfg := experiments.AblationConfig{Size: 3000, Sources: 6, Seed: 11}
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.RunAblations(cfg)
+	}
+	logTable(b, experiments.AblationTable(rows))
+}
+
+// --- Micro-benchmarks on the hot paths ------------------------------------
+
+func BenchmarkIngestPerEvent(b *testing.B) {
+	c := corpusFor(b, 8000, 10, 1)
+	e := stream.NewEngine(stream.DefaultOptions())
+	i := 0
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if i == len(c.Snippets) {
+			b.StopTimer()
+			e = stream.NewEngine(stream.DefaultOptions())
+			i = 0
+			b.StartTimer()
+		}
+		if _, err := e.Ingest(c.Snippets[i]); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
+}
+
+func BenchmarkAlignFull(b *testing.B) {
+	c := corpusFor(b, 6000, 8, 2)
+	ids := identify.RunAll(c.Snippets, identify.DefaultConfig(), nil)
+	bySource := identify.StoriesBySource(ids)
+	truth := experiments.TruthAssignment(c)
+	b.ResetTimer()
+	var f1 float64
+	for n := 0; n < b.N; n++ {
+		res := align.Align(bySource, align.DefaultConfig())
+		f1 = eval.Pairwise(eval.FromIntegrated(res.Integrated), truth).F1
+	}
+	b.ReportMetric(f1, "F1")
+}
+
+func logTable(b *testing.B, t *experiments.Table) {
+	var sb tableBuffer
+	t.Fprint(&sb)
+	b.Log(sb.String())
+}
+
+type tableBuffer struct{ data []byte }
+
+func (t *tableBuffer) Write(p []byte) (int, error) {
+	t.data = append(t.data, p...)
+	return len(p), nil
+}
+func (t *tableBuffer) String() string { return string(t.data) }

@@ -1,0 +1,138 @@
+// Command storypivot-bench regenerates the paper's evaluation artifacts
+// (DESIGN.md experiments E1–E10) and prints them as text tables — the
+// batch equivalent of the demo's statistics module (Figure 7).
+//
+// Usage:
+//
+//	storypivot-bench                 # run everything at default scale
+//	storypivot-bench -only e1,e2     # run selected experiments
+//	storypivot-bench -quick          # reduced sizes for smoke runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("storypivot-bench: ")
+	var (
+		only  = flag.String("only", "", "comma-separated experiment ids (e1..e10); empty = all")
+		quick = flag.Bool("quick", false, "reduced corpus sizes")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	run := func(id string) bool { return len(want) == 0 || want[id] }
+	w := os.Stdout
+	start := time.Now()
+
+	if run("e1") {
+		cfg := experiments.DefaultE1()
+		if *quick {
+			cfg.Sizes = []int{1000, 4000}
+		}
+		experiments.E1Table(experiments.RunE1(cfg)).Fprint(w)
+	}
+	if run("e2") {
+		cfg := experiments.DefaultE2()
+		if *quick {
+			cfg.Sizes = []int{2000}
+		}
+		experiments.E2Table(experiments.RunE2(cfg)).Fprint(w)
+	}
+	if run("e3") {
+		cfg := experiments.DefaultE3()
+		if *quick {
+			cfg.Size = 2000
+		}
+		experiments.E3Table(experiments.RunE3(cfg)).Fprint(w)
+	}
+	if run("e4") {
+		cfg := experiments.DefaultE4()
+		if *quick {
+			cfg.SourceCounts = []int{2, 8}
+		}
+		experiments.E4Table(experiments.RunE4(cfg)).Fprint(w)
+	}
+	if run("e5") {
+		cfg := experiments.DefaultE5()
+		if *quick {
+			cfg.Size = 1500
+		}
+		experiments.E5Table(experiments.RunE5(cfg)).Fprint(w)
+	}
+	if run("e6") {
+		cfg := experiments.DefaultE6()
+		if *quick {
+			cfg.Size = 2000
+		}
+		experiments.E6Table(experiments.RunE6(cfg)).Fprint(w)
+	}
+	if run("e7") {
+		cfg := experiments.DefaultE7()
+		if *quick {
+			cfg.Size = 1500
+		}
+		experiments.E7Table(experiments.RunE7(cfg)).Fprint(w)
+	}
+	if run("e8") {
+		cfg := experiments.DefaultE8()
+		if *quick {
+			cfg.Sources = 6
+			cfg.SizePerSrc = 200
+		}
+		experiments.E8Table(experiments.RunE8(cfg)).Fprint(w)
+	}
+	if run("e9") {
+		cfg := experiments.DefaultE9()
+		if *quick {
+			cfg.Size = 4000
+		}
+		dir, err := os.MkdirTemp("", "storypivot-e9-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		memRow, err := experiments.RunE9(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.StorageDir = dir
+		storeRow, err := experiments.RunE9(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.E9Table([]experiments.E9Row{memRow, storeRow}).Fprint(w)
+	}
+	if run("e10") {
+		cfg := experiments.DefaultE10()
+		if *quick {
+			cfg.Size = 1500
+		}
+		experiments.E10Table(experiments.RunE10(cfg)).Fprint(w)
+	}
+	if run("curated") {
+		experiments.CuratedTable(experiments.RunCurated()).Fprint(w)
+	}
+	if run("ablations") {
+		cfg := experiments.DefaultAblations()
+		if *quick {
+			cfg.Size = 2000
+		}
+		experiments.AblationTable(experiments.RunAblations(cfg)).Fprint(w)
+	}
+	fmt.Fprintf(w, "\nall selected experiments done in %v\n", time.Since(start).Round(time.Millisecond))
+}

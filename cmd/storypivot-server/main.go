@@ -1,0 +1,125 @@
+// Command storypivot-server starts the interactive StoryPivot
+// demonstration: the document-selection, story-overview, stories-per-
+// source, snippets-per-story, and statistics modules of the paper's demo
+// (Figures 3–7), served over HTTP.
+//
+// Usage:
+//
+//	storypivot-server -addr :8080
+//
+// The server starts preloaded with the paper's running example (the MH17
+// downing as covered by two newspapers, plus the unrelated Google/Yelp
+// story from Figure 3); add or remove documents in the UI to watch the
+// identification and alignment results change.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	storypivot "repro"
+	"repro/internal/curated"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("storypivot-server: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		refine  = flag.Bool("refine", true, "run refinement after alignment")
+		useCur  = flag.Bool("curated", false, "preload the full curated 2014 corpus instead of the MH17 mini-example")
+		useComp = flag.Bool("complete", false, "use complete-history identification (suits sparse curated archives)")
+	)
+	flag.Parse()
+
+	opts := []storypivot.Option{
+		storypivot.WithRefinement(*refine),
+		storypivot.WithKnowledgeBase(storypivot.SeedKnowledgeBase()),
+	}
+	if *useCur {
+		// The curated arcs span months with coverage gaps; give the
+		// pipeline the archival-friendly settings (see experiment E3).
+		opts = append(opts, storypivot.WithGazetteer(curated.Gazetteer()),
+			storypivot.WithAlignSlack(60*24*time.Hour))
+		if *useComp {
+			opts = append(opts, storypivot.WithMode(storypivot.ModeComplete))
+		} else {
+			opts = append(opts, storypivot.WithWindow(60*24*time.Hour))
+		}
+	}
+	s, err := server.New(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *useCur {
+		for _, cd := range curated.Corpus() {
+			doc := cd.Doc
+			s.Preload(&doc)
+		}
+	} else {
+		s.Preload(demoDocuments()...)
+	}
+	if err := s.SelectAll(); err != nil {
+		log.Fatal(err)
+	}
+	display := *addr
+	if strings.HasPrefix(display, ":") {
+		display = "localhost" + display
+	}
+	log.Printf("listening on %s (open http://%s/)", *addr, display)
+	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+}
+
+func day(d int) time.Time { return time.Date(2014, 7, d, 0, 0, 0, 0, time.UTC) }
+
+// demoDocuments is the predefined small-scale example of the demo
+// (paper §4.2.1), centred on the July 2014 downing of MH17 over Ukraine,
+// with the Google/Yelp article of Figure 3 as the unrelated story.
+func demoDocuments() []*storypivot.Document {
+	return []*storypivot.Document{
+		{
+			Source: "nyt", URL: "http://nytimes.com/doc0.html", Published: day(30),
+			Title: "Sanctions Expanded Against Russia",
+			Body: "The day after the European Union and the United States announced expanded sanctions " +
+				"against Russia over the conflict in Ukraine, markets reacted with caution.\n\n" +
+				"Diplomats said the sanctions were a direct consequence of the downing of the Malaysian jet.",
+		},
+		{
+			Source: "nyt", URL: "http://nytimes.com/doc1.html", Published: day(17),
+			Title: "Jetliner Explodes over Ukraine",
+			Body: "A Malaysia Airlines Boeing 777 with 298 people aboard exploded, crashed and burned " +
+				"in a field near Donetsk.\n\nThe aircraft was flying in territory controlled by pro-Russia " +
+				"separatists and officials believe it was blown out of the sky by a missile.",
+		},
+		{
+			Source: "nyt", URL: "http://nytimes.com/doc2.html", Published: day(18),
+			Title: "Evidence of Russian Links to Jet's Downing",
+			Body: "Officials leading the criminal investigation into the crash of Malaysia Airlines Flight 17 " +
+				"said Friday that the plane was shot down.\n\nUkraine asked the United Nations civil aviation " +
+				"authority to join the international investigation.",
+		},
+		{
+			Source: "wsj", URL: "http://online.wsj.com/doc3.html", Published: day(17),
+			Title: "Passenger Jet Felled over Ukraine",
+			Body: "The United States government has concluded that the passenger jet felled over Ukraine " +
+				"was shot down by a surface-to-air missile.\n\nThe crash scattered debris near the " +
+				"Russian border and investigators demanded access to the site.",
+		},
+		{
+			Source: "wsj", URL: "http://online.wsj.com/doc4.html", Published: day(18),
+			Title: "Google Battles Yelp over Search Results",
+			Body: "Google Inc. rival Yelp Inc. says the search giant is promoting its own content at the " +
+				"expense of users, as Google battles antitrust scrutiny of its search results.",
+		},
+		{
+			Source: "wsj", URL: "http://online.wsj.com/doc5.html", Published: day(21),
+			Title: "Dutch Experts Reach Crash Site",
+			Body: "Investigators from the Netherlands reached the crash site in eastern Ukraine and began " +
+				"recovering remains.\n\nAmsterdam observed a national day of mourning for the victims of the crash.",
+		},
+	}
+}

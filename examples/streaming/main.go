@@ -1,0 +1,90 @@
+// Streaming: the dynamic-integration scenario of paper §2.4. A live,
+// out-of-order feed from a changing set of sources runs through the
+// stream engine; stories form and integrate in near real time, a new
+// source attaches mid-run, and an existing source detaches — all without
+// reprocessing the corpus.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	storypivot "repro"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+)
+
+func main() {
+	// A synthetic 8-source world with ground truth (the offline stand-in
+	// for an EventRegistry feed), delivered 30% out of order — local
+	// outlets publish before international ones pick the story up.
+	corpus := datagen.Generate(experiments.CorpusScale(6000, 8, 42))
+	feed := corpus.Shuffled(0.3, 40, 42)
+	truth := experiments.TruthAssignment(corpus)
+
+	p, err := storypivot.New(storypivot.WithAutoAlign(500))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	// Hold the last source back: it "comes online" mid-run.
+	lateSource := corpus.Sources[len(corpus.Sources)-1]
+	var late []*storypivot.Snippet
+	var live []*storypivot.Snippet
+	for _, sn := range feed {
+		if sn.Source == lateSource {
+			late = append(late, sn)
+		} else {
+			live = append(live, sn)
+		}
+	}
+
+	fmt.Printf("streaming %d snippets from %d sources (%s joins later)...\n",
+		len(live), len(corpus.Sources)-1, lateSource)
+	start := time.Now()
+	batch := len(live) / 4
+	for i := 0; i < len(live); i += batch {
+		end := i + batch
+		if end > len(live) {
+			end = len(live)
+		}
+		for _, sn := range live[i:end] {
+			if err := p.Ingest(sn); err != nil {
+				log.Fatalf("ingest: %v", err)
+			}
+		}
+		res := p.Result()
+		fmt.Printf("  t+%-8v %5d events -> %3d integrated stories (%d multi-source)\n",
+			time.Since(start).Round(time.Millisecond), end,
+			len(res.Integrated()), len(res.MultiSource()))
+	}
+
+	fmt.Printf("\n%s comes online with %d snippets (paper §2.1: identify first, then align)\n",
+		lateSource, len(late))
+	for _, sn := range late {
+		if err := p.Ingest(sn); err != nil {
+			log.Fatalf("ingest late source: %v", err)
+		}
+	}
+	res := p.Result()
+	f1 := eval.Pairwise(eval.FromIntegrated(res.Integrated()), truth).F1
+	fmt.Printf("after join: %d integrated stories, F1 vs ground truth = %.3f\n",
+		len(res.Integrated()), f1)
+
+	// Detach a source: its stories leave the result set.
+	gone := corpus.Sources[0]
+	p.RemoveSource(gone)
+	res = p.Result()
+	fmt.Printf("after removing %s: %d integrated stories remain\n", gone, len(res.Integrated()))
+
+	// The per-event cost stayed flat: that is the temporal window at work.
+	total := time.Since(start)
+	fmt.Printf("\nprocessed %d events in %v (%.0f events/s)\n",
+		int(p.Engine().Ingested()), total.Round(time.Millisecond),
+		float64(p.Engine().Ingested())/total.Seconds())
+}

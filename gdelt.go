@@ -1,0 +1,52 @@
+package storypivot
+
+import (
+	"io"
+
+	"repro/internal/gdelt"
+)
+
+// GDELT ingestion: the paper's large-scale experiments run on GDELT
+// event-table exports; this adapter turns those tab-separated rows into
+// snippets (actors → entities, CAMEO codes → description terms, source
+// URL host → source).
+
+// GDELTStats reports what a GDELT read skipped.
+type GDELTStats struct {
+	Accepted  int
+	Malformed int // rows that failed to parse
+	Skipped   int // rows parsed but yielding empty snippets
+}
+
+// ReadGDELT parses a GDELT 1.0 event export into snippets.
+func ReadGDELT(r io.Reader) ([]*Snippet, GDELTStats, error) {
+	sns, rd, err := gdelt.ReadAll(r)
+	return sns, GDELTStats{Accepted: len(sns), Malformed: rd.Malformed, Skipped: rd.Skipped}, err
+}
+
+// IngestGDELT streams a GDELT export straight into the pipeline,
+// returning ingestion statistics. Rows that fail to parse or validate
+// are skipped, not fatal — GDELT feeds are noisy by nature.
+func (p *Pipeline) IngestGDELT(r io.Reader) (GDELTStats, error) {
+	gr := gdelt.NewReader(r)
+	stats := GDELTStats{}
+	for {
+		sn, err := gr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			stats.Malformed = gr.Malformed
+			stats.Skipped = gr.Skipped
+			return stats, err
+		}
+		if err := p.Ingest(sn); err != nil {
+			stats.Skipped++
+			continue
+		}
+		stats.Accepted++
+	}
+	stats.Malformed = gr.Malformed
+	stats.Skipped += gr.Skipped
+	return stats, nil
+}

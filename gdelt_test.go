@@ -1,0 +1,70 @@
+package storypivot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+)
+
+func TestGDELTRoundTrip(t *testing.T) {
+	// Generate a corpus, export as GDELT TSV, ingest through the GDELT
+	// path, and check the pipeline produces a sane story structure.
+	corpus := datagen.Generate(experiments.CorpusScale(1200, 5, 21))
+	var buf bytes.Buffer
+	if err := datagen.ExportGDELT(&buf, corpus, 21); err != nil {
+		t.Fatal(err)
+	}
+
+	sns, stats, err := ReadGDELT(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Malformed != 0 {
+		t.Fatalf("exporter produced %d malformed rows", stats.Malformed)
+	}
+	if len(sns) < len(corpus.Snippets)*9/10 {
+		t.Fatalf("ReadGDELT kept %d of %d", len(sns), len(corpus.Snippets))
+	}
+
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ingestStats, err := p.IngestGDELT(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ingestStats.Accepted == 0 {
+		t.Fatal("nothing ingested")
+	}
+	res := p.Result()
+	if len(res.Integrated()) == 0 {
+		t.Fatal("no stories from GDELT feed")
+	}
+	// GDELT rows carry entity + CAMEO signal only; same-story rows share
+	// both, so multi-source alignment must still happen.
+	if len(res.MultiSource()) == 0 {
+		t.Fatal("no cross-source stories from GDELT feed")
+	}
+}
+
+func TestIngestGDELTSkipsNoise(t *testing.T) {
+	cols := make([]string, 58)
+	cols[0], cols[1], cols[5], cols[26], cols[31], cols[57] =
+		"1", "20140717", "UKR", "195", "3", "http://a.example.com/1"
+	good := strings.Join(cols, "\t")
+	input := good + "\nthis is not a gdelt row\n"
+	p, _ := New()
+	defer p.Close()
+	stats, err := p.IngestGDELT(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accepted != 1 || stats.Malformed != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}

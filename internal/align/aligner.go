@@ -1,0 +1,715 @@
+// Package align implements StoryPivot's story alignment phase (paper
+// §2.3): integrating per-source stories across data sources into
+// integrated stories, classifying snippets as aligning vs enriching, and
+// refining per-source identification results with cross-source evidence
+// (paper Figure 1c/1d).
+//
+// The Aligner is incremental: stories can be upserted or removed one at a
+// time and only their match edges are recomputed, which is what makes
+// adding a new data source cheap (paper §2.1: "as new sources become
+// available, we first identify the stories associated with them and then
+// align them with existing stories").
+package align
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/similarity"
+	"repro/internal/sketch"
+)
+
+// Config parameterises alignment. Use DefaultConfig as the base.
+type Config struct {
+	// MatchThreshold is the minimum story-level similarity for two stories
+	// of different sources to be aligned.
+	MatchThreshold float64
+	// Story configures the story-vs-story similarity kernel.
+	Story similarity.StoryConfig
+	// Slack widens the temporal-overlap candidate filter: stories whose
+	// extents are further apart than this can never align. Alignment is
+	// more temporally tolerant than identification (paper §4.1).
+	Slack time.Duration
+	// ComponentGuard scales MatchThreshold for the aggregate-similarity
+	// merge guard (see Result): two components only merge when their
+	// aggregates score at least ComponentGuard*MatchThreshold. Values
+	// below 1 account for aggregate dilution; 0 disables the guard
+	// (pure single-linkage, which snowballs at scale).
+	ComponentGuard float64
+	// GuardGrowth stiffens the guard as components grow: the effective
+	// guard is ComponentGuard * (1 + GuardGrowth*ln(1+minMembers)), where
+	// minMembers is the smaller component's member-story count. Larger
+	// corpora produce more fragments per real story and more same-topic
+	// near-misses, so the evidence bar for merging already-large
+	// components must rise with their size; singleton merges keep the
+	// base guard.
+	GuardGrowth float64
+
+	// UseSketchFilter short-circuits candidate pairs through MinHash
+	// signatures before computing the full similarity.
+	UseSketchFilter bool
+	// SketchThreshold is the minimum estimated entity-Jaccard for a
+	// candidate pair to survive the sketch filter.
+	SketchThreshold float64
+	// SketchLength is the MinHash signature length.
+	SketchLength int
+
+	// RoleScale is the temporal tolerance when classifying a snippet as
+	// "aligning" (it has a counterpart in another source within this
+	// distance) versus "enriching".
+	RoleScale time.Duration
+	// RoleThreshold is the minimum snippet-snippet similarity for a
+	// cross-source counterpart.
+	RoleThreshold float64
+	// Weights for snippet-level comparisons (roles, refinement).
+	Weights similarity.Weights
+	// UseEntityIDF weights entities by inverse mention frequency across
+	// all upserted stories, mirroring the identification-side option.
+	UseEntityIDF bool
+}
+
+// DefaultConfig returns the configuration used by the demo system.
+func DefaultConfig() Config {
+	return Config{
+		MatchThreshold:  0.38,
+		Story:           similarity.DefaultStoryConfig(),
+		Slack:           7 * 24 * time.Hour,
+		ComponentGuard:  0.9,
+		GuardGrowth:     0.2,
+		UseSketchFilter: false,
+		SketchThreshold: 0.08,
+		SketchLength:    64,
+		RoleScale:       3 * 24 * time.Hour,
+		RoleThreshold:   0.35,
+		Weights:         similarity.DefaultWeights(),
+		UseEntityIDF:    true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.MatchThreshold <= 0 || c.MatchThreshold >= 1 {
+		return fmt.Errorf("align: match threshold %g outside (0, 1)", c.MatchThreshold)
+	}
+	if c.Slack < 0 {
+		return errors.New("align: slack must be >= 0")
+	}
+	if c.ComponentGuard < 0 || c.GuardGrowth < 0 {
+		return errors.New("align: guard parameters must be >= 0")
+	}
+	if c.RoleScale <= 0 {
+		return errors.New("align: role scale must be positive")
+	}
+	if c.RoleThreshold <= 0 || c.RoleThreshold >= 1 {
+		return fmt.Errorf("align: role threshold %g outside (0, 1)", c.RoleThreshold)
+	}
+	if c.UseSketchFilter && c.SketchLength < 0 {
+		return errors.New("align: sketch length must be >= 0")
+	}
+	return nil
+}
+
+// Match records one cross-source story pair that cleared the threshold.
+type Match struct {
+	A, B  event.StoryID
+	Score float64
+}
+
+// Stats counts alignment work for the statistics module.
+type Stats struct {
+	CandidatePairs int // pairs surviving the temporal filter
+	SketchSkipped  int // pairs rejected by the sketch filter
+	Comparisons    int // full story-similarity evaluations
+	Matches        int // pairs above threshold
+}
+
+// Aligner maintains the cross-source story match graph incrementally.
+// Not safe for concurrent use.
+type Aligner struct {
+	cfg Config
+
+	stories map[event.StoryID]*event.Story
+	order   []event.StoryID
+	// edges holds match scores keyed by (min,max) story ID.
+	edges map[[2]event.StoryID]float64
+	// cands remembers every candidate pair that passed the temporal (and
+	// sketch) filters, including pairs that scored below threshold. Under
+	// IDF entity weighting, scores depend on the global entity statistics
+	// at scoring time; when those statistics drift, Result rescores the
+	// candidates so the outcome is independent of upsert order.
+	cands map[[2]event.StoryID]bool
+	// lastScored is the entTotal at the last full rescore; drifting more
+	// than 20% in either direction (growth from upserts, shrinkage from
+	// source removal) triggers the next one.
+	lastScored int
+
+	hasher *sketch.MinHasher
+	sigs   map[event.StoryID]sketch.Signature
+
+	// buckets index stories by coarse time intervals for candidate
+	// retrieval; a story appears in every bucket its (slack-widened)
+	// extent touches.
+	bucketWidth time.Duration
+	buckets     map[int64][]event.StoryID
+
+	// entCount accumulates entity mention counts over all upserted
+	// stories; it backs the IDF entity weighting. entTotal is the count
+	// sum, for mean normalisation.
+	entCount map[event.Entity]int
+	entTotal int
+	storyCfg similarity.StoryConfig // cfg.Story plus the weighter
+
+	stats  Stats
+	nextID uint64
+}
+
+// NewAligner creates an empty aligner.
+func NewAligner(cfg Config) *Aligner {
+	bw := cfg.Slack
+	if bw <= 0 {
+		bw = 7 * 24 * time.Hour
+	}
+	a := &Aligner{
+		cfg:         cfg,
+		stories:     make(map[event.StoryID]*event.Story),
+		edges:       make(map[[2]event.StoryID]float64),
+		cands:       make(map[[2]event.StoryID]bool),
+		bucketWidth: bw,
+		buckets:     make(map[int64][]event.StoryID),
+		entCount:    make(map[event.Entity]int),
+	}
+	a.storyCfg = cfg.Story
+	if cfg.UseEntityIDF {
+		// Mean-normalised inverse-frequency weighting; see the identify
+		// package for rationale.
+		a.storyCfg.EntityWeight = func(e event.Entity) float64 {
+			mean := 1.0
+			if n := len(a.entCount); n > 0 {
+				mean = float64(a.entTotal) / float64(n)
+			}
+			return 1 / (1 + logFloat(1+float64(a.entCount[e])/mean))
+		}
+	}
+	if cfg.UseSketchFilter {
+		n := cfg.SketchLength
+		if n <= 0 {
+			n = 64
+		}
+		a.hasher = sketch.NewMinHasher(n, 0xa11e)
+		a.sigs = make(map[event.StoryID]sketch.Signature)
+	}
+	return a
+}
+
+// Stats returns a snapshot of the work counters.
+func (a *Aligner) Stats() Stats { return a.stats }
+
+// Len returns the number of stories under alignment.
+func (a *Aligner) Len() int { return len(a.stories) }
+
+func edgeKey(x, y event.StoryID) [2]event.StoryID {
+	if x > y {
+		x, y = y, x
+	}
+	return [2]event.StoryID{x, y}
+}
+
+func (a *Aligner) bucketRange(st *event.Story) (lo, hi int64) {
+	lo = st.Start.Add(-a.cfg.Slack).UnixNano() / int64(a.bucketWidth)
+	hi = st.End.Add(a.cfg.Slack).UnixNano() / int64(a.bucketWidth)
+	return lo, hi
+}
+
+// Upsert adds a story to the aligner, or refreshes a story whose content
+// changed, recomputing only that story's match edges.
+func (a *Aligner) Upsert(st *event.Story) {
+	if st == nil || st.Len() == 0 {
+		return
+	}
+	if _, known := a.stories[st.ID]; known {
+		a.removeInternal(st.ID)
+	} else {
+		a.order = append(a.order, st.ID)
+	}
+	a.stories[st.ID] = st
+	for e, n := range st.EntityFreq {
+		a.entCount[e] += n
+		a.entTotal += n
+	}
+	lo, hi := a.bucketRange(st)
+	for b := lo; b <= hi; b++ {
+		a.buckets[b] = append(a.buckets[b], st.ID)
+	}
+	var sig sketch.Signature
+	if a.hasher != nil {
+		sig = a.hasher.Sign(entityElems(st))
+		a.sigs[st.ID] = sig
+	}
+	// Score against candidates from different sources in shared buckets.
+	seen := map[event.StoryID]bool{st.ID: true}
+	for b := lo; b <= hi; b++ {
+		for _, oid := range a.buckets[b] {
+			if seen[oid] {
+				continue
+			}
+			seen[oid] = true
+			other := a.stories[oid]
+			if other == nil || other.Source == st.Source {
+				continue
+			}
+			if !st.Overlaps(other, a.cfg.Slack) {
+				continue
+			}
+			a.stats.CandidatePairs++
+			if a.hasher != nil {
+				if sketch.Estimate(sig, a.sigs[oid]) < a.cfg.SketchThreshold {
+					a.stats.SketchSkipped++
+					continue
+				}
+			}
+			key := edgeKey(st.ID, oid)
+			a.cands[key] = true
+			score := similarity.Stories(st, other, a.storyCfg)
+			a.stats.Comparisons++
+			if score >= a.cfg.MatchThreshold {
+				a.edges[key] = score
+				a.stats.Matches++
+			}
+		}
+	}
+}
+
+// Remove deletes a story and its edges from the aligner.
+func (a *Aligner) Remove(id event.StoryID) {
+	if _, ok := a.stories[id]; !ok {
+		return
+	}
+	a.removeInternal(id)
+	delete(a.stories, id)
+	// Compact the insertion-order list once stale entries dominate.
+	if len(a.order) > 2*len(a.stories)+16 {
+		live := a.order[:0]
+		for _, s := range a.order {
+			if _, ok := a.stories[s]; ok {
+				live = append(live, s)
+			}
+		}
+		a.order = live
+	}
+}
+
+// removeInternal clears indexes and edges but keeps the order slice (which
+// tolerates stale entries).
+func (a *Aligner) removeInternal(id event.StoryID) {
+	st := a.stories[id]
+	if st != nil {
+		for e, n := range st.EntityFreq {
+			a.entTotal -= n
+			if a.entCount[e] -= n; a.entCount[e] <= 0 {
+				delete(a.entCount, e)
+			}
+		}
+	}
+	if st != nil {
+		lo, hi := a.bucketRange(st)
+		for b := lo; b <= hi; b++ {
+			bucket := a.buckets[b]
+			for i, x := range bucket {
+				if x == id {
+					bucket[i] = bucket[len(bucket)-1]
+					bucket = bucket[:len(bucket)-1]
+					break
+				}
+			}
+			if len(bucket) == 0 {
+				delete(a.buckets, b)
+			} else {
+				a.buckets[b] = bucket
+			}
+		}
+	}
+	for k := range a.edges {
+		if k[0] == id || k[1] == id {
+			delete(a.edges, k)
+		}
+	}
+	for k := range a.cands {
+		if k[0] == id || k[1] == id {
+			delete(a.cands, k)
+		}
+	}
+	if a.sigs != nil {
+		delete(a.sigs, id)
+	}
+}
+
+// rescoreIfDrifted recomputes every candidate pair's score when the
+// global entity statistics have grown materially since the last full
+// scoring pass. This makes the final result independent of upsert order
+// under IDF weighting: early edges were scored against early statistics,
+// and without a rescore their scores would be stale.
+func (a *Aligner) rescoreIfDrifted() {
+	if a.storyCfg.EntityWeight == nil {
+		return // uniform weights never drift
+	}
+	lo, hi := a.lastScored-a.lastScored/5, a.lastScored+a.lastScored/5
+	if a.lastScored > 0 && a.entTotal >= lo && a.entTotal <= hi {
+		return
+	}
+	a.edges = make(map[[2]event.StoryID]float64, len(a.edges))
+	for k := range a.cands {
+		x, y := a.stories[k[0]], a.stories[k[1]]
+		if x == nil || y == nil {
+			delete(a.cands, k)
+			continue
+		}
+		score := similarity.Stories(x, y, a.storyCfg)
+		a.stats.Comparisons++
+		if score >= a.cfg.MatchThreshold {
+			a.edges[k] = score
+		}
+	}
+	a.lastScored = a.entTotal
+}
+
+// Matches returns every raw above-threshold match edge sorted by
+// descending score — the candidate set before reciprocal-best filtering
+// (Result reports the filtered set it actually integrated on).
+func (a *Aligner) Matches() []Match {
+	out := make([]Match, 0, len(a.edges))
+	for k, s := range a.edges {
+		out = append(out, Match{A: k[0], B: k[1], Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// reciprocalEdges filters the raw above-threshold edges down to
+// reciprocal best matches: an edge (A, B) survives only if B is A's
+// highest-scoring match in B's source and vice versa. Raw thresholding
+// alone lets thematically related but distinct stories (stories of the
+// same topic family) chain transitively into giant components; reciprocal
+// matching is the selectivity that keeps components story-sized while a
+// real counterpart — which is almost always the mutual best match —
+// still aligns.
+func (a *Aligner) reciprocalEdges() map[[2]event.StoryID]float64 {
+	type slot struct {
+		other event.StoryID
+		score float64
+	}
+	best := make(map[event.StoryID]map[event.SourceID]slot, len(a.stories))
+	note := func(self, other event.StoryID, score float64) {
+		osrc := a.stories[other].Source
+		m := best[self]
+		if m == nil {
+			m = make(map[event.SourceID]slot)
+			best[self] = m
+		}
+		cur, ok := m[osrc]
+		if !ok || score > cur.score || (score == cur.score && other < cur.other) {
+			m[osrc] = slot{other, score}
+		}
+	}
+	for k, s := range a.edges {
+		note(k[0], k[1], s)
+		note(k[1], k[0], s)
+	}
+	out := make(map[[2]event.StoryID]float64)
+	for k, s := range a.edges {
+		x, y := k[0], k[1]
+		if best[x][a.stories[y].Source].other == y && best[y][a.stories[x].Source].other == x {
+			out[k] = s
+		}
+	}
+	return out
+}
+
+// component aggregates the contents of an in-progress integrated story
+// during guarded merging.
+type component struct {
+	ents       map[event.Entity]int
+	centroid   map[string]float64
+	start, end time.Time
+	members    int // member stories, for the size-adaptive guard
+}
+
+func newComponent(st *event.Story) *component {
+	c := &component{
+		members:  1,
+		ents:     make(map[event.Entity]int, len(st.EntityFreq)),
+		centroid: make(map[string]float64, len(st.Centroid)),
+		start:    st.Start,
+		end:      st.End,
+	}
+	for e, n := range st.EntityFreq {
+		c.ents[e] = n
+	}
+	for t, w := range st.Centroid {
+		c.centroid[t] = w
+	}
+	return c
+}
+
+// absorb merges other into c.
+func (c *component) absorb(other *component) {
+	for e, n := range other.ents {
+		c.ents[e] += n
+	}
+	for t, w := range other.centroid {
+		c.centroid[t] += w
+	}
+	if other.start.Before(c.start) {
+		c.start = other.start
+	}
+	if other.end.After(c.end) {
+		c.end = other.end
+	}
+	c.members += other.members
+}
+
+// similar scores two component aggregates with the same entity/description
+// /temporal combination used for stories. This is the merge guard: it
+// makes integration behave like average-linkage clustering instead of
+// single-linkage, so fragmented same-topic stories cannot chain arbitrary
+// components together (single-linkage over reciprocal edges still
+// snowballs at scale).
+func (a *Aligner) componentsSimilar(x, y *component) bool {
+	w := a.cfg.Story.Weights.Normalized()
+	sim := w.Entity * similarity.WeightedJaccardEntitySets(x.ents, y.ents, a.storyCfg.EntityWeight)
+	sim += w.Description * similarity.CosineTerms(x.centroid, y.centroid)
+	var gap time.Duration
+	switch {
+	case x.end.Before(y.start):
+		gap = y.start.Sub(x.end)
+	case y.end.Before(x.start):
+		gap = x.start.Sub(y.end)
+	}
+	sim += w.Temporal * similarity.GapDecay(gap, a.cfg.Story.GapScale)
+	guard := a.cfg.ComponentGuard
+	if a.cfg.GuardGrowth > 0 {
+		min := x.members
+		if y.members < min {
+			min = y.members
+		}
+		guard *= 1 + a.cfg.GuardGrowth*math.Log(float64(min))
+	}
+	return sim >= guard*a.cfg.MatchThreshold
+}
+
+// Result computes the integrated story set: components grown from the
+// reciprocal-best match graph under the aggregate-similarity merge guard,
+// with every unmatched story becoming a singleton integrated story (paper
+// §2.3: stories that appear in only one source remain in the result).
+// Snippet roles are classified per component.
+func (a *Aligner) Result() *Result {
+	a.rescoreIfDrifted()
+	// Union-find over story IDs with per-root component aggregates.
+	parent := make(map[event.StoryID]event.StoryID, len(a.stories))
+	comps := make(map[event.StoryID]*component, len(a.stories))
+	var find func(event.StoryID) event.StoryID
+	find = func(x event.StoryID) event.StoryID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for id, st := range a.stories {
+		parent[id] = id
+		comps[id] = newComponent(st)
+	}
+	recip := a.reciprocalEdges()
+	// Strongest matches first, so the guard evaluates high-confidence
+	// merges before aggregates drift.
+	order := make([]Match, 0, len(recip))
+	for k, s := range recip {
+		order = append(order, Match{A: k[0], B: k[1], Score: s})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Score != order[j].Score {
+			return order[i].Score > order[j].Score
+		}
+		if order[i].A != order[j].A {
+			return order[i].A < order[j].A
+		}
+		return order[i].B < order[j].B
+	})
+	for _, m := range order {
+		ra, rb := find(m.A), find(m.B)
+		if ra == rb {
+			continue
+		}
+		ca, cb := comps[ra], comps[rb]
+		if a.cfg.ComponentGuard > 0 && !a.componentsSimilar(ca, cb) {
+			continue
+		}
+		// Absorb the smaller aggregate into the larger.
+		if len(cb.centroid) > len(ca.centroid) {
+			ra, rb = rb, ra
+			ca, cb = cb, ca
+		}
+		ca.absorb(cb)
+		parent[rb] = ra
+		delete(comps, rb)
+	}
+	groups := make(map[event.StoryID][]*event.Story)
+	for _, id := range a.order {
+		st := a.stories[id]
+		if st == nil {
+			continue
+		}
+		r := find(id)
+		// Members are snapshots: the returned Result may be read long
+		// after the live stories have changed (concurrent ingestion),
+		// so it must be self-contained.
+		groups[r] = append(groups[r], st.Snapshot())
+	}
+	roots := make([]event.StoryID, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	// Deterministic integrated IDs: order components by smallest member ID.
+	sort.Slice(roots, func(i, j int) bool {
+		return minStoryID(groups[roots[i]]) < minStoryID(groups[roots[j]])
+	})
+	// Report the reciprocal matches the integration actually honoured
+	// (both endpoints ended up in the same component).
+	matches := make([]Match, 0, len(order))
+	for _, m := range order {
+		if find(m.A) == find(m.B) {
+			matches = append(matches, m)
+		}
+	}
+	res := &Result{Matches: matches, byStory: make(map[event.StoryID]*event.IntegratedStory)}
+	for _, r := range roots {
+		a.nextID++
+		is := event.NewIntegratedStory(event.IntegratedID(a.nextID), groups[r])
+		classifyRoles(is, a.cfg)
+		res.Integrated = append(res.Integrated, is)
+		for _, m := range is.Members {
+			res.byStory[m.ID] = is
+		}
+	}
+	return res
+}
+
+func minStoryID(sts []*event.Story) event.StoryID {
+	min := sts[0].ID
+	for _, st := range sts[1:] {
+		if st.ID < min {
+			min = st.ID
+		}
+	}
+	return min
+}
+
+func entityElems(st *event.Story) []string {
+	elems := make([]string, 0, len(st.EntityFreq))
+	for e := range st.EntityFreq {
+		elems = append(elems, string(e))
+	}
+	return elems
+}
+
+// Result is the outcome of story alignment.
+type Result struct {
+	Integrated []*event.IntegratedStory
+	Matches    []Match
+
+	byStory map[event.StoryID]*event.IntegratedStory
+}
+
+// IntegratedOf returns the integrated story containing the given
+// per-source story, or nil.
+func (r *Result) IntegratedOf(id event.StoryID) *event.IntegratedStory {
+	return r.byStory[id]
+}
+
+// MultiSource returns only the integrated stories spanning at least two
+// sources.
+func (r *Result) MultiSource() []*event.IntegratedStory {
+	var out []*event.IntegratedStory
+	for _, is := range r.Integrated {
+		if len(is.Sources()) > 1 {
+			out = append(out, is)
+		}
+	}
+	return out
+}
+
+// classifyRoles marks each snippet of the integrated story as aligning
+// (it has a sufficiently similar, temporally close counterpart in another
+// source) or enriching (source-exclusive content such as special reports;
+// paper §2.3).
+func classifyRoles(is *event.IntegratedStory, cfg Config) {
+	if len(is.Members) < 2 {
+		for _, m := range is.Members {
+			for _, sn := range m.Snippets {
+				is.Roles[sn.ID] = event.RoleEnriching
+			}
+		}
+		return
+	}
+	all := is.Snippets() // chronological
+	for i, sn := range all {
+		role := event.RoleEnriching
+		// Scan outward in time until the role tolerance is exceeded.
+		for j := i - 1; j >= 0; j-- {
+			if sn.Timestamp.Sub(all[j].Timestamp) > cfg.RoleScale {
+				break
+			}
+			if all[j].Source != sn.Source &&
+				similarity.Snippets(sn, all[j], cfg.RoleScale, cfg.Weights) >= cfg.RoleThreshold {
+				role = event.RoleAligning
+				break
+			}
+		}
+		if role == event.RoleEnriching {
+			for j := i + 1; j < len(all); j++ {
+				if all[j].Timestamp.Sub(sn.Timestamp) > cfg.RoleScale {
+					break
+				}
+				if all[j].Source != sn.Source &&
+					similarity.Snippets(sn, all[j], cfg.RoleScale, cfg.Weights) >= cfg.RoleThreshold {
+					role = event.RoleAligning
+					break
+				}
+			}
+		}
+		is.Roles[sn.ID] = role
+	}
+}
+
+// Align is the batch convenience: build an aligner over all per-source
+// story sets and return the integrated result.
+func Align(bySource map[event.SourceID][]*event.Story, cfg Config) *Result {
+	a := NewAligner(cfg)
+	// Deterministic insertion order: sources sorted, stories by ID.
+	srcs := make([]event.SourceID, 0, len(bySource))
+	for s := range bySource {
+		srcs = append(srcs, s)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, s := range srcs {
+		sts := append([]*event.Story(nil), bySource[s]...)
+		sort.Slice(sts, func(i, j int) bool { return sts[i].ID < sts[j].ID })
+		for _, st := range sts {
+			a.Upsert(st)
+		}
+	}
+	return a.Result()
+}
+
+func logFloat(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,131 @@
+package align
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/event"
+	"repro/internal/identify"
+)
+
+// Property-based invariants of story alignment:
+//
+//  1. Coverage: every input story appears in exactly one integrated story.
+//  2. Cross-source-only matches: no match edge joins same-source stories.
+//  3. Idempotence: Result() twice yields the same partition.
+//  4. Role totality: every snippet of every integrated story has a role.
+
+func alignFixture(seed int64) (map[event.SourceID][]*event.Story, int) {
+	cfg := datagen.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Sources = 2 + int(seed%3)
+	cfg.Stories = 4 + int(seed%4)
+	cfg.EventsPerStory = 5
+	c := datagen.Generate(cfg)
+	ids := identify.RunAll(c.Snippets, identify.DefaultConfig(), nil)
+	bySource := identify.StoriesBySource(ids)
+	total := 0
+	for _, sts := range bySource {
+		total += len(sts)
+	}
+	return bySource, total
+}
+
+func TestAlignInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		bySource, totalStories := alignFixture(seed % 500)
+		res := Align(bySource, DefaultConfig())
+
+		// 1. Coverage.
+		seen := map[event.StoryID]bool{}
+		members := 0
+		for _, is := range res.Integrated {
+			for _, m := range is.Members {
+				if seen[m.ID] {
+					t.Logf("seed %d: story %d in two integrated stories", seed, m.ID)
+					return false
+				}
+				seen[m.ID] = true
+				members++
+			}
+			// 4. Role totality.
+			for _, sn := range is.Snippets() {
+				if is.Roles[sn.ID] == event.RoleUnknown {
+					t.Logf("seed %d: snippet %d without role", seed, sn.ID)
+					return false
+				}
+			}
+		}
+		if members != totalStories {
+			t.Logf("seed %d: %d of %d stories covered", seed, members, totalStories)
+			return false
+		}
+		// 2. Cross-source-only matches.
+		storySource := map[event.StoryID]event.SourceID{}
+		for src, sts := range bySource {
+			for _, st := range sts {
+				storySource[st.ID] = src
+			}
+		}
+		for _, m := range res.Matches {
+			if storySource[m.A] == storySource[m.B] {
+				t.Logf("seed %d: same-source match %v", seed, m)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignIdempotent(t *testing.T) {
+	bySource, _ := alignFixture(7)
+	a := NewAligner(DefaultConfig())
+	for _, sts := range bySource {
+		for _, st := range sts {
+			a.Upsert(st)
+		}
+	}
+	r1 := a.Result()
+	r2 := a.Result()
+	f := eval.Pairwise(eval.FromIntegrated(r1.Integrated), eval.FromIntegrated(r2.Integrated))
+	if f.F1 != 1 {
+		t.Fatalf("Result not idempotent: agreement F1 = %.3f", f.F1)
+	}
+	if len(r1.Integrated) != len(r2.Integrated) {
+		t.Fatalf("component counts differ: %d vs %d", len(r1.Integrated), len(r2.Integrated))
+	}
+}
+
+func TestAlignUpsertPermutationInvariant(t *testing.T) {
+	// The integrated partition must not depend on upsert order.
+	bySource, _ := alignFixture(13)
+	var all []*event.Story
+	for _, sts := range bySource {
+		all = append(all, sts...)
+	}
+	run := func(order []int) eval.Assignment {
+		a := NewAligner(DefaultConfig())
+		for _, i := range order {
+			a.Upsert(all[i])
+		}
+		return eval.FromIntegrated(a.Result().Integrated)
+	}
+	fwd := make([]int, len(all))
+	rev := make([]int, len(all))
+	for i := range all {
+		fwd[i] = i
+		rev[i] = len(all) - 1 - i
+	}
+	f := eval.Pairwise(run(fwd), run(rev))
+	if f.F1 != 1 {
+		t.Fatalf("upsert order changed the partition: agreement F1 = %.3f", f.F1)
+	}
+}

@@ -1,0 +1,259 @@
+// Package curated provides the hand-curated evaluation corpus the demo
+// uses for quality comparison (paper §4.2: "to understand the actual
+// performance of STORYPIVOT and to be able to compare it against existing
+// approaches, we will provide users with manually curated stories taken
+// from well-known news providers").
+//
+// The corpus covers five real-world stories of mid-2014 — the MH17
+// downing, the Gaza conflict, the Ebola outbreak, the Scottish
+// independence referendum, and the Google/EU antitrust case — each
+// reported by up to three sources with source-specific wording, lag, and
+// exclusive angles. Every document carries its ground-truth story label,
+// so identification and alignment quality are measurable end to end
+// through the extraction pipeline.
+package curated
+
+import (
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/extract"
+)
+
+// Story labels of the curated corpus.
+const (
+	StoryMH17 uint64 = iota + 1
+	StoryGaza
+	StoryEbola
+	StoryScotland
+	StoryGoogle
+)
+
+// Document pairs a raw document with its ground-truth story.
+type Document struct {
+	Doc   extract.Document
+	Truth uint64
+}
+
+func day(m time.Month, d int) time.Time {
+	return time.Date(2014, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// Gazetteer returns the entity gazetteer covering the curated corpus.
+func Gazetteer() *extract.Gazetteer {
+	g := extract.DefaultGazetteer()
+	for surface, e := range map[string]event.Entity{
+		"gaza":                      "GAZA",
+		"hamas":                     "HAMAS",
+		"ebola":                     "EBOLA",
+		"liberia":                   "LBR",
+		"sierra leone":              "SLE",
+		"guinea":                    "GIN",
+		"world health organization": "WHO",
+		"scotland":                  "SCO",
+		"scottish":                  "SCO",
+		"edinburgh":                 "SCO",
+		"united kingdom":            "GBR",
+		"britain":                   "GBR",
+		"london":                    "GBR",
+		"brussels":                  "EU",
+	} {
+		g.Add(surface, e)
+	}
+	return g
+}
+
+// Corpus returns the curated documents in chronological order.
+func Corpus() []Document {
+	return []Document{
+		// ------------------------------------------------ MH17 --------
+		{Truth: StoryMH17, Doc: extract.Document{
+			Source: "nyt", URL: "http://nytimes.com/mh17-1", Published: day(time.July, 17),
+			Title: "Malaysia Airlines Jet Crashes Over Ukraine",
+			Body: "A Malaysia Airlines Boeing 777 carrying 298 people crashed in eastern Ukraine " +
+				"near Donetsk on Thursday after being shot down, officials said.\n\n" +
+				"The plane crashed in territory held by pro-Russia separatists, and American " +
+				"officials said a missile shot the plane down over Ukraine.",
+		}},
+		{Truth: StoryMH17, Doc: extract.Document{
+			Source: "wsj", URL: "http://wsj.com/mh17-1", Published: day(time.July, 17),
+			Title: "Passenger Plane Shot Down Over Eastern Ukraine",
+			Body: "A Malaysia Airlines plane crashed over eastern Ukraine after being struck by a " +
+				"missile, killing all aboard, in an escalation of the Ukraine conflict.\n\n" +
+				"Officials in Ukraine accused separatists of shooting down the plane; Russia denied involvement.",
+		}},
+		{Truth: StoryMH17, Doc: extract.Document{
+			Source: "guardian", URL: "http://guardian.example/mh17-1", Published: day(time.July, 18),
+			Title: "World Demands Answers Over Downed Jet in Ukraine",
+			Body: "Investigators demanded access to the crash site in eastern Ukraine where the " +
+				"Malaysia Airlines plane was shot down by a missile.\n\n" +
+				"The United Nations called for a full and independent investigation of the crash.",
+		}},
+		{Truth: StoryMH17, Doc: extract.Document{
+			Source: "nyt", URL: "http://nytimes.com/mh17-2", Published: day(time.July, 21),
+			Title: "Investigators Blocked From Ukraine Crash Site",
+			Body: "International investigators were blocked from the site in Ukraine where the " +
+				"Malaysia Airlines plane crashed, as evidence of the missile attack degraded.\n\n" +
+				"The Netherlands, which lost the most citizens in the crash, pressed Russia to " +
+				"help secure access to the site in Ukraine.",
+		}},
+		{Truth: StoryMH17, Doc: extract.Document{
+			Source: "wsj", URL: "http://wsj.com/mh17-2", Published: day(time.July, 22),
+			Title: "Dutch Experts Reach Ukraine Crash Site",
+			Body: "Investigators from the Netherlands finally reached the Ukraine crash site and " +
+				"began recovering the remains of victims of the downed Malaysia Airlines plane.\n\n" +
+				"Amsterdam declared a day of mourning as the first bodies from the Ukraine crash " +
+				"arrived in the Netherlands.",
+		}},
+		{Truth: StoryMH17, Doc: extract.Document{
+			Source: "guardian", URL: "http://guardian.example/mh17-2", Published: day(time.September, 9),
+			Title: "Dutch Report: Jet Over Ukraine Broke Up After External Impacts",
+			Body: "A preliminary Dutch report into the Malaysia Airlines crash over Ukraine found the " +
+				"plane broke up in the air after being hit by high-energy objects, consistent with a missile.",
+		}},
+
+		// ------------------------------------------------ Gaza --------
+		{Truth: StoryGaza, Doc: extract.Document{
+			Source: "nyt", URL: "http://nytimes.com/gaza-1", Published: day(time.July, 8),
+			Title: "Israel Launches Offensive in Gaza",
+			Body: "Israel launched a military offensive against Hamas in Gaza, with airstrikes " +
+				"hitting dozens of targets after rocket fire into Israel.\n\n" +
+				"Hamas fired rockets toward Israeli cities as the Gaza conflict escalated.",
+		}},
+		{Truth: StoryGaza, Doc: extract.Document{
+			Source: "guardian", URL: "http://guardian.example/gaza-1", Published: day(time.July, 9),
+			Title: "Gaza Conflict Escalates as Airstrikes Continue",
+			Body: "Airstrikes pounded Gaza for a second day as Israel pressed its offensive against " +
+				"Hamas and rockets continued to fly.\n\n" +
+				"Casualties in Gaza mounted and hospitals struggled with the wounded.",
+		}},
+		{Truth: StoryGaza, Doc: extract.Document{
+			Source: "nyt", URL: "http://nytimes.com/gaza-2", Published: day(time.July, 17),
+			Title: "Israel Begins Ground Operation in Gaza",
+			Body: "Israel sent ground forces into Gaza, widening its offensive against Hamas after " +
+				"ceasefire talks collapsed.\n\n" +
+				"The ground operation targeted tunnels Hamas used to cross into Israel from Gaza.",
+		}},
+		{Truth: StoryGaza, Doc: extract.Document{
+			Source: "wsj", URL: "http://wsj.com/gaza-1", Published: day(time.July, 18),
+			Title: "Ground Forces Push Into Gaza",
+			Body: "Israeli ground forces pushed into Gaza in the largest operation of the conflict, " +
+				"with Hamas vowing resistance.\n\n" +
+				"The United Nations warned of a humanitarian crisis in Gaza as casualties rose.",
+		}},
+		{Truth: StoryGaza, Doc: extract.Document{
+			Source: "guardian", URL: "http://guardian.example/gaza-2", Published: day(time.August, 26),
+			Title: "Open-Ended Ceasefire Reached in Gaza",
+			Body: "Israel and Hamas agreed to an open-ended ceasefire, ending seven weeks of " +
+				"fighting in Gaza.\n\n" +
+				"Celebrations broke out in Gaza as the ceasefire took hold; both Israel and Hamas claimed victory.",
+		}},
+
+		// ------------------------------------------------ Ebola -------
+		{Truth: StoryEbola, Doc: extract.Document{
+			Source: "nyt", URL: "http://nytimes.com/ebola-1", Published: day(time.July, 27),
+			Title: "Ebola Outbreak Spreads in West Africa",
+			Body: "The Ebola outbreak in West Africa spread further as Liberia closed most of its " +
+				"borders and Sierra Leone declared an emergency.\n\n" +
+				"The World Health Organization said the Ebola epidemic in Guinea, Liberia and " +
+				"Sierra Leone was outpacing containment efforts.",
+		}},
+		{Truth: StoryEbola, Doc: extract.Document{
+			Source: "guardian", URL: "http://guardian.example/ebola-1", Published: day(time.July, 28),
+			Title: "Liberia Shuts Borders as Ebola Spreads",
+			Body: "Liberia closed its borders to slow the Ebola outbreak as the death toll in West " +
+				"Africa climbed.\n\n" +
+				"Health workers fighting Ebola in Sierra Leone and Guinea reported being overwhelmed.",
+		}},
+		{Truth: StoryEbola, Doc: extract.Document{
+			Source: "wsj", URL: "http://wsj.com/ebola-1", Published: day(time.August, 8),
+			Title: "WHO Declares Ebola an International Emergency",
+			Body: "The World Health Organization declared the Ebola outbreak in West Africa an " +
+				"international public health emergency.\n\n" +
+				"The declaration urged screening at borders in Liberia, Sierra Leone and Guinea " +
+				"to contain the Ebola epidemic.",
+		}},
+		{Truth: StoryEbola, Doc: extract.Document{
+			Source: "nyt", URL: "http://nytimes.com/ebola-2", Published: day(time.September, 16),
+			Title: "US to Send Troops to Fight Ebola in Liberia",
+			Body: "The United States announced it would send troops and build treatment centers in " +
+				"Liberia to fight the Ebola epidemic.\n\n" +
+				"The World Health Organization welcomed the escalated response to the Ebola outbreak.",
+		}},
+
+		// ------------------------------------------------ Scotland ----
+		{Truth: StoryScotland, Doc: extract.Document{
+			Source: "guardian", URL: "http://guardian.example/scot-1", Published: day(time.September, 7),
+			Title: "Scottish Independence Poll Puts Yes Ahead",
+			Body: "A poll put the Scottish independence campaign ahead for the first time, sending " +
+				"shockwaves through Britain days before the referendum.\n\n" +
+				"Leaders in London scrambled to promise Scotland new powers if it voted to stay " +
+				"in the United Kingdom.",
+		}},
+		{Truth: StoryScotland, Doc: extract.Document{
+			Source: "wsj", URL: "http://wsj.com/scot-1", Published: day(time.September, 8),
+			Title: "Markets Rattled by Scotland Referendum Poll",
+			Body: "The pound fell sharply after a poll showed the Scottish independence referendum " +
+				"too close to call.\n\n" +
+				"Investors weighed the consequences for Britain if Scotland voted to leave the United Kingdom.",
+		}},
+		{Truth: StoryScotland, Doc: extract.Document{
+			Source: "nyt", URL: "http://nytimes.com/scot-1", Published: day(time.September, 19),
+			Title: "Scotland Votes to Stay in United Kingdom",
+			Body: "Scotland voted to remain in the United Kingdom, rejecting independence in a " +
+				"referendum with record turnout.\n\n" +
+				"The referendum result was greeted with relief in London and promises of further " +
+				"devolution for Scotland.",
+		}},
+		{Truth: StoryScotland, Doc: extract.Document{
+			Source: "guardian", URL: "http://guardian.example/scot-2", Published: day(time.September, 19),
+			Title: "Scotland Says No: Referendum Rejects Independence",
+			Body: "Scotland rejected independence in the referendum, with the No campaign winning " +
+				"clearly as turnout hit historic highs.\n\n" +
+				"Edinburgh and Glasgow diverged in the vote, but Scotland as a whole chose the United Kingdom.",
+		}},
+
+		// ------------------------------------------------ Google ------
+		{Truth: StoryGoogle, Doc: extract.Document{
+			Source: "wsj", URL: "http://wsj.com/goog-1", Published: day(time.July, 18),
+			Title: "Google Battles Yelp Over Search Results",
+			Body: "Google rival Yelp said the search giant promotes its own content in search " +
+				"results at the expense of users, escalating the antitrust fight.\n\n" +
+				"Regulators in Brussels weighed reopening the Google antitrust settlement after " +
+				"complaints from Yelp and others.",
+		}},
+		{Truth: StoryGoogle, Doc: extract.Document{
+			Source: "nyt", URL: "http://nytimes.com/goog-1", Published: day(time.September, 5),
+			Title: "Europe Hardens Stance in Google Antitrust Case",
+			Body: "The European Union signaled a harder line in the Google antitrust case, saying " +
+				"the proposed search settlement may not go far enough.\n\n" +
+				"Critics including Yelp pressed Brussels to demand deeper changes to Google search results.",
+		}},
+		{Truth: StoryGoogle, Doc: extract.Document{
+			Source: "guardian", URL: "http://guardian.example/goog-1", Published: day(time.September, 23),
+			Title: "Google Antitrust Settlement in Doubt",
+			Body: "The Google antitrust settlement with the European Union appeared in doubt as " +
+				"the incoming competition chief promised a fresh look at the search case.",
+		}},
+	}
+}
+
+// TruthBySnippet runs the corpus through an extractor and returns the
+// snippets together with their ground-truth labels (one label per
+// document, inherited by all snippets extracted from it).
+func TruthBySnippet(x *extract.Extractor) ([]*event.Snippet, map[event.SnippetID]uint64) {
+	var sns []*event.Snippet
+	truth := make(map[event.SnippetID]uint64)
+	for _, cd := range Corpus() {
+		doc := cd.Doc
+		got, err := x.Extract(&doc)
+		if err != nil {
+			continue
+		}
+		for _, sn := range got {
+			truth[sn.ID] = cd.Truth
+			sns = append(sns, sn)
+		}
+	}
+	return sns, truth
+}

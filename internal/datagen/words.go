@@ -1,0 +1,73 @@
+// Package datagen synthesises multi-source news-event corpora with ground
+// truth. It substitutes the GDELT/EventRegistry feeds used by the paper
+// (10M snippets, 50 sources, 500 entities, June–December 2014): the
+// algorithms consume (source, timestamp, entities, description) tuples,
+// and this generator produces tuples with the same schema and the same
+// statistical structure — Zipfian entity popularity, bursty story
+// lifecycles, evolving story vocabulary, per-source reporting perspectives
+// — plus the ground-truth story labels real feeds lack, which makes the
+// F-measure axis of the paper's Figure 7 computable.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// syllables used to build pronounceable synthetic vocabulary words. Words
+// are deterministic functions of their index, so corpora with equal seeds
+// are identical across runs and platforms.
+var onsets = []string{"b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "dr", "st", "tr", "kr", "pl"}
+var nuclei = []string{"a", "e", "i", "o", "u", "ai", "ei", "ou"}
+var codas = []string{"", "n", "r", "s", "t", "l", "m", "x"}
+
+// Word returns the idx-th synthetic vocabulary word (2–3 syllables).
+func Word(idx int) string {
+	rng := rand.New(rand.NewSource(int64(idx)*2654435761 + 7))
+	n := 2 + rng.Intn(2)
+	w := ""
+	for i := 0; i < n; i++ {
+		w += onsets[rng.Intn(len(onsets))] + nuclei[rng.Intn(len(nuclei))]
+	}
+	return w + codas[rng.Intn(len(codas))]
+}
+
+// EntityName returns the idx-th synthetic entity identifier.
+func EntityName(idx int) string { return fmt.Sprintf("ent_%04d", idx) }
+
+// zipf draws from {0..n-1} with P(k) ∝ 1/(k+1)^s using the provided RNG.
+// A small alias-free inversion over precomputed cumulative weights is
+// built per call site via newZipf.
+type zipfSampler struct {
+	cum []float64
+}
+
+func newZipf(n int, s float64) *zipfSampler {
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += 1 / pow(float64(k+1), s)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	return &zipfSampler{cum: cum}
+}
+
+func (z *zipfSampler) draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }

@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Timer accumulates per-event latency samples and reports the summary
+// statistics the statistics module displays (Figure 7: execution time in
+// ms vs #events).
+type Timer struct {
+	samples []time.Duration
+	total   time.Duration
+}
+
+// NewTimer creates an empty timer.
+func NewTimer() *Timer { return &Timer{} }
+
+// Observe records one latency sample.
+func (t *Timer) Observe(d time.Duration) {
+	t.samples = append(t.samples, d)
+	t.total += d
+}
+
+// Time runs fn and records its duration.
+func (t *Timer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	t.Observe(time.Since(start))
+}
+
+// Count returns the number of samples.
+func (t *Timer) Count() int { return len(t.samples) }
+
+// Total returns the summed duration.
+func (t *Timer) Total() time.Duration { return t.total }
+
+// Mean returns the mean sample, or 0 with no samples.
+func (t *Timer) Mean() time.Duration {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	return t.total / time.Duration(len(t.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank on a sorted copy.
+func (t *Timer) Percentile(p float64) time.Duration {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), t.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Summary renders the statistics line used by the bench harness.
+func (t *Timer) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v total=%v",
+		t.Count(), t.Mean(), t.Percentile(50), t.Percentile(95), t.Percentile(99), t.Total())
+}

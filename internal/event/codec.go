@@ -1,0 +1,161 @@
+package event
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Binary snippet codec used by the event store. The format is a compact,
+// deterministic, length-prefixed encoding:
+//
+//	u64 ID | str Source | i64 unixNano | u32 #entities | str... |
+//	u32 #terms | (str token, f64 weight)... | str Text | str Document
+//
+// where str is u32 length + bytes. All integers are little-endian. The
+// format is versioned by the storage layer's record header, not here.
+
+// ErrCorrupt is returned when decoding encounters a malformed buffer.
+var ErrCorrupt = errors.New("event: corrupt snippet encoding")
+
+// maxStringLen bounds decoded string/slice lengths to protect against
+// corrupted length prefixes causing huge allocations.
+const maxStringLen = 1 << 26 // 64 MiB
+
+// AppendEncode appends the binary encoding of s to buf and returns the
+// extended buffer.
+func AppendEncode(buf []byte, s *Snippet) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.ID))
+	buf = appendString(buf, string(s.Source))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Timestamp.UnixNano()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Entities)))
+	for _, e := range s.Entities {
+		buf = appendString(buf, string(e))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Terms)))
+	for _, t := range s.Terms {
+		buf = appendString(buf, t.Token)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.Weight))
+	}
+	buf = appendString(buf, s.Text)
+	buf = appendString(buf, s.Document)
+	return buf
+}
+
+// Encode returns the binary encoding of s.
+func Encode(s *Snippet) []byte {
+	return AppendEncode(nil, s)
+}
+
+// Decode parses a snippet from buf. The entire buffer must be consumed.
+func Decode(buf []byte) (*Snippet, error) {
+	s, rest, err := decode(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return s, nil
+}
+
+func decode(buf []byte) (*Snippet, []byte, error) {
+	s := &Snippet{}
+	id, buf, err := readU64(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.ID = SnippetID(id)
+	src, buf, err := readString(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.Source = SourceID(src)
+	ns, buf, err := readU64(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.Timestamp = time.Unix(0, int64(ns)).UTC()
+	ne, buf, err := readU32(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ne > maxStringLen {
+		return nil, nil, ErrCorrupt
+	}
+	if ne > 0 {
+		s.Entities = make([]Entity, ne)
+		for i := range s.Entities {
+			var e string
+			e, buf, err = readString(buf)
+			if err != nil {
+				return nil, nil, err
+			}
+			s.Entities[i] = Entity(e)
+		}
+	}
+	nt, buf, err := readU32(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if nt > maxStringLen {
+		return nil, nil, ErrCorrupt
+	}
+	if nt > 0 {
+		s.Terms = make([]Term, nt)
+		for i := range s.Terms {
+			var tok string
+			tok, buf, err = readString(buf)
+			if err != nil {
+				return nil, nil, err
+			}
+			var w uint64
+			w, buf, err = readU64(buf)
+			if err != nil {
+				return nil, nil, err
+			}
+			s.Terms[i] = Term{Token: tok, Weight: math.Float64frombits(w)}
+		}
+	}
+	s.Text, buf, err = readString(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.Document, buf, err = readString(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, buf, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func readU32(buf []byte) (uint32, []byte, error) {
+	if len(buf) < 4 {
+		return 0, nil, ErrCorrupt
+	}
+	return binary.LittleEndian.Uint32(buf), buf[4:], nil
+}
+
+func readU64(buf []byte) (uint64, []byte, error) {
+	if len(buf) < 8 {
+		return 0, nil, ErrCorrupt
+	}
+	return binary.LittleEndian.Uint64(buf), buf[8:], nil
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, buf, err := readU32(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > maxStringLen || int(n) > len(buf) {
+		return "", nil, ErrCorrupt
+	}
+	return string(buf[:n]), buf[n:], nil
+}

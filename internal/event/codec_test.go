@@ -1,0 +1,117 @@
+package event
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	s := &Snippet{
+		ID:        42,
+		Source:    "nyt",
+		Timestamp: time.Date(2014, 7, 17, 13, 37, 0, 123456789, time.UTC),
+		Entities:  []Entity{"MAL", "RUS", "UKR"},
+		Terms:     []Term{{"crash", 2.5}, {"plane", 1.0}},
+		Text:      "A Malaysian airplane crashed over Ukraine.",
+		Document:  "http://nytimes.com/doc1.html",
+	}
+	got, err := Decode(Encode(s))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestCodecEmptyFields(t *testing.T) {
+	s := &Snippet{ID: 1, Source: "", Timestamp: time.Unix(0, 0).UTC()}
+	got, err := Decode(Encode(s))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.ID != 1 || len(got.Entities) != 0 || len(got.Terms) != 0 {
+		t.Fatalf("empty snippet mismatch: %+v", got)
+	}
+}
+
+func TestCodecDeterministic(t *testing.T) {
+	s := &Snippet{ID: 9, Source: "wsj", Timestamp: time.Unix(1000, 0).UTC(),
+		Entities: []Entity{"A", "B"}, Terms: []Term{{"x", 1}}}
+	if !bytes.Equal(Encode(s), Encode(s)) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	s := &Snippet{ID: 42, Source: "nyt", Timestamp: time.Unix(5, 0).UTC(),
+		Entities: []Entity{"UKR"}, Terms: []Term{{"crash", 1}}, Text: "t", Document: "d"}
+	full := Encode(s)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Fatalf("Decode accepted truncation at %d/%d bytes", cut, len(full))
+		}
+	}
+}
+
+func TestDecodeTrailingGarbage(t *testing.T) {
+	s := &Snippet{ID: 1, Source: "nyt", Timestamp: time.Unix(5, 0).UTC(), Entities: []Entity{"A"}}
+	buf := append(Encode(s), 0xde, 0xad)
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("Decode accepted trailing garbage")
+	}
+}
+
+func TestDecodeHugeLengthPrefix(t *testing.T) {
+	// Craft a buffer whose source-string length claims 2^31 bytes.
+	buf := make([]byte, 12)
+	buf[8], buf[9], buf[10], buf[11] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("Decode accepted absurd length prefix")
+	}
+}
+
+// TestCodecQuick round-trips randomly generated snippets.
+func TestCodecQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() *Snippet {
+		s := &Snippet{
+			ID:        SnippetID(rng.Uint64()),
+			Source:    SourceID(randWord(rng)),
+			Timestamp: time.Unix(rng.Int63n(1e9), rng.Int63n(1e9)).UTC(),
+			Text:      randWord(rng),
+			Document:  randWord(rng),
+		}
+		for i := rng.Intn(5); i > 0; i-- {
+			s.Entities = append(s.Entities, Entity(randWord(rng)))
+		}
+		for i := rng.Intn(5); i > 0; i-- {
+			s.Terms = append(s.Terms, Term{randWord(rng), rng.Float64()})
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		s := gen()
+		got, err := Decode(Encode(s))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randWord(rng *rand.Rand) string {
+	n := 1 + rng.Intn(10)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}

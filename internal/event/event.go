@@ -1,0 +1,149 @@
+// Package event defines the core data model of StoryPivot: information
+// snippets, stories, and data sources.
+//
+// A snippet is the elemental unit of information (paper §2.1): a piece of
+// text extracted from a document, annotated with the entities it mentions,
+// a weighted description-term vector, the data source it came from, and the
+// timestamp of the real-world event it describes. Stories are sets of
+// snippets from one source that describe the same evolving real-world story;
+// integrated stories combine per-source stories across sources.
+package event
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SourceID identifies a data source (e.g. a newspaper, a blog).
+type SourceID string
+
+// SnippetID uniquely identifies a snippet across all sources.
+type SnippetID uint64
+
+// StoryID identifies a per-source story. StoryIDs are unique within the
+// system, not just within a source.
+type StoryID uint64
+
+// IntegratedID identifies a cross-source integrated story produced by
+// story alignment.
+type IntegratedID uint64
+
+// Entity is a canonical entity identifier, such as "UKR" or
+// "malaysia_airlines". Entities are produced by the extraction pipeline and
+// compared by exact equality.
+type Entity string
+
+// Term is a single stemmed description term with a weight. Weights are
+// TF-IDF style scores assigned at extraction time.
+type Term struct {
+	Token  string
+	Weight float64
+}
+
+// Snippet is an information snippet: the elemental unit processed by story
+// identification and alignment.
+type Snippet struct {
+	ID        SnippetID
+	Source    SourceID
+	Timestamp time.Time
+	// Entities mentioned by the snippet, deduplicated and sorted.
+	Entities []Entity
+	// Terms is the weighted description-term vector, sorted by token.
+	Terms []Term
+	// Text is the original excerpt the snippet was extracted from. It is
+	// retained for display only; algorithms never read it.
+	Text string
+	// Document is the URL or identifier of the originating document.
+	Document string
+}
+
+// Validation errors returned by Snippet.Validate.
+var (
+	ErrNoSource    = errors.New("event: snippet has no source")
+	ErrNoTimestamp = errors.New("event: snippet has zero timestamp")
+	ErrEmpty       = errors.New("event: snippet has neither entities nor terms")
+)
+
+// Validate reports whether the snippet carries the minimum information the
+// pipeline needs: a source, a timestamp, and at least one entity or term.
+func (s *Snippet) Validate() error {
+	if s.Source == "" {
+		return ErrNoSource
+	}
+	if s.Timestamp.IsZero() {
+		return ErrNoTimestamp
+	}
+	if len(s.Entities) == 0 && len(s.Terms) == 0 {
+		return ErrEmpty
+	}
+	return nil
+}
+
+// Normalize sorts and deduplicates the entity list and sorts the term
+// vector by token, merging duplicate tokens by summing weights. All pipeline
+// stages assume normalized snippets.
+func (s *Snippet) Normalize() {
+	if len(s.Entities) > 1 {
+		sort.Slice(s.Entities, func(i, j int) bool { return s.Entities[i] < s.Entities[j] })
+		out := s.Entities[:1]
+		for _, e := range s.Entities[1:] {
+			if e != out[len(out)-1] {
+				out = append(out, e)
+			}
+		}
+		s.Entities = out
+	}
+	if len(s.Terms) > 1 {
+		sort.Slice(s.Terms, func(i, j int) bool { return s.Terms[i].Token < s.Terms[j].Token })
+		out := s.Terms[:1]
+		for _, t := range s.Terms[1:] {
+			if t.Token == out[len(out)-1].Token {
+				out[len(out)-1].Weight += t.Weight
+			} else {
+				out = append(out, t)
+			}
+		}
+		s.Terms = out
+	}
+}
+
+// HasEntity reports whether the (normalized) snippet mentions e.
+func (s *Snippet) HasEntity(e Entity) bool {
+	i := sort.Search(len(s.Entities), func(i int) bool { return s.Entities[i] >= e })
+	return i < len(s.Entities) && s.Entities[i] == e
+}
+
+// Clone returns a deep copy of the snippet.
+func (s *Snippet) Clone() *Snippet {
+	c := *s
+	c.Entities = append([]Entity(nil), s.Entities...)
+	c.Terms = append([]Term(nil), s.Terms...)
+	return &c
+}
+
+// String returns a short human-readable rendering used in logs and the demo
+// UI.
+func (s *Snippet) String() string {
+	ents := make([]string, len(s.Entities))
+	for i, e := range s.Entities {
+		ents[i] = string(e)
+	}
+	return fmt.Sprintf("snippet %d [%s @ %s] {%s}", s.ID, s.Source,
+		s.Timestamp.Format("2006-01-02"), strings.Join(ents, ","))
+}
+
+// ByTimestamp sorts snippets chronologically, breaking ties by ID so the
+// order is deterministic.
+type ByTimestamp []*Snippet
+
+func (b ByTimestamp) Len() int      { return len(b) }
+func (b ByTimestamp) Swap(i, j int) { b[i], b[j] = b[j], b[i] }
+func (b ByTimestamp) Less(i, j int) bool {
+	if !b[i].Timestamp.Equal(b[j].Timestamp) {
+		return b[i].Timestamp.Before(b[j].Timestamp)
+	}
+	return b[i].ID < b[j].ID
+}

@@ -1,0 +1,90 @@
+package event
+
+import (
+	"testing"
+)
+
+func buildMembers() (*Story, *Story) {
+	a := NewStory(1, "nyt")
+	a.Add(snip(1, "nyt", 17, []Entity{"UKR", "MAL"}, Term{"crash", 2}))
+	a.Add(snip(2, "nyt", 18, []Entity{"UKR"}, Term{"investigation", 1}))
+	b := NewStory(2, "wsj")
+	b.Add(snip(3, "wsj", 17, []Entity{"UKR"}, Term{"crash", 1}, Term{"plane", 1}))
+	return a, b
+}
+
+func TestIntegratedStoryBasics(t *testing.T) {
+	a, b := buildMembers()
+	is := NewIntegratedStory(10, []*Story{b, a}) // deliberately unsorted
+
+	if len(is.Members) != 2 || is.Members[0].Source != "nyt" {
+		t.Fatalf("members not sorted by source: %v", is.Members)
+	}
+	srcs := is.Sources()
+	if len(srcs) != 2 || srcs[0] != "nyt" || srcs[1] != "wsj" {
+		t.Errorf("Sources = %v", srcs)
+	}
+	if is.Len() != 3 {
+		t.Errorf("Len = %d, want 3", is.Len())
+	}
+	sn := is.Snippets()
+	if len(sn) != 3 {
+		t.Fatalf("Snippets len = %d", len(sn))
+	}
+	for i := 1; i < len(sn); i++ {
+		if sn[i].Timestamp.Before(sn[i-1].Timestamp) {
+			t.Fatal("integrated snippets not chronological")
+		}
+	}
+	start, end := is.Extent()
+	if !start.Equal(ts(17)) || !end.Equal(ts(18)) {
+		t.Errorf("Extent = %s..%s", start, end)
+	}
+}
+
+func TestIntegratedAggregates(t *testing.T) {
+	a, b := buildMembers()
+	is := NewIntegratedStory(10, []*Story{a, b})
+	ef := is.EntityFreq()
+	if ef["UKR"] != 3 || ef["MAL"] != 1 {
+		t.Errorf("EntityFreq = %v", ef)
+	}
+	cen := is.Centroid()
+	if cen["crash"] != 3 || cen["plane"] != 1 {
+		t.Errorf("Centroid = %v", cen)
+	}
+}
+
+func TestIntegratedEmptyAndSingleton(t *testing.T) {
+	a := NewStory(1, "nyt")
+	a.Add(snip(1, "nyt", 17, []Entity{"A"}))
+	is := NewIntegratedStory(1, []*Story{a})
+	if got := is.Sources(); len(got) != 1 {
+		t.Errorf("singleton Sources = %v", got)
+	}
+	empty := NewIntegratedStory(2, nil)
+	if empty.Len() != 0 || len(empty.Snippets()) != 0 {
+		t.Error("empty integrated story should have no snippets")
+	}
+	start, end := empty.Extent()
+	if !start.IsZero() || !end.IsZero() {
+		t.Error("empty extent should be zero")
+	}
+	if empty.String() == "" || is.String() == "" {
+		t.Error("String renderings empty")
+	}
+}
+
+func TestSnippetRoleString(t *testing.T) {
+	cases := map[SnippetRole]string{
+		RoleUnknown:    "unknown",
+		RoleAligning:   "aligning",
+		RoleEnriching:  "enriching",
+		SnippetRole(9): "unknown",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package event
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Story is a per-source story: a chronologically ordered set of snippets
+// from a single data source that describe the same evolving real-world
+// story (paper §2.2). A Story maintains incremental aggregates — entity
+// frequencies and a description-term centroid — so that matching a new
+// snippet against the story is O(|snippet|) rather than O(|story|).
+type Story struct {
+	ID     StoryID
+	Source SourceID
+
+	// Snippets in chronological order (ByTimestamp order).
+	Snippets []*Snippet
+
+	// EntityFreq counts, for every entity, in how many snippets of the
+	// story it appears. This powers the "Story Information" panels of the
+	// demo UI (Figures 4–6) and entity-based similarity.
+	EntityFreq map[Entity]int
+
+	// Centroid is the running sum of the snippets' term vectors. Cosine
+	// similarity against the centroid approximates average linkage.
+	Centroid map[string]float64
+
+	// centroidNorm caches the Euclidean norm of Centroid; negative means
+	// stale.
+	centroidNorm float64
+
+	Start, End time.Time
+}
+
+// NewStory creates an empty story for the given source.
+func NewStory(id StoryID, src SourceID) *Story {
+	return &Story{
+		ID:           id,
+		Source:       src,
+		EntityFreq:   make(map[Entity]int),
+		Centroid:     make(map[string]float64),
+		centroidNorm: -1,
+	}
+}
+
+// Len returns the number of snippets in the story.
+func (st *Story) Len() int { return len(st.Snippets) }
+
+// Add inserts a snippet into the story, keeping chronological order and
+// updating the aggregates. Add panics if the snippet's source differs from
+// the story's source: per-source stories never mix sources (that is the job
+// of alignment).
+func (st *Story) Add(s *Snippet) {
+	if s.Source != st.Source {
+		panic(fmt.Sprintf("event: snippet source %q added to story of source %q", s.Source, st.Source))
+	}
+	// Insert keeping chronological order; the common case is appending at
+	// the end, so probe that first.
+	n := len(st.Snippets)
+	if n == 0 || !s.Timestamp.Before(st.Snippets[n-1].Timestamp) {
+		st.Snippets = append(st.Snippets, s)
+	} else {
+		i := sort.Search(n, func(i int) bool {
+			ti := st.Snippets[i].Timestamp
+			return ti.After(s.Timestamp) || (ti.Equal(s.Timestamp) && st.Snippets[i].ID > s.ID)
+		})
+		st.Snippets = append(st.Snippets, nil)
+		copy(st.Snippets[i+1:], st.Snippets[i:])
+		st.Snippets[i] = s
+	}
+	for _, e := range s.Entities {
+		st.EntityFreq[e]++
+	}
+	for _, t := range s.Terms {
+		st.Centroid[t.Token] += t.Weight
+	}
+	st.centroidNorm = -1
+	if st.Start.IsZero() || s.Timestamp.Before(st.Start) {
+		st.Start = s.Timestamp
+	}
+	if st.End.IsZero() || s.Timestamp.After(st.End) {
+		st.End = s.Timestamp
+	}
+}
+
+// Remove deletes the snippet with the given ID from the story and updates
+// the aggregates. It reports whether the snippet was present.
+func (st *Story) Remove(id SnippetID) bool {
+	idx := -1
+	for i, s := range st.Snippets {
+		if s.ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	s := st.Snippets[idx]
+	st.Snippets = append(st.Snippets[:idx], st.Snippets[idx+1:]...)
+	for _, e := range s.Entities {
+		if st.EntityFreq[e]--; st.EntityFreq[e] <= 0 {
+			delete(st.EntityFreq, e)
+		}
+	}
+	for _, t := range s.Terms {
+		if st.Centroid[t.Token] -= t.Weight; st.Centroid[t.Token] <= 1e-12 {
+			delete(st.Centroid, t.Token)
+		}
+	}
+	st.centroidNorm = -1
+	st.recomputeExtent()
+	return true
+}
+
+func (st *Story) recomputeExtent() {
+	st.Start, st.End = time.Time{}, time.Time{}
+	for _, s := range st.Snippets {
+		if st.Start.IsZero() || s.Timestamp.Before(st.Start) {
+			st.Start = s.Timestamp
+		}
+		if st.End.IsZero() || s.Timestamp.After(st.End) {
+			st.End = s.Timestamp
+		}
+	}
+}
+
+// CentroidNorm returns the Euclidean norm of the centroid vector, cached
+// across calls until the story changes.
+func (st *Story) CentroidNorm() float64 {
+	if st.centroidNorm >= 0 {
+		return st.centroidNorm
+	}
+	var sum float64
+	for _, w := range st.Centroid {
+		sum += w * w
+	}
+	st.centroidNorm = math.Sqrt(sum)
+	return st.centroidNorm
+}
+
+// WindowSnippets returns the story's snippets whose timestamps fall in
+// [from, to] (inclusive). The story's chronological order makes this a
+// binary search plus a copy of the matching range.
+func (st *Story) WindowSnippets(from, to time.Time) []*Snippet {
+	lo := sort.Search(len(st.Snippets), func(i int) bool {
+		return !st.Snippets[i].Timestamp.Before(from)
+	})
+	hi := sort.Search(len(st.Snippets), func(i int) bool {
+		return st.Snippets[i].Timestamp.After(to)
+	})
+	if lo >= hi {
+		return nil
+	}
+	return st.Snippets[lo:hi]
+}
+
+// WindowedCentroid computes the term centroid and entity frequencies over
+// only the snippets inside [from, to]. Temporal story identification uses
+// this to compare a new snippet against the story "as it currently is"
+// rather than its entire history (paper §2.2, Figure 2b).
+func (st *Story) WindowedCentroid(from, to time.Time) (centroid map[string]float64, entities map[Entity]int) {
+	centroid = make(map[string]float64)
+	entities = make(map[Entity]int)
+	for _, s := range st.WindowSnippets(from, to) {
+		for _, t := range s.Terms {
+			centroid[t.Token] += t.Weight
+		}
+		for _, e := range s.Entities {
+			entities[e]++
+		}
+	}
+	return centroid, entities
+}
+
+// Snapshot returns a copy of the story that is safe to read while the
+// original keeps changing: the snippet list and aggregate maps are
+// copied, the snippet pointers are shared (snippets are immutable once
+// ingested). Alignment results are built from snapshots so that readers
+// of a published result never race with ongoing ingestion.
+func (st *Story) Snapshot() *Story {
+	cp := &Story{
+		ID:           st.ID,
+		Source:       st.Source,
+		Snippets:     append([]*Snippet(nil), st.Snippets...),
+		EntityFreq:   make(map[Entity]int, len(st.EntityFreq)),
+		Centroid:     make(map[string]float64, len(st.Centroid)),
+		centroidNorm: st.centroidNorm,
+		Start:        st.Start,
+		End:          st.End,
+	}
+	for e, n := range st.EntityFreq {
+		cp.EntityFreq[e] = n
+	}
+	for tok, w := range st.Centroid {
+		cp.Centroid[tok] = w
+	}
+	return cp
+}
+
+// TopEntities returns up to k entities sorted by descending frequency
+// (ties broken alphabetically), as displayed in the demo's story panels.
+func (st *Story) TopEntities(k int) []EntityCount {
+	out := make([]EntityCount, 0, len(st.EntityFreq))
+	for e, c := range st.EntityFreq {
+		out = append(out, EntityCount{Entity: e, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Entity < out[j].Entity
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// TopTerms returns up to k description terms sorted by descending centroid
+// weight (ties broken alphabetically).
+func (st *Story) TopTerms(k int) []TermWeight {
+	out := make([]TermWeight, 0, len(st.Centroid))
+	for tok, w := range st.Centroid {
+		out = append(out, TermWeight{Token: tok, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Token < out[j].Token
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// EntityCount pairs an entity with its snippet frequency within a story.
+type EntityCount struct {
+	Entity Entity
+	Count  int
+}
+
+// TermWeight pairs a description term with its aggregate weight within a
+// story.
+type TermWeight struct {
+	Token  string
+	Weight float64
+}
+
+// Overlaps reports whether the temporal extents of two stories overlap when
+// each is widened by slack on both sides. Story alignment uses this as its
+// first, cheapest filter (paper §2.3: "it is highly unlikely that two
+// stories are similar if c1 ends at ti and c2 starts at tj with ti ≪ tj").
+func (st *Story) Overlaps(other *Story, slack time.Duration) bool {
+	if st.Len() == 0 || other.Len() == 0 {
+		return false
+	}
+	return !st.Start.Add(-slack).After(other.End) && !other.Start.Add(-slack).After(st.End)
+}
+
+// String returns a short human-readable rendering.
+func (st *Story) String() string {
+	return fmt.Sprintf("story %d [%s] %d snippets %s..%s", st.ID, st.Source,
+		st.Len(), st.Start.Format("2006-01-02"), st.End.Format("2006-01-02"))
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/event"
+	"repro/internal/identify"
+)
+
+// E1Row is one point of the Figure 7 "Performance" chart: per-event story
+// identification cost at a given corpus size for one SI method.
+type E1Row struct {
+	Events      int
+	Method      string        // "complete", "temporal", "temporal+sketch"
+	PerEvent    time.Duration // mean identification latency per snippet
+	Total       time.Duration
+	Comparisons int
+	Stories     int
+}
+
+// E1Config parameterises the performance sweep.
+type E1Config struct {
+	Sizes   []int // target snippet counts
+	Sources int
+	Seed    int64
+	// SkipCompleteAbove bounds the quadratic baseline (0 = no bound).
+	SkipCompleteAbove int
+}
+
+// DefaultE1 mirrors the demo's sweep at laptop scale.
+func DefaultE1() E1Config {
+	return E1Config{
+		Sizes:             []int{1000, 2000, 5000, 10000, 20000},
+		Sources:           10,
+		Seed:              1,
+		SkipCompleteAbove: 20000,
+	}
+}
+
+// RunE1 executes the performance sweep (Figure 7 left chart). Expected
+// shape per the paper: complete's per-event cost grows with corpus size
+// (every story of the source is a candidate), temporal stays near-flat
+// (the window bounds the candidate set), and the sketch index pushes the
+// constant down further.
+func RunE1(cfg E1Config) []E1Row {
+	var rows []E1Row
+	for _, size := range cfg.Sizes {
+		corpus := datagen.Generate(CorpusScale(size, cfg.Sources, cfg.Seed))
+		parts := corpus.BySource()
+
+		methods := []struct {
+			name string
+			mk   func() identify.Config
+		}{
+			{"complete", func() identify.Config {
+				c := identify.DefaultConfig()
+				c.Mode = identify.ModeComplete
+				return c
+			}},
+			{"temporal", func() identify.Config {
+				c := identify.DefaultConfig()
+				c.Mode = identify.ModeTemporal
+				return c
+			}},
+			{"temporal+sketch", func() identify.Config {
+				c := identify.DefaultConfig()
+				c.Mode = identify.ModeTemporal
+				c.UseSketchIndex = true
+				return c
+			}},
+		}
+		for _, m := range methods {
+			if m.name == "complete" && cfg.SkipCompleteAbove > 0 && size > cfg.SkipCompleteAbove {
+				continue
+			}
+			idCfg := m.mk()
+			alloc := &identify.IDAlloc{}
+			start := time.Now()
+			events, comparisons, stories := 0, 0, 0
+			ids := make(map[event.SourceID]*identify.Identifier, len(parts))
+			for src, sns := range parts {
+				id := identify.New(src, idCfg, alloc)
+				for _, s := range sns {
+					id.Process(s)
+				}
+				ids[src] = id
+			}
+			total := time.Since(start)
+			for _, id := range ids {
+				st := id.Stats()
+				events += st.Processed
+				comparisons += st.Comparisons
+				stories += id.StoryCount()
+			}
+			per := time.Duration(0)
+			if events > 0 {
+				per = total / time.Duration(events)
+			}
+			rows = append(rows, E1Row{
+				Events:      events,
+				Method:      m.name,
+				PerEvent:    per,
+				Total:       total,
+				Comparisons: comparisons,
+				Stories:     stories,
+			})
+		}
+	}
+	return rows
+}
+
+// E1Table renders the rows in the statistics-module format.
+func E1Table(rows []E1Row) *Table {
+	t := &Table{
+		Title:   "E1 / Figure 7 (Performance): per-event execution time vs #events",
+		Headers: []string{"#events", "SI method", "per-event", "total", "comparisons", "stories"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []any{r.Events, r.Method, r.PerEvent, r.Total, r.Comparisons, r.Stories})
+	}
+	return t
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"repro/internal/align"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/event"
+	"repro/internal/identify"
+)
+
+// E2Row is one point of the Figure 7 "Quality" chart: F-measure at a given
+// corpus size for one SI×SA method combination.
+type E2Row struct {
+	Events   int
+	SIMethod string // "complete" | "temporal"
+	SAMethod string // "none" | "align" | "align+refine"
+	F1       float64
+	BCubed   float64
+	NMI      float64
+}
+
+// E2Config parameterises the quality sweep.
+type E2Config struct {
+	Sizes   []int
+	Sources int
+	Seed    int64
+}
+
+// DefaultE2 mirrors the demo sweep.
+func DefaultE2() E2Config {
+	return E2Config{Sizes: []int{1000, 2000, 5000, 10000}, Sources: 10, Seed: 2}
+}
+
+// RunE2 executes the quality sweep (Figure 7 right chart). Expected shape:
+// temporal SI beats complete SI on evolving stories (complete chains
+// across evolution); alignment lifts F-measure over identification alone
+// by recovering cross-source links; refinement adds a further small gain.
+// "none" rows measure per-source identification against per-source truth;
+// alignment rows measure the integrated clustering against global truth.
+func RunE2(cfg E2Config) []E2Row {
+	var rows []E2Row
+	for _, size := range cfg.Sizes {
+		corpus := datagen.Generate(CorpusScale(size, cfg.Sources, cfg.Seed))
+		truth := TruthAssignment(corpus)
+		for _, mode := range []identify.Mode{identify.ModeComplete, identify.ModeTemporal} {
+			idCfg := identify.DefaultConfig()
+			idCfg.Mode = mode
+			ids := identify.RunAll(corpus.Snippets, idCfg, nil)
+
+			// SA = none: per-source identification quality.
+			rows = append(rows, E2Row{
+				Events:   len(corpus.Snippets),
+				SIMethod: mode.String(),
+				SAMethod: "none",
+				F1:       PerSourceF1(ids, truth),
+				BCubed:   bcubedPerSource(ids, truth),
+				NMI:      nmiPerSource(ids, truth),
+			})
+
+			// SA = align.
+			res := align.Align(identify.StoriesBySource(ids), align.DefaultConfig())
+			pred := eval.FromIntegrated(res.Integrated)
+			rows = append(rows, E2Row{
+				Events:   len(corpus.Snippets),
+				SIMethod: mode.String(),
+				SAMethod: "align",
+				F1:       eval.Pairwise(pred, truth).F1,
+				BCubed:   eval.BCubed(pred, truth).F1,
+				NMI:      eval.NMI(pred, truth),
+			})
+
+			// SA = align+refine (fresh identification so refine sees the
+			// unmodified state).
+			ids2 := identify.RunAll(corpus.Snippets, idCfg, nil)
+			res2 := align.Align(identify.StoriesBySource(ids2), align.DefaultConfig())
+			movers := map[event.SourceID]align.Mover{}
+			for src, id := range ids2 {
+				movers[src] = id
+			}
+			align.Refine(res2, movers, align.DefaultRefineConfig())
+			res2 = align.Align(identify.StoriesBySource(ids2), align.DefaultConfig())
+			pred2 := eval.FromIntegrated(res2.Integrated)
+			rows = append(rows, E2Row{
+				Events:   len(corpus.Snippets),
+				SIMethod: mode.String(),
+				SAMethod: "align+refine",
+				F1:       eval.Pairwise(pred2, truth).F1,
+				BCubed:   eval.BCubed(pred2, truth).F1,
+				NMI:      eval.NMI(pred2, truth),
+			})
+		}
+	}
+	return rows
+}
+
+func bcubedPerSource(ids map[event.SourceID]*identify.Identifier, truth eval.Assignment) float64 {
+	var weighted, total float64
+	for _, id := range ids {
+		pred := eval.Assignment{}
+		inSrc := map[event.SnippetID]bool{}
+		for k, v := range id.Assignment() {
+			pred[k] = uint64(v)
+			inSrc[k] = true
+		}
+		sub := truth.Restrict(func(sid event.SnippetID) bool { return inSrc[sid] })
+		weighted += eval.BCubed(pred, sub).F1 * float64(len(pred))
+		total += float64(len(pred))
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}
+
+func nmiPerSource(ids map[event.SourceID]*identify.Identifier, truth eval.Assignment) float64 {
+	var weighted, total float64
+	for _, id := range ids {
+		pred := eval.Assignment{}
+		inSrc := map[event.SnippetID]bool{}
+		for k, v := range id.Assignment() {
+			pred[k] = uint64(v)
+			inSrc[k] = true
+		}
+		sub := truth.Restrict(func(sid event.SnippetID) bool { return inSrc[sid] })
+		weighted += eval.NMI(pred, sub) * float64(len(pred))
+		total += float64(len(pred))
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}
+
+// E2Table renders the rows.
+func E2Table(rows []E2Row) *Table {
+	t := &Table{
+		Title:   "E2 / Figure 7 (Quality): F-measure vs #events",
+		Headers: []string{"#events", "SI method", "SA method", "pairwise-F1", "bcubed-F1", "NMI"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []any{r.Events, r.SIMethod, r.SAMethod, r.F1, r.BCubed, r.NMI})
+	}
+	return t
+}

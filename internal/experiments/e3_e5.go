@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/identify"
+	"repro/internal/stream"
+)
+
+// ---------------------------------------------------------------- E3 ----
+
+// E3Row is one point of the window-size ablation (Figure 2's design
+// choice): quality and cost of temporal identification as ω varies.
+type E3Row struct {
+	WindowHours float64
+	F1          float64
+	PerEvent    time.Duration
+	Comparisons int
+	Stories     int
+}
+
+// E3Config parameterises the window sweep.
+type E3Config struct {
+	Windows []time.Duration
+	Size    int
+	Sources int
+	Seed    int64
+}
+
+// DefaultE3 sweeps ω from 1 day to 2 months.
+func DefaultE3() E3Config {
+	day := 24 * time.Hour
+	return E3Config{
+		Windows: []time.Duration{1 * day, 2 * day, 4 * day, 7 * day, 14 * day, 30 * day, 60 * day},
+		Size:    5000,
+		Sources: 6,
+		Seed:    3,
+	}
+}
+
+// RunE3 executes the window sweep. Expected shape: tiny windows fragment
+// stories (low recall → low F); huge windows approach complete-mode
+// behaviour (chaining + cost growth); the paper's regime sits in between.
+func RunE3(cfg E3Config) []E3Row {
+	corpus := datagen.Generate(CorpusScale(cfg.Size, cfg.Sources, cfg.Seed))
+	truth := TruthAssignment(corpus)
+	var rows []E3Row
+	for _, w := range cfg.Windows {
+		idCfg := identify.DefaultConfig()
+		idCfg.Mode = identify.ModeTemporal
+		idCfg.Window = w
+		start := time.Now()
+		ids := identify.RunAll(corpus.Snippets, idCfg, nil)
+		total := time.Since(start)
+		comparisons, stories := 0, 0
+		for _, id := range ids {
+			comparisons += id.Stats().Comparisons
+			stories += id.StoryCount()
+		}
+		per := time.Duration(0)
+		if n := len(corpus.Snippets); n > 0 {
+			per = total / time.Duration(n)
+		}
+		rows = append(rows, E3Row{
+			WindowHours: w.Hours(),
+			F1:          PerSourceF1(ids, truth),
+			PerEvent:    per,
+			Comparisons: comparisons,
+			Stories:     stories,
+		})
+	}
+	return rows
+}
+
+// E3Table renders the rows.
+func E3Table(rows []E3Row) *Table {
+	t := &Table{
+		Title:   "E3: sliding-window size ablation (temporal SI)",
+		Headers: []string{"window(h)", "per-source F1", "per-event", "comparisons", "stories"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []any{r.WindowHours, r.F1, r.PerEvent, r.Comparisons, r.Stories})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- E4 ----
+
+// E4Row is one point of the alignment-vs-sources scaling experiment.
+type E4Row struct {
+	Sources     int
+	Stories     int
+	AlignTime   time.Duration
+	Comparisons int
+	Candidates  int
+	F1          float64
+}
+
+// E4Config parameterises the source-count sweep.
+type E4Config struct {
+	SourceCounts []int
+	SizePerSrc   int // snippets contributed per source (approx)
+	Seed         int64
+}
+
+// DefaultE4 sweeps 2..24 sources.
+func DefaultE4() E4Config {
+	return E4Config{SourceCounts: []int{2, 4, 8, 16, 24}, SizePerSrc: 400, Seed: 4}
+}
+
+// RunE4 measures alignment cost and quality as the source count grows
+// (paper §1: "due to the sheer number of available sources, one of the
+// main challenges here is combining stories across data sources
+// efficiently").
+func RunE4(cfg E4Config) []E4Row {
+	var rows []E4Row
+	for _, ns := range cfg.SourceCounts {
+		corpus := datagen.Generate(CorpusScale(cfg.SizePerSrc*ns, ns, cfg.Seed))
+		truth := TruthAssignment(corpus)
+		ids := identify.RunAll(corpus.Snippets, identify.DefaultConfig(), nil)
+		bySource := identify.StoriesBySource(ids)
+
+		a := align.NewAligner(align.DefaultConfig())
+		start := time.Now()
+		for _, src := range corpus.Sources {
+			for _, st := range bySource[src] {
+				a.Upsert(st)
+			}
+		}
+		res := a.Result()
+		alignTime := time.Since(start)
+
+		stories := 0
+		for _, sts := range bySource {
+			stories += len(sts)
+		}
+		rows = append(rows, E4Row{
+			Sources:     ns,
+			Stories:     stories,
+			AlignTime:   alignTime,
+			Comparisons: a.Stats().Comparisons,
+			Candidates:  a.Stats().CandidatePairs,
+			F1:          eval.Pairwise(eval.FromIntegrated(res.Integrated), truth).F1,
+		})
+	}
+	return rows
+}
+
+// E4Table renders the rows.
+func E4Table(rows []E4Row) *Table {
+	t := &Table{
+		Title:   "E4: story alignment scaling with #sources",
+		Headers: []string{"#sources", "#stories", "align time", "comparisons", "candidates", "F1"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []any{r.Sources, r.Stories, r.AlignTime, r.Comparisons, r.Candidates, r.F1})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- E5 ----
+
+// E5Row is one point of the out-of-order delivery experiment.
+type E5Row struct {
+	Fraction float64
+	F1       float64
+	Stories  int
+}
+
+// E5Config parameterises the out-of-order sweep.
+type E5Config struct {
+	Fractions []float64
+	MaxDisp   int
+	Size      int
+	Sources   int
+	Seed      int64
+}
+
+// DefaultE5 sweeps displacement fractions.
+func DefaultE5() E5Config {
+	return E5Config{
+		Fractions: []float64{0, 0.1, 0.25, 0.5, 0.75},
+		MaxDisp:   50,
+		Size:      4000,
+		Sources:   6,
+		Seed:      5,
+	}
+}
+
+// RunE5 measures integrated quality as a growing fraction of snippets is
+// delivered out of chronological order (paper §2.4: local media pick up
+// events faster than international media; the engine must support
+// "out-of-order integration of events into evolving stories"). Expected
+// shape: graceful degradation, not collapse — insertion into stories is
+// order-aware and the window is two-sided.
+func RunE5(cfg E5Config) []E5Row {
+	corpus := datagen.Generate(CorpusScale(cfg.Size, cfg.Sources, cfg.Seed))
+	truth := TruthAssignment(corpus)
+	var rows []E5Row
+	for _, frac := range cfg.Fractions {
+		feed := corpus.Shuffled(frac, cfg.MaxDisp, cfg.Seed+int64(frac*100))
+		e := stream.NewEngine(stream.DefaultOptions())
+		e.IngestAll(feed)
+		res := e.Align()
+		rows = append(rows, E5Row{
+			Fraction: frac,
+			F1:       eval.Pairwise(eval.FromIntegrated(res.Integrated), truth).F1,
+			Stories:  len(res.Integrated),
+		})
+	}
+	return rows
+}
+
+// E5Table renders the rows.
+func E5Table(rows []E5Row) *Table {
+	t := &Table{
+		Title:   "E5: out-of-order delivery robustness",
+		Headers: []string{"ooo fraction", "F1", "integrated stories"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []any{r.Fraction, r.F1, r.Stories})
+	}
+	return t
+}

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/identify"
+)
+
+// ---------------------------------------------------------------- E6 ----
+
+// E6Row is one point of the sketch ablation (paper §2.4): cost and
+// fidelity of sketch-based candidate retrieval vs full scanning.
+type E6Row struct {
+	Stage       string // "identify" | "align"
+	Variant     string // "full", "sketch-32x2", "sketch-16x4", ...
+	PerEvent    time.Duration
+	Comparisons int
+	F1          float64 // quality against ground truth
+}
+
+// E6Config parameterises the sketch ablation.
+type E6Config struct {
+	Size    int
+	Sources int
+	Seed    int64
+}
+
+// DefaultE6 runs at a size where candidate-set effects are visible.
+func DefaultE6() E6Config { return E6Config{Size: 6000, Sources: 8, Seed: 6} }
+
+// RunE6 compares full similarity scanning against MinHash/LSH candidate
+// retrieval in identification, and the MinHash pre-filter in alignment,
+// across signature shapes. Expected shape: sketches cut comparisons
+// substantially at a small F-measure cost.
+func RunE6(cfg E6Config) []E6Row {
+	corpus := datagen.Generate(CorpusScale(cfg.Size, cfg.Sources, cfg.Seed))
+	truth := TruthAssignment(corpus)
+	var rows []E6Row
+
+	// Identification variants.
+	type ivar struct {
+		name        string
+		sketch      bool
+		bands, rows int
+	}
+	for _, v := range []ivar{
+		{"full", false, 0, 0},
+		{"sketch-16x2", true, 16, 2},
+		{"sketch-32x2", true, 32, 2},
+		{"sketch-16x4", true, 16, 4},
+	} {
+		idCfg := identify.DefaultConfig()
+		idCfg.UseSketchIndex = v.sketch
+		idCfg.SketchBands, idCfg.SketchRows = v.bands, v.rows
+		start := time.Now()
+		ids := identify.RunAll(corpus.Snippets, idCfg, nil)
+		total := time.Since(start)
+		comparisons := 0
+		for _, id := range ids {
+			comparisons += id.Stats().Comparisons
+		}
+		per := time.Duration(0)
+		if n := len(corpus.Snippets); n > 0 {
+			per = total / time.Duration(n)
+		}
+		rows = append(rows, E6Row{
+			Stage:       "identify",
+			Variant:     v.name,
+			PerEvent:    per,
+			Comparisons: comparisons,
+			F1:          PerSourceF1(ids, truth),
+		})
+	}
+
+	// Alignment variants over a fixed identification run.
+	ids := identify.RunAll(corpus.Snippets, identify.DefaultConfig(), nil)
+	bySource := identify.StoriesBySource(ids)
+	for _, v := range []struct {
+		name   string
+		sketch bool
+		length int
+	}{
+		{"full", false, 0},
+		{"sketch-64", true, 64},
+		{"sketch-128", true, 128},
+	} {
+		alCfg := align.DefaultConfig()
+		alCfg.UseSketchFilter = v.sketch
+		alCfg.SketchLength = v.length
+		a := align.NewAligner(alCfg)
+		start := time.Now()
+		for _, src := range corpus.Sources {
+			for _, st := range bySource[src] {
+				a.Upsert(st)
+			}
+		}
+		res := a.Result()
+		total := time.Since(start)
+		per := time.Duration(0)
+		if n := a.Len(); n > 0 {
+			per = total / time.Duration(n)
+		}
+		rows = append(rows, E6Row{
+			Stage:       "align",
+			Variant:     v.name,
+			PerEvent:    per,
+			Comparisons: a.Stats().Comparisons,
+			F1:          eval.Pairwise(eval.FromIntegrated(res.Integrated), truth).F1,
+		})
+	}
+	return rows
+}
+
+// E6Table renders the rows.
+func E6Table(rows []E6Row) *Table {
+	t := &Table{
+		Title:   "E6: sketches (MinHash/LSH) vs full similarity",
+		Headers: []string{"stage", "variant", "per-item", "comparisons", "F1"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []any{r.Stage, r.Variant, r.PerEvent, r.Comparisons, r.F1})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- E7 ----
+
+// E7Row is one point of the incremental-repair experiment: single-pass vs
+// split/merge-repaired identification on corpora with planted story splits
+// and merges.
+type E7Row struct {
+	Variant string // "single-pass" | "incremental"
+	F1      float64
+	Splits  int
+	Merges  int
+	Stories int
+}
+
+// E7Config parameterises the repair experiment.
+type E7Config struct {
+	Size    int
+	Sources int
+	Seed    int64
+}
+
+// DefaultE7 uses a corpus with planted splits and merge threads.
+func DefaultE7() E7Config { return E7Config{Size: 4000, Sources: 4, Seed: 7} }
+
+// RunE7 compares single-pass identification (RepairEvery=0 — the
+// behaviour of the single-pass prior work the paper contrasts with [1,17])
+// against incremental identification with the split/merge repair pass
+// (paper ref [5]). The corpus plants story pairs that share their opening
+// phase (split cases) and stories whose opening phase runs in two vocab
+// threads (merge cases). Expected shape: repair recovers planted structure
+// and lifts F-measure.
+func RunE7(cfg E7Config) []E7Row {
+	gen := CorpusScale(cfg.Size, cfg.Sources, cfg.Seed)
+	gen.SplitFraction = 0.4
+	gen.MergeFraction = 0.2
+	corpus := datagen.Generate(gen)
+	truth := TruthAssignment(corpus)
+
+	var rows []E7Row
+	for _, v := range []struct {
+		name   string
+		repair int
+	}{
+		{"single-pass", 0},
+		{"incremental", 64},
+	} {
+		idCfg := identify.DefaultConfig()
+		idCfg.RepairEvery = v.repair
+		ids := identify.RunAll(corpus.Snippets, idCfg, nil)
+		splits, merges, stories := 0, 0, 0
+		for _, id := range ids {
+			splits += id.Stats().Splits
+			merges += id.Stats().Merges
+			stories += id.StoryCount()
+		}
+		rows = append(rows, E7Row{
+			Variant: v.name,
+			F1:      PerSourceF1(ids, truth),
+			Splits:  splits,
+			Merges:  merges,
+			Stories: stories,
+		})
+	}
+	return rows
+}
+
+// E7Table renders the rows.
+func E7Table(rows []E7Row) *Table {
+	t := &Table{
+		Title:   "E7: single-pass vs incremental (split/merge) identification",
+		Headers: []string{"variant", "per-source F1", "splits", "merges", "stories"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []any{r.Variant, r.F1, r.Splits, r.Merges, r.Stories})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- E8 ----
+
+// E8Row is one point of the dynamic source-addition experiment.
+type E8Row struct {
+	ExistingSources int
+	Method          string // "incremental" | "recompute"
+	AddTime         time.Duration
+	Comparisons     int
+}
+
+// E8Config parameterises the source-addition experiment.
+type E8Config struct {
+	Sources    int
+	SizePerSrc int
+	Seed       int64
+}
+
+// DefaultE8 adds the k-th source to k-1 existing ones.
+func DefaultE8() E8Config { return E8Config{Sources: 12, SizePerSrc: 400, Seed: 8} }
+
+// RunE8 measures the cost of integrating one new data source: the
+// incremental path (align only the new source's stories against the
+// standing match graph — the design of paper §2.1) versus recomputing
+// alignment from scratch. Expected shape: incremental cost is proportional
+// to the new source's stories, recompute to all stories.
+func RunE8(cfg E8Config) []E8Row {
+	corpus := datagen.Generate(CorpusScale(cfg.SizePerSrc*cfg.Sources, cfg.Sources, cfg.Seed))
+	ids := identify.RunAll(corpus.Snippets, identify.DefaultConfig(), nil)
+	bySource := identify.StoriesBySource(ids)
+	srcs := corpus.Sources
+	newSrc := srcs[len(srcs)-1]
+	old := srcs[:len(srcs)-1]
+
+	// Incremental: pre-build the aligner over the old sources, then time
+	// only the new source's upserts + result.
+	a := align.NewAligner(align.DefaultConfig())
+	for _, src := range old {
+		for _, st := range bySource[src] {
+			a.Upsert(st)
+		}
+	}
+	preComparisons := a.Stats().Comparisons
+	start := time.Now()
+	for _, st := range bySource[newSrc] {
+		a.Upsert(st)
+	}
+	a.Result()
+	incrTime := time.Since(start)
+	incrComparisons := a.Stats().Comparisons - preComparisons
+
+	// Recompute: build everything from scratch.
+	b := align.NewAligner(align.DefaultConfig())
+	start = time.Now()
+	for _, src := range srcs {
+		for _, st := range bySource[src] {
+			b.Upsert(st)
+		}
+	}
+	b.Result()
+	fullTime := time.Since(start)
+
+	return []E8Row{
+		{ExistingSources: len(old), Method: "incremental", AddTime: incrTime, Comparisons: incrComparisons},
+		{ExistingSources: len(old), Method: "recompute", AddTime: fullTime, Comparisons: b.Stats().Comparisons},
+	}
+}
+
+// E8Table renders the rows.
+func E8Table(rows []E8Row) *Table {
+	t := &Table{
+		Title:   "E8: integrating a new data source (incremental vs recompute)",
+		Headers: []string{"existing sources", "method", "time", "comparisons"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []any{r.ExistingSources, r.Method, r.AddTime, r.Comparisons})
+	}
+	return t
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/event"
+	"repro/internal/identify"
+	"repro/internal/storage"
+	"repro/internal/stream"
+)
+
+// ---------------------------------------------------------------- E9 ----
+
+// E9Row summarises the end-to-end throughput run (Figure 7 dataset panel:
+// the large-scale demonstration that "real-time event integration can be
+// achieved through efficient story identification and alignment").
+type E9Row struct {
+	Events      int
+	Sources     int
+	WithStorage bool
+	Ingest      time.Duration
+	Align       time.Duration
+	Throughput  float64 // events/second through ingest
+	Integrated  int
+	MultiSource int
+	F1          float64
+}
+
+// E9Config parameterises the end-to-end run.
+type E9Config struct {
+	Size       int
+	Sources    int
+	Seed       int64
+	StorageDir string // non-empty: persist through the event store
+}
+
+// DefaultE9 runs a mid-size corpus without storage.
+func DefaultE9() E9Config { return E9Config{Size: 20000, Sources: 10, Seed: 9} }
+
+// RunE9 pushes a corpus through the full pipeline — optional persistent
+// store, streaming identification, alignment — and reports throughput and
+// quality.
+func RunE9(cfg E9Config) (E9Row, error) {
+	corpus := datagen.Generate(CorpusScale(cfg.Size, cfg.Sources, cfg.Seed))
+	truth := TruthAssignment(corpus)
+
+	var store *storage.Store
+	if cfg.StorageDir != "" {
+		var err error
+		store, err = storage.Open(cfg.StorageDir, storage.Options{})
+		if err != nil {
+			return E9Row{}, err
+		}
+		defer store.Close()
+	}
+
+	e := stream.NewEngine(stream.DefaultOptions())
+	start := time.Now()
+	for _, sn := range corpus.Snippets {
+		if store != nil {
+			if err := store.Append(sn); err != nil {
+				return E9Row{}, err
+			}
+		}
+		if _, err := e.Ingest(sn); err != nil {
+			return E9Row{}, err
+		}
+	}
+	ingest := time.Since(start)
+
+	start = time.Now()
+	res := e.Align()
+	alignTime := time.Since(start)
+
+	throughput := 0.0
+	if ingest > 0 {
+		throughput = float64(len(corpus.Snippets)) / ingest.Seconds()
+	}
+	return E9Row{
+		Events:      len(corpus.Snippets),
+		Sources:     cfg.Sources,
+		WithStorage: store != nil,
+		Ingest:      ingest,
+		Align:       alignTime,
+		Throughput:  throughput,
+		Integrated:  len(res.Integrated),
+		MultiSource: len(res.MultiSource()),
+		F1:          eval.Pairwise(eval.FromIntegrated(res.Integrated), truth).F1,
+	}, nil
+}
+
+// E9Table renders the row.
+func E9Table(rows []E9Row) *Table {
+	t := &Table{
+		Title:   "E9: end-to-end throughput (Figure 7 dataset panel)",
+		Headers: []string{"#events", "#sources", "storage", "ingest", "align", "events/s", "integrated", "multi-source", "F1"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []any{r.Events, r.Sources, r.WithStorage, r.Ingest, r.Align,
+			r.Throughput, r.Integrated, r.MultiSource, r.F1})
+	}
+	return t
+}
+
+// --------------------------------------------------------------- E10 ----
+
+// E10Row reports the refinement experiment at one noise level.
+type E10Row struct {
+	NoiseRate   float64
+	Injected    int
+	Corrections int
+	FBefore     float64
+	FAfter      float64
+}
+
+// E10Config parameterises the refinement experiment.
+type E10Config struct {
+	NoiseRates []float64
+	Size       int
+	Sources    int
+	Seed       int64
+}
+
+// DefaultE10 sweeps injection rates.
+func DefaultE10() E10Config {
+	return E10Config{NoiseRates: []float64{0.02, 0.05, 0.1}, Size: 3000, Sources: 5, Seed: 10}
+}
+
+// RunE10 injects identification mistakes (random snippets moved to a
+// random other story of their source) and measures how many story-
+// refinement recovers (paper Figure 1d). Expected shape: refinement
+// recovers a substantial share of injected errors and lifts F-measure back
+// toward the clean level; at zero injected noise it must not hurt.
+func RunE10(cfg E10Config) []E10Row {
+	var rows []E10Row
+	for _, rate := range cfg.NoiseRates {
+		corpus := datagen.Generate(CorpusScale(cfg.Size, cfg.Sources, cfg.Seed))
+		truth := TruthAssignment(corpus)
+		ids := identify.RunAll(corpus.Snippets, identify.DefaultConfig(), nil)
+
+		// Inject noise: move a fraction of snippets to the temporally
+		// nearest *other* story of their source (a plausible mistake, not
+		// an arbitrary one).
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		injected := 0
+		for _, id := range ids {
+			stories := id.Stories()
+			if len(stories) < 2 {
+				continue
+			}
+			for _, st := range stories {
+				for _, sn := range append([]*event.Snippet(nil), st.Snippets...) {
+					if rng.Float64() >= rate {
+						continue
+					}
+					// Nearest other story by extent distance.
+					var target *event.Story
+					var bestGap time.Duration
+					for _, other := range stories {
+						if other.ID == st.ID || other.Len() == 0 {
+							continue
+						}
+						gap := gapTo(other, sn.Timestamp)
+						if target == nil || gap < bestGap {
+							target, bestGap = other, gap
+						}
+					}
+					if target != nil && id.Move(sn.ID, target.ID) {
+						injected++
+					}
+				}
+			}
+		}
+
+		fBefore := PerSourceF1(ids, truth)
+
+		res := align.Align(identify.StoriesBySource(ids), align.DefaultConfig())
+		movers := map[event.SourceID]align.Mover{}
+		for src, id := range ids {
+			movers[src] = id
+		}
+		corrections := align.Refine(res, movers, align.DefaultRefineConfig())
+		fAfter := PerSourceF1(ids, truth)
+
+		rows = append(rows, E10Row{
+			NoiseRate:   rate,
+			Injected:    injected,
+			Corrections: len(corrections),
+			FBefore:     fBefore,
+			FAfter:      fAfter,
+		})
+	}
+	return rows
+}
+
+func gapTo(st *event.Story, t time.Time) time.Duration {
+	switch {
+	case t.Before(st.Start):
+		return st.Start.Sub(t)
+	case t.After(st.End):
+		return t.Sub(st.End)
+	default:
+		return 0
+	}
+}
+
+// E10Table renders the rows.
+func E10Table(rows []E10Row) *Table {
+	t := &Table{
+		Title:   "E10: story refinement recovering injected identification errors",
+		Headers: []string{"noise rate", "injected", "corrections", "F1 before", "F1 after"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []any{r.NoiseRate, r.Injected, r.Corrections, r.FBefore, r.FAfter})
+	}
+	return t
+}

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+// The experiment tests run every harness at a reduced scale, asserting the
+// *shapes* the paper claims rather than absolute numbers.
+
+func TestCorpusScale(t *testing.T) {
+	for _, target := range []int{500, 2000, 8000} {
+		cfg := CorpusScale(target, 8, 1)
+		c := datagen.Generate(cfg)
+		got := len(c.Snippets)
+		if got < target/3 || got > target*3 {
+			t.Errorf("target %d produced %d snippets (off by >3x)", target, got)
+		}
+	}
+}
+
+func TestE1Shapes(t *testing.T) {
+	cfg := E1Config{Sizes: []int{500, 2000}, Sources: 5, Seed: 1}
+	rows := RunE1(cfg)
+	if len(rows) != 6 { // 2 sizes x 3 methods
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(size int, method string) E1Row {
+		for _, r := range rows {
+			if r.Method == method && near(r.Events, size) {
+				return r
+			}
+		}
+		t.Fatalf("missing row %d/%s", size, method)
+		return E1Row{}
+	}
+	// Complete's comparisons grow super-linearly; temporal stays below it
+	// at the larger size.
+	cBig := get(2000, "complete")
+	tBig := get(2000, "temporal")
+	if cBig.Comparisons <= tBig.Comparisons {
+		t.Errorf("complete comparisons %d <= temporal %d at 2000 events",
+			cBig.Comparisons, tBig.Comparisons)
+	}
+	// Sketch cuts comparisons below plain temporal.
+	sBig := get(2000, "temporal+sketch")
+	if sBig.Comparisons >= tBig.Comparisons {
+		t.Errorf("sketch comparisons %d >= temporal %d", sBig.Comparisons, tBig.Comparisons)
+	}
+	// Per-event growth of complete exceeds temporal's.
+	cSmall, tSmall := get(500, "complete"), get(500, "temporal")
+	growthC := float64(cBig.Comparisons) / float64(max(1, cSmall.Comparisons))
+	growthT := float64(tBig.Comparisons) / float64(max(1, tSmall.Comparisons))
+	if growthC <= growthT {
+		t.Errorf("complete comparison growth %.2f <= temporal %.2f", growthC, growthT)
+	}
+	// Table renders.
+	var buf bytes.Buffer
+	E1Table(rows).Fprint(&buf)
+	if !strings.Contains(buf.String(), "Figure 7") {
+		t.Error("table title missing")
+	}
+}
+
+func near(got, want int) bool {
+	return got > want/3 && got < want*3
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestE2Shapes(t *testing.T) {
+	cfg := E2Config{Sizes: []int{1500}, Sources: 6, Seed: 2}
+	rows := RunE2(cfg)
+	if len(rows) != 6 { // 1 size x 2 SI x 3 SA
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(si, sa string) E2Row {
+		for _, r := range rows {
+			if r.SIMethod == si && r.SAMethod == sa {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", si, sa)
+		return E2Row{}
+	}
+	for _, r := range rows {
+		if r.F1 < 0 || r.F1 > 1 {
+			t.Fatalf("F1 out of range: %+v", r)
+		}
+	}
+	// Temporal SI >= complete SI on evolving stories (paper's core claim).
+	if tp, cp := get("temporal", "none"), get("complete", "none"); tp.F1 < cp.F1-0.02 {
+		t.Errorf("temporal SI F1 %.3f < complete %.3f", tp.F1, cp.F1)
+	}
+	// Refinement must not hurt alignment.
+	if ar, al := get("temporal", "align+refine"), get("temporal", "align"); ar.F1 < al.F1-0.05 {
+		t.Errorf("refine degraded F1: %.3f vs %.3f", ar.F1, al.F1)
+	}
+	var buf bytes.Buffer
+	E2Table(rows).Fprint(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty table")
+	}
+}
+
+func TestE3Shapes(t *testing.T) {
+	day := 24 * time.Hour
+	cfg := E3Config{Windows: []time.Duration{12 * time.Hour, 7 * day, 90 * day}, Size: 1500, Sources: 4, Seed: 3}
+	rows := RunE3(cfg)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Bigger windows mean more candidates.
+	if !(rows[0].Comparisons < rows[2].Comparisons) {
+		t.Errorf("comparisons not increasing with window: %d vs %d", rows[0].Comparisons, rows[2].Comparisons)
+	}
+	// Tiny window fragments stories (more stories than mid window).
+	if !(rows[0].Stories > rows[1].Stories) {
+		t.Errorf("tiny window did not fragment: %d vs %d stories", rows[0].Stories, rows[1].Stories)
+	}
+	// Mid window F1 should beat the tiny window.
+	if !(rows[1].F1 > rows[0].F1-0.02) {
+		t.Errorf("mid window F1 %.3f not better than tiny %.3f", rows[1].F1, rows[0].F1)
+	}
+	var buf bytes.Buffer
+	E3Table(rows).Fprint(&buf)
+}
+
+func TestE4Shapes(t *testing.T) {
+	cfg := E4Config{SourceCounts: []int{2, 6}, SizePerSrc: 150, Seed: 4}
+	rows := RunE4(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !(rows[1].Comparisons > rows[0].Comparisons) {
+		t.Errorf("comparisons did not grow with sources: %d vs %d", rows[0].Comparisons, rows[1].Comparisons)
+	}
+	for _, r := range rows {
+		if r.F1 <= 0 {
+			t.Errorf("alignment F1 = %.3f at %d sources", r.F1, r.Sources)
+		}
+	}
+	var buf bytes.Buffer
+	E4Table(rows).Fprint(&buf)
+}
+
+func TestE5Shapes(t *testing.T) {
+	cfg := E5Config{Fractions: []float64{0, 0.5}, MaxDisp: 30, Size: 1200, Sources: 4, Seed: 5}
+	rows := RunE5(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].F1 < 0.4 {
+		t.Fatalf("in-order F1 = %.3f too low", rows[0].F1)
+	}
+	// Graceful degradation: no collapse.
+	if rows[1].F1 < rows[0].F1-0.3 {
+		t.Errorf("out-of-order collapsed: %.3f -> %.3f", rows[0].F1, rows[1].F1)
+	}
+	var buf bytes.Buffer
+	E5Table(rows).Fprint(&buf)
+}
+
+func TestE6Shapes(t *testing.T) {
+	rows := RunE6(E6Config{Size: 1500, Sources: 5, Seed: 6})
+	var idFull, idSketch, alFull, alSketch *E6Row
+	for i := range rows {
+		r := &rows[i]
+		switch {
+		case r.Stage == "identify" && r.Variant == "full":
+			idFull = r
+		case r.Stage == "identify" && r.Variant == "sketch-32x2":
+			idSketch = r
+		case r.Stage == "align" && r.Variant == "full":
+			alFull = r
+		case r.Stage == "align" && r.Variant == "sketch-64":
+			alSketch = r
+		}
+	}
+	if idFull == nil || idSketch == nil || alFull == nil || alSketch == nil {
+		t.Fatalf("missing variants: %+v", rows)
+	}
+	if idSketch.Comparisons >= idFull.Comparisons {
+		t.Errorf("identify sketch comparisons %d >= full %d", idSketch.Comparisons, idFull.Comparisons)
+	}
+	if alSketch.Comparisons > alFull.Comparisons {
+		t.Errorf("align sketch comparisons %d > full %d", alSketch.Comparisons, alFull.Comparisons)
+	}
+	if idSketch.F1 < idFull.F1-0.3 {
+		t.Errorf("sketch quality collapsed: %.3f vs %.3f", idSketch.F1, idFull.F1)
+	}
+	var buf bytes.Buffer
+	E6Table(rows).Fprint(&buf)
+}
+
+func TestE7Shapes(t *testing.T) {
+	rows := RunE7(E7Config{Size: 1500, Sources: 3, Seed: 7})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	single, incr := rows[0], rows[1]
+	if single.Splits != 0 || single.Merges != 0 {
+		t.Errorf("single-pass performed repairs: %+v", single)
+	}
+	if incr.Splits+incr.Merges == 0 {
+		t.Errorf("incremental performed no repairs: %+v", incr)
+	}
+	if incr.F1 < single.F1-0.02 {
+		t.Errorf("repair degraded F1: %.3f vs %.3f", incr.F1, single.F1)
+	}
+	var buf bytes.Buffer
+	E7Table(rows).Fprint(&buf)
+}
+
+func TestE8Shapes(t *testing.T) {
+	rows := RunE8(E8Config{Sources: 6, SizePerSrc: 150, Seed: 8})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	incr, full := rows[0], rows[1]
+	if incr.Method != "incremental" || full.Method != "recompute" {
+		t.Fatalf("row order wrong: %+v", rows)
+	}
+	if incr.Comparisons >= full.Comparisons {
+		t.Errorf("incremental comparisons %d >= recompute %d", incr.Comparisons, full.Comparisons)
+	}
+	var buf bytes.Buffer
+	E8Table(rows).Fprint(&buf)
+}
+
+func TestE9Shapes(t *testing.T) {
+	row, err := RunE9(E9Config{Size: 1500, Sources: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Events == 0 || row.Throughput <= 0 || row.Integrated == 0 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.F1 < 0.4 {
+		t.Fatalf("end-to-end F1 = %.3f", row.F1)
+	}
+	// With storage.
+	rowS, err := RunE9(E9Config{Size: 1000, Sources: 4, Seed: 9, StorageDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowS.WithStorage {
+		t.Fatal("storage flag not set")
+	}
+	var buf bytes.Buffer
+	E9Table([]E9Row{row, rowS}).Fprint(&buf)
+}
+
+func TestE10Shapes(t *testing.T) {
+	rows := RunE10(E10Config{NoiseRates: []float64{0.05}, Size: 1200, Sources: 4, Seed: 10})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Injected == 0 {
+		t.Fatal("no noise injected")
+	}
+	if r.Corrections == 0 {
+		t.Fatal("refinement corrected nothing")
+	}
+	if r.FAfter < r.FBefore {
+		t.Errorf("refinement decreased F1: %.3f -> %.3f", r.FBefore, r.FAfter)
+	}
+	var buf bytes.Buffer
+	E10Table(rows).Fprint(&buf)
+}
+
+func TestAblationShapes(t *testing.T) {
+	rows := RunAblations(AblationConfig{Size: 1500, Sources: 5, Seed: 11})
+	byKey := map[string]AblationRow{}
+	for _, r := range rows {
+		byKey[r.Study+"/"+r.Variant] = r
+	}
+	// The blended default weights should beat single-signal variants.
+	def := byKey["identify-weights/default(0.45/0.35/0.20)"]
+	if def.F1 < byKey["identify-weights/entity-only"].F1-0.05 {
+		t.Errorf("default weights %.3f below entity-only %.3f", def.F1, byKey["identify-weights/entity-only"].F1)
+	}
+	if def.F1 < byKey["identify-weights/description-only"].F1-0.05 {
+		t.Errorf("default weights %.3f below description-only %.3f", def.F1, byKey["identify-weights/description-only"].F1)
+	}
+	// The guard must cap chaining relative to no guard.
+	ng := byKey["align-selectivity/reciprocal-no-guard"]
+	wg := byKey["align-selectivity/reciprocal+guard"]
+	if wg.Biggest > ng.Biggest {
+		t.Errorf("guard increased chaining: %d vs %d", wg.Biggest, ng.Biggest)
+	}
+	if wg.Precision < ng.Precision-0.02 {
+		t.Errorf("guard lowered precision: %.3f vs %.3f", wg.Precision, ng.Precision)
+	}
+	var buf bytes.Buffer
+	AblationTable(rows).Fprint(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty ablation table")
+	}
+}
+
+func TestCuratedShapes(t *testing.T) {
+	rows := RunCurated()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(name string) CuratedRow {
+		for _, r := range rows {
+			if r.Config == name {
+				return r
+			}
+		}
+		t.Fatalf("missing %s", name)
+		return CuratedRow{}
+	}
+	// Every configuration must reconstruct the curated stories with
+	// near-perfect precision (distinct real-world stories never merge)
+	// and solid F1; the wide alignment slack recovers most of what the
+	// identification window fragments, so the configs converge here.
+	for _, name := range []string{"temporal ω=14d", "temporal ω=60d", "complete"} {
+		r := get(name)
+		if r.Precision < 0.9 {
+			t.Errorf("%s precision = %.3f", name, r.Precision)
+		}
+		if r.F1 < 0.7 {
+			t.Errorf("%s F1 = %.3f", name, r.F1)
+		}
+		if r.Integrated < 5 {
+			t.Errorf("%s merged below the 5 true stories: %d", name, r.Integrated)
+		}
+	}
+	var buf bytes.Buffer
+	CuratedTable(rows).Fprint(&buf)
+}

@@ -1,0 +1,234 @@
+package extract
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/text"
+)
+
+func TestGazetteerSingleWord(t *testing.T) {
+	g := NewGazetteer()
+	g.Add("ukraine", "UKR")
+	g.Add("russia", "RUS")
+	toks := text.StemAll(text.Tokenize("Russia accused Ukraine over the incident in Ukraine"))
+	got := g.FindAll(toks)
+	want := []event.Entity{"RUS", "UKR"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FindAll = %v, want %v (deduplicated, first-mention order)", got, want)
+	}
+}
+
+func TestGazetteerLongestMatchWins(t *testing.T) {
+	g := NewGazetteer()
+	g.Add("malaysia", "MAL")
+	g.Add("malaysia airlines", "MAL_AIR")
+	toks := text.StemAll(text.Tokenize("Malaysia Airlines confirmed the crash in Malaysia"))
+	got := g.FindAll(toks)
+	want := []event.Entity{"MAL_AIR", "MAL"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FindAll = %v, want %v", got, want)
+	}
+}
+
+func TestGazetteerInflectedForms(t *testing.T) {
+	g := NewGazetteer()
+	g.Add("russian", "RUS") // stems to "russian"; "Russians" also stems to "russian"
+	toks := text.StemAll(text.Tokenize("The Russians deny involvement"))
+	if got := g.FindAll(toks); len(got) != 1 || got[0] != "RUS" {
+		t.Fatalf("inflected mention missed: %v", got)
+	}
+}
+
+func TestGazetteerEmpty(t *testing.T) {
+	g := NewGazetteer()
+	g.Add("", "X") // no-op
+	if g.Len() != 0 {
+		t.Fatal("empty surface registered")
+	}
+	if got := g.FindAll([]string{"anything"}); got != nil {
+		t.Fatalf("empty gazetteer matched: %v", got)
+	}
+}
+
+func TestAnnotateExcludesEntityTokensFromContent(t *testing.T) {
+	g := DefaultGazetteer()
+	ents, content := g.Annotate("Malaysia Airlines plane crashed over Ukraine")
+	if len(ents) != 2 || ents[0] != "MAL_AIR" || ents[1] != "UKR" {
+		t.Fatalf("entities = %v", ents)
+	}
+	joined := strings.Join(content, " ")
+	if strings.Contains(joined, "malaysia") || strings.Contains(joined, "ukrain") {
+		t.Fatalf("entity tokens leaked into content: %v", content)
+	}
+	if !strings.Contains(joined, "crash") || !strings.Contains(joined, "plane") {
+		t.Fatalf("content tokens missing: %v", content)
+	}
+}
+
+func TestNormalizeEntityName(t *testing.T) {
+	if got := NormalizeEntityName("Wall Street Journal"); got != "wall_street_journal" {
+		t.Fatalf("NormalizeEntityName = %q", got)
+	}
+}
+
+func doc(src event.SourceID, title, body string) *Document {
+	return &Document{
+		Source:    src,
+		URL:       "http://example.com/doc",
+		Title:     title,
+		Body:      body,
+		Published: time.Date(2014, 7, 17, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestExtractorBasic(t *testing.T) {
+	x := NewExtractor(DefaultGazetteer())
+	d := doc("nyt", "Jetliner Explodes over Ukraine",
+		"A Malaysian airplane with 298 people aboard exploded and crashed.\n\nPro-Russia separatists are suspected of shooting it down.")
+	sns, err := x.Extract(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Title + 2 paragraphs = 3 snippets.
+	if len(sns) != 3 {
+		t.Fatalf("got %d snippets, want 3", len(sns))
+	}
+	for i, s := range sns {
+		if err := s.Validate(); err != nil {
+			t.Errorf("snippet %d invalid: %v", i, err)
+		}
+		if s.Source != "nyt" || !s.Timestamp.Equal(d.Published) || s.Document != d.URL {
+			t.Errorf("snippet %d metadata wrong: %+v", i, s)
+		}
+	}
+	// IDs strictly increasing.
+	if !(sns[0].ID < sns[1].ID && sns[1].ID < sns[2].ID) {
+		t.Error("snippet IDs not increasing")
+	}
+	// Title snippet mentions Ukraine.
+	if !sns[0].HasEntity("UKR") {
+		t.Errorf("title snippet entities = %v", sns[0].Entities)
+	}
+	// Terms carry positive weights.
+	for _, tm := range sns[0].Terms {
+		if tm.Weight <= 0 {
+			t.Errorf("non-positive term weight: %+v", tm)
+		}
+	}
+}
+
+func TestExtractorDropsNoise(t *testing.T) {
+	x := NewExtractor(DefaultGazetteer())
+	d := doc("nyt", "", "Ok.\n\nHm.")
+	if _, err := x.Extract(d); err != ErrNoContent {
+		t.Fatalf("noise document error = %v, want ErrNoContent", err)
+	}
+}
+
+func TestExtractorValidatesDocument(t *testing.T) {
+	x := NewExtractor(DefaultGazetteer())
+	if _, err := x.Extract(&Document{Body: "text", Published: time.Now()}); err != event.ErrNoSource {
+		t.Errorf("missing source: %v", err)
+	}
+	if _, err := x.Extract(&Document{Source: "nyt", Body: "text"}); err != event.ErrNoTimestamp {
+		t.Errorf("missing timestamp: %v", err)
+	}
+}
+
+func TestExtractorIDFEvolves(t *testing.T) {
+	x := NewExtractor(DefaultGazetteer())
+	// Flood the corpus with "crash" so its IDF drops relative to a rare term.
+	for i := 0; i < 20; i++ {
+		x.Extract(doc("nyt", "", "The plane crash investigation continues today"))
+	}
+	sns, err := x.Extract(doc("nyt", "", "The plane crash shocked prosecutors worldwide"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crashW, prosecutorW float64
+	for _, tm := range sns[0].Terms {
+		switch tm.Token {
+		case "crash":
+			crashW = tm.Weight
+		case "prosecutor":
+			prosecutorW = tm.Weight
+		}
+	}
+	if crashW == 0 || prosecutorW == 0 {
+		t.Fatalf("expected both terms present: %+v", sns[0].Terms)
+	}
+	if !(prosecutorW > crashW) {
+		t.Fatalf("rare term weight %g should exceed common term %g", prosecutorW, crashW)
+	}
+}
+
+func TestExtractAllSkipsBadDocuments(t *testing.T) {
+	x := NewExtractor(DefaultGazetteer())
+	docs := []*Document{
+		doc("nyt", "Ukraine crisis deepens", "Sanctions were announced by the European Union."),
+		{Source: "nyt"}, // invalid
+		doc("wsj", "Google battles Yelp", "Yelp says Google is promoting its own content."),
+	}
+	got := x.ExtractAll(docs)
+	if len(got) != 4 {
+		t.Fatalf("ExtractAll yielded %d snippets, want 4 (2 docs x title+para)", len(got))
+	}
+}
+
+func TestExtractorConcurrent(t *testing.T) {
+	x := NewExtractor(DefaultGazetteer())
+	done := make(chan int, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			n := 0
+			for i := 0; i < 25; i++ {
+				sns, err := x.Extract(doc("nyt", "Ukraine update", "Fighting continued around Donetsk as investigators waited."))
+				if err == nil {
+					n += len(sns)
+				}
+			}
+			done <- n
+		}()
+	}
+	total := 0
+	for g := 0; g < 4; g++ {
+		total += <-done
+	}
+	if total != 4*25*2 {
+		t.Fatalf("extracted %d snippets, want %d", total, 4*25*2)
+	}
+	if int(x.NextID())-1 != total {
+		t.Fatalf("ID counter %d != snippet count %d", x.NextID()-1, total)
+	}
+}
+
+func TestExtractorBigrams(t *testing.T) {
+	x := NewExtractor(DefaultGazetteer())
+	x.Bigrams = true
+	sns, err := x.Extract(doc("nyt", "", "The plane was shot down by prosecutors worldwide"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks := map[string]bool{}
+	for _, tm := range sns[0].Terms {
+		toks[tm.Token] = true
+	}
+	if !toks["plane"] || !toks["shot"] {
+		t.Fatalf("unigrams missing: %v", sns[0].Terms)
+	}
+	if !toks["plane_shot"] && !toks["shot_prosecutor"] {
+		t.Fatalf("no bigrams emitted: %v", sns[0].Terms)
+	}
+	// Bigrams off by default.
+	x2 := NewExtractor(DefaultGazetteer())
+	sns2, _ := x2.Extract(doc("nyt", "", "The plane was shot down by prosecutors worldwide"))
+	for _, tm := range sns2[0].Terms {
+		if strings.Contains(tm.Token, "_") {
+			t.Fatalf("bigram emitted with Bigrams off: %s", tm.Token)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package extract implements StoryPivot's snippet extraction pipeline
+// (paper §2.1, Figure 1a): documents are broken into excerpts (title and
+// paragraphs), each excerpt is annotated with the entities it mentions and
+// a weighted description-term vector, and the result is emitted as an
+// information snippet.
+//
+// The paper forwards excerpts to Open Calais for annotation; offline we
+// substitute a gazetteer-based annotator: a dictionary of surface forms
+// (including multi-word phrases such as "malaysia airlines") mapped to
+// canonical entity identifiers, matched greedily over the token stream.
+// This reproduces the property the downstream algorithms rely on — snippets
+// carry entity sets and keyword vectors — without a network service.
+package extract
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/text"
+)
+
+// Gazetteer maps surface-form phrases to canonical entities. Surface forms
+// are stored as stemmed token sequences so that inflected mentions
+// ("Russians") still resolve. Longest-match-wins at each position.
+type Gazetteer struct {
+	// entries maps the first token of each phrase to the candidate
+	// phrases starting with it, longest first.
+	entries map[string][]gazEntry
+	size    int
+}
+
+type gazEntry struct {
+	tokens []string
+	entity event.Entity
+}
+
+// NewGazetteer creates an empty gazetteer.
+func NewGazetteer() *Gazetteer {
+	return &Gazetteer{entries: make(map[string][]gazEntry)}
+}
+
+// Add registers a surface form for an entity. The surface form is
+// tokenised and stemmed with the standard pipeline (stopwords are kept:
+// entity names like "United Nations" may contain them).
+func (g *Gazetteer) Add(surface string, e event.Entity) {
+	toks := text.StemAll(text.Tokenize(surface))
+	if len(toks) == 0 {
+		return
+	}
+	head := toks[0]
+	g.entries[head] = append(g.entries[head], gazEntry{tokens: toks, entity: e})
+	// Keep longest phrases first so greedy matching prefers them.
+	sort.SliceStable(g.entries[head], func(i, j int) bool {
+		return len(g.entries[head][i].tokens) > len(g.entries[head][j].tokens)
+	})
+	g.size++
+}
+
+// Len returns the number of registered surface forms.
+func (g *Gazetteer) Len() int { return g.size }
+
+// FindAll scans the stemmed token sequence and returns the entities
+// mentioned, deduplicated, in order of first mention. Matching is greedy:
+// at each position the longest registered phrase wins and consumes its
+// tokens.
+func (g *Gazetteer) FindAll(stemmedTokens []string) []event.Entity {
+	var out []event.Entity
+	seen := make(map[event.Entity]bool)
+	for i := 0; i < len(stemmedTokens); {
+		matched := false
+		for _, entry := range g.entries[stemmedTokens[i]] {
+			if i+len(entry.tokens) > len(stemmedTokens) {
+				continue
+			}
+			ok := true
+			for j, tok := range entry.tokens {
+				if stemmedTokens[i+j] != tok {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if !seen[entry.entity] {
+					seen[entry.entity] = true
+					out = append(out, entry.entity)
+				}
+				i += len(entry.tokens)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			i++
+		}
+	}
+	return out
+}
+
+// Annotate tokenises raw text and returns (entities, stemmed non-entity
+// content tokens). Tokens consumed by entity mentions are excluded from
+// the content tokens so that "Malaysia Airlines" does not also contribute
+// description terms. Stopwords are tested against the *original* tokens
+// (before stemming: "has" is a stopword, its stem "ha" is not a word).
+func (g *Gazetteer) Annotate(raw string) ([]event.Entity, []string) {
+	raws := text.Tokenize(raw)
+	stemmed := make([]string, len(raws))
+	for i, tok := range raws {
+		stemmed[i] = text.Stem(tok)
+	}
+	var ents []event.Entity
+	seen := make(map[event.Entity]bool)
+	var content []string
+	for i := 0; i < len(stemmed); {
+		matched := false
+		for _, entry := range g.entries[stemmed[i]] {
+			if i+len(entry.tokens) > len(stemmed) {
+				continue
+			}
+			ok := true
+			for j, tok := range entry.tokens {
+				if stemmed[i+j] != tok {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if !seen[entry.entity] {
+					seen[entry.entity] = true
+					ents = append(ents, entry.entity)
+				}
+				i += len(entry.tokens)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			if !text.IsStopword(raws[i]) && !text.IsStopword(stemmed[i]) {
+				content = append(content, stemmed[i])
+			}
+			i++
+		}
+	}
+	return ents, content
+}
+
+// DefaultGazetteer returns a gazetteer seeded with the entities of the
+// paper's running examples (the MH17 downing, the Ukraine crisis, and the
+// Google/Yelp story from Figure 3), useful for demos and tests.
+func DefaultGazetteer() *Gazetteer {
+	g := NewGazetteer()
+	for surface, e := range map[string]event.Entity{
+		"ukraine":           "UKR",
+		"ukrainian":         "UKR",
+		"russia":            "RUS",
+		"russian":           "RUS",
+		"malaysia":          "MAL",
+		"malaysian":         "MAL",
+		"malaysia airlines": "MAL_AIR",
+		"netherlands":       "NTH",
+		"dutch":             "NTH",
+		"amsterdam":         "NTH",
+		"united nations":    "UN",
+		"united states":     "US",
+		"european union":    "EU",
+		"crimea":            "CRIMEA",
+		"donetsk":           "DONETSK",
+		"google":            "GOOG",
+		"yelp":              "YELP",
+		"israel":            "ISL",
+		"israeli":           "ISL",
+		"palestine":         "PAL",
+		"palestinian":       "PAL",
+		"boeing":            "BOEING",
+		"wall street":       "WSTR",
+		"new york":          "NYC",
+	} {
+		g.Add(surface, e)
+	}
+	return g
+}
+
+// NormalizeEntityName produces a canonical entity identifier from a free
+// surface form: lowercase, words joined with underscores. Used by data
+// generators when inventing entity universes.
+func NormalizeEntityName(surface string) event.Entity {
+	toks := text.Tokenize(surface)
+	return event.Entity(strings.Join(toks, "_"))
+}

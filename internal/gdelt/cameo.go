@@ -1,0 +1,123 @@
+package gdelt
+
+import "strings"
+
+// CAMEO event taxonomy (Conflict and Mediation Event Observations), the
+// coding scheme GDELT uses for event types. The table covers the twenty
+// root codes plus the second-level codes most frequent in the 2014 feeds;
+// unknown codes fall back to their root, then to a generic description.
+var cameoRoots = map[string]string{
+	"01": "make public statement",
+	"02": "appeal request",
+	"03": "express intent to cooperate",
+	"04": "consult meet negotiate",
+	"05": "engage in diplomatic cooperation",
+	"06": "engage in material cooperation",
+	"07": "provide aid assistance",
+	"08": "yield concede",
+	"09": "investigate inquiry",
+	"10": "demand",
+	"11": "disapprove criticize accuse",
+	"12": "reject refuse",
+	"13": "threaten",
+	"14": "protest demonstrate",
+	"15": "exhibit force posture mobilize",
+	"16": "reduce relations sanctions",
+	"17": "coerce seize repress",
+	"18": "assault attack violence",
+	"19": "fight military clash combat",
+	"20": "use unconventional mass violence",
+}
+
+var cameoDetail = map[string]string{
+	"010": "make statement",
+	"020": "make appeal",
+	"036": "express intent to meet negotiate",
+	"042": "make visit",
+	"043": "host visit",
+	"051": "praise endorse",
+	"057": "sign formal agreement",
+	"061": "cooperate economically",
+	"070": "provide aid",
+	"071": "provide economic aid",
+	"080": "yield",
+	"090": "investigate",
+	"091": "investigate crime corruption",
+	"092": "investigate human rights abuses",
+	"093": "investigate military action",
+	"094": "investigate war crimes",
+	"100": "demand",
+	"110": "criticize denounce",
+	"111": "criticize accuse",
+	"112": "accuse of crime corruption",
+	"120": "reject",
+	"130": "threaten",
+	"131": "threaten non force",
+	"138": "threaten attack",
+	"140": "protest",
+	"141": "demonstrate rally",
+	"145": "protest violently riot",
+	"150": "mobilize show of force",
+	"160": "reduce relations",
+	"162": "impose sanctions embargo",
+	"163": "break diplomatic relations",
+	"170": "coerce",
+	"172": "impose curfew restrictions",
+	"173": "arrest detain",
+	"180": "attack",
+	"181": "abduct hijack take hostage",
+	"182": "assault physically",
+	"183": "bombing attack suicide",
+	"186": "assassinate",
+	"190": "fight with conventional forces",
+	"193": "fight with small arms light weapons",
+	"194": "fight with artillery tanks",
+	"195": "attack aerially bomb",
+	"196": "violate ceasefire",
+	"200": "mass violence",
+	"202": "engage in mass killings",
+	"204": "use weapons of mass destruction",
+}
+
+// CameoDescription expands a CAMEO event code into a keyword description.
+func CameoDescription(code string) string {
+	code = strings.TrimSpace(code)
+	if d, ok := cameoDetail[code]; ok {
+		return d
+	}
+	// Try the three-digit base of a four-digit code.
+	if len(code) == 4 {
+		if d, ok := cameoDetail[code[:3]]; ok {
+			return d
+		}
+	}
+	if len(code) >= 2 {
+		if d, ok := cameoRoots[code[:2]]; ok {
+			return d
+		}
+	}
+	if code == "" {
+		return ""
+	}
+	return "event activity"
+}
+
+// CameoRoot returns the two-digit root class of a code ("" if malformed).
+func CameoRoot(code string) string {
+	code = strings.TrimSpace(code)
+	if len(code) < 2 {
+		return ""
+	}
+	if _, ok := cameoRoots[code[:2]]; !ok {
+		return ""
+	}
+	return code[:2]
+}
+
+// IsConflict reports whether the code falls in the material-conflict
+// quad class (roots 14-20), the class the political-forecasting use case
+// of paper §1 watches.
+func IsConflict(code string) bool {
+	root := CameoRoot(code)
+	return root >= "14" && root <= "20"
+}

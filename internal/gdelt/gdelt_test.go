@@ -1,0 +1,149 @@
+package gdelt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// row builds a 58-column GDELT line with the fields under test filled in.
+func row(id uint64, day, a1, a2, code string, goldstein float64, mentions int, url string) string {
+	cols := make([]string, minColumns)
+	cols[colGlobalEventID] = fmt.Sprintf("%d", id)
+	cols[colDay] = day
+	cols[colActor1Code] = a1
+	cols[colActor2Code] = a2
+	cols[colEventCode] = code
+	cols[colGoldstein] = fmt.Sprintf("%g", goldstein)
+	cols[colNumMentions] = fmt.Sprintf("%d", mentions)
+	cols[colSourceURL] = url
+	return strings.Join(cols, "\t")
+}
+
+func TestParseRow(t *testing.T) {
+	line := row(420001, "20140717", "UKR", "RUS", "195", -10, 25, "http://www.nytimes.com/doc1.html")
+	rec, err := ParseRow(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.GlobalEventID != 420001 || rec.Actor1 != "UKR" || rec.Actor2 != "RUS" {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if rec.Day.Year() != 2014 || rec.Day.Month() != 7 || rec.Day.Day() != 17 {
+		t.Fatalf("day = %v", rec.Day)
+	}
+	if rec.EventCode != "195" || rec.Goldstein != -10 || rec.NumMentions != 25 {
+		t.Fatalf("rec = %+v", rec)
+	}
+}
+
+func TestParseRowErrors(t *testing.T) {
+	if _, err := ParseRow("too\tfew\tcolumns"); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := ParseRow(row(1, "notadate", "UKR", "", "195", 0, 1, "http://x.com")); err == nil {
+		t.Fatal("bad date accepted")
+	}
+	bad := strings.Replace(row(1, "20140717", "UKR", "", "195", 0, 1, "http://x.com"), "1\t", "nope\t", 1)
+	if _, err := ParseRow(bad); err == nil {
+		t.Fatal("bad event id accepted")
+	}
+}
+
+func TestRecordToSnippet(t *testing.T) {
+	rec, _ := ParseRow(row(7, "20140717", "UKR", "RUS", "195", -10, 25, "http://www.nytimes.com/doc.html"))
+	sn := rec.Snippet()
+	if err := sn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sn.Source != "nytimes.com" {
+		t.Fatalf("source = %s", sn.Source)
+	}
+	if !sn.HasEntity("UKR") || !sn.HasEntity("RUS") {
+		t.Fatalf("entities = %v", sn.Entities)
+	}
+	// "attack aerially bomb" -> stems; plus the exact cameo code token.
+	toks := map[string]bool{}
+	for _, tm := range sn.Terms {
+		toks[tm.Token] = true
+		if tm.Weight <= 1 {
+			t.Errorf("mention-weighted term has weight %g", tm.Weight)
+		}
+	}
+	if !toks["cameo195"] || !toks["attack"] {
+		t.Fatalf("terms = %v", sn.Terms)
+	}
+	// Duplicate actor collapses.
+	rec2, _ := ParseRow(row(8, "20140717", "UKR", "UKR", "195", 0, 1, "http://x.com/a"))
+	if got := len(rec2.Snippet().Entities); got != 1 {
+		t.Fatalf("duplicate actor entities = %d", got)
+	}
+}
+
+func TestSourceOf(t *testing.T) {
+	cases := map[string]string{
+		"http://www.nytimes.com/a/b": "nytimes.com",
+		"https://online.wsj.com/doc": "online.wsj.com",
+		"http://WWW.EXAMPLE.COM/x":   "example.com",
+		"not a url at all ://":       "unknown",
+		"":                           "unknown",
+	}
+	for in, want := range cases {
+		if got := SourceOf(in); string(got) != want {
+			t.Errorf("SourceOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCameoDescription(t *testing.T) {
+	cases := map[string]string{
+		"195":  "attack aerially bomb",
+		"1951": "attack aerially bomb", // 4-digit falls back to 3-digit
+		"19":   "fight military clash combat",
+		"1999": "fight military clash combat", // unknown detail -> root
+		"99":   "event activity",              // unknown root
+		"":     "",
+	}
+	for in, want := range cases {
+		if got := CameoDescription(in); got != want {
+			t.Errorf("CameoDescription(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if CameoRoot("195") != "19" || CameoRoot("x") != "" || CameoRoot("99") != "" {
+		t.Error("CameoRoot wrong")
+	}
+	if !IsConflict("195") || IsConflict("010") || IsConflict("") {
+		t.Error("IsConflict wrong")
+	}
+}
+
+func TestReaderSkipsNoise(t *testing.T) {
+	input := strings.Join([]string{
+		row(1, "20140717", "UKR", "RUS", "195", -10, 5, "http://a.com/1"),
+		"garbage line",
+		"",
+		row(2, "20140718", "", "", "", 0, 1, "http://a.com/2"), // no content -> skipped
+		row(3, "20140718", "UKR", "", "112", -2, 2, "http://b.com/3"),
+	}, "\n")
+	sns, rd, err := ReadAll(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sns) != 2 {
+		t.Fatalf("snippets = %d", len(sns))
+	}
+	if rd.Malformed != 1 || rd.Skipped != 1 {
+		t.Fatalf("malformed=%d skipped=%d", rd.Malformed, rd.Skipped)
+	}
+	if sns[0].ID != 1 || sns[1].ID != 3 {
+		t.Fatalf("ids = %d, %d", sns[0].ID, sns[1].ID)
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	rd := NewReader(strings.NewReader(""))
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("empty stream: %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package identify implements StoryPivot's story identification phase
+// (paper §2.2, Figure 2): the incremental, per-source clustering of
+// information snippets into evolving stories.
+//
+// Two execution modes are provided, matching Figure 2:
+//
+//   - ModeComplete compares an incoming snippet against the *entire
+//     history* of every story of the source. It serves as the baseline; the
+//     paper observes it "overfits" evolving stories (old snippets of the
+//     same story may look nothing like the new ones) and its per-event cost
+//     grows with the corpus.
+//
+//   - ModeTemporal restricts candidate retrieval and comparison to a
+//     sliding window [t−ω, t+ω] around the incoming snippet's timestamp,
+//     giving both better evolution tracking and bounded per-event cost.
+//
+// Stories are constructed incrementally (paper ref [5], Incremental Record
+// Linkage): a periodic repair pass splits stories whose windowed similarity
+// graph has fallen apart and merges stories that have converged.
+package identify
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/similarity"
+)
+
+// Mode selects the identification execution mode of Figure 2.
+type Mode int
+
+const (
+	// ModeTemporal is sliding-window identification (Figure 2b), the
+	// system's default.
+	ModeTemporal Mode = iota
+	// ModeComplete is whole-history identification (Figure 2a), the
+	// baseline.
+	ModeComplete
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeComplete {
+		return "complete"
+	}
+	return "temporal"
+}
+
+// Config parameterises an Identifier. Use DefaultConfig as the base.
+type Config struct {
+	// Mode selects complete vs temporal identification.
+	Mode Mode
+	// Window is ω, the sliding-window half-width for ModeTemporal.
+	Window time.Duration
+	// AttachThreshold is the minimum combined similarity for a snippet to
+	// join an existing story; below it a new story is created.
+	AttachThreshold float64
+	// Weights combine entity/description/temporal similarity.
+	Weights similarity.Weights
+	// TemporalScale is the decay scale of the snippet-story temporal
+	// component.
+	TemporalScale time.Duration
+
+	// RepairEvery runs the split/merge repair pass every n insertions
+	// (0 disables repair — "single pass" identification, the behaviour of
+	// the prior work the paper contrasts against).
+	RepairEvery int
+	// SplitThreshold: snippet pairs below this similarity are disconnected
+	// in the story's internal graph; components fall apart into new
+	// stories.
+	SplitThreshold float64
+	// MergeThreshold: story pairs above this story-level similarity are
+	// merged.
+	MergeThreshold float64
+
+	// UseEntityIDF weights entities by inverse mention frequency in all
+	// similarity computations: ubiquitous entities (every story of a
+	// crisis month mentions "Ukraine") contribute less than rare ones.
+	UseEntityIDF bool
+
+	// UseSketchIndex retrieves candidate stories through a MinHash/LSH
+	// index over story entity+term sketches instead of scanning all
+	// temporally eligible stories (paper §2.4).
+	UseSketchIndex bool
+	// SketchBands/SketchRows shape the LSH index (signature length is
+	// bands*rows).
+	SketchBands, SketchRows int
+}
+
+// DefaultConfig returns the configuration used by the demo system.
+func DefaultConfig() Config {
+	return Config{
+		Mode:            ModeTemporal,
+		Window:          14 * 24 * time.Hour,
+		AttachThreshold: 0.32,
+		Weights:         similarity.DefaultWeights(),
+		TemporalScale:   4 * 24 * time.Hour,
+		RepairEvery:     64,
+		SplitThreshold:  0.22,
+		MergeThreshold:  0.55,
+		UseEntityIDF:    true,
+		UseSketchIndex:  false,
+		SketchBands:     32,
+		SketchRows:      2,
+	}
+}
+
+// Validate reports configuration errors that would make an Identifier
+// misbehave silently (a zero window in temporal mode matches nothing; a
+// non-positive attach threshold glues everything).
+func (c Config) Validate() error {
+	if c.Mode != ModeTemporal && c.Mode != ModeComplete {
+		return fmt.Errorf("identify: unknown mode %d", c.Mode)
+	}
+	if c.Mode == ModeTemporal && c.Window <= 0 {
+		return errors.New("identify: temporal mode requires a positive window")
+	}
+	if c.AttachThreshold <= 0 || c.AttachThreshold >= 1 {
+		return fmt.Errorf("identify: attach threshold %g outside (0, 1)", c.AttachThreshold)
+	}
+	if c.TemporalScale <= 0 {
+		return errors.New("identify: temporal scale must be positive")
+	}
+	if c.RepairEvery < 0 {
+		return errors.New("identify: repair interval must be >= 0")
+	}
+	if c.RepairEvery > 0 {
+		if c.SplitThreshold <= 0 || c.SplitThreshold >= 1 {
+			return fmt.Errorf("identify: split threshold %g outside (0, 1)", c.SplitThreshold)
+		}
+		if c.MergeThreshold <= 0 || c.MergeThreshold >= 1 {
+			return fmt.Errorf("identify: merge threshold %g outside (0, 1)", c.MergeThreshold)
+		}
+	}
+	if c.UseSketchIndex && (c.SketchBands < 0 || c.SketchRows < 0) {
+		return errors.New("identify: sketch shape must be non-negative")
+	}
+	return nil
+}
+
+// IDAlloc hands out system-wide unique story IDs. Identifiers of all
+// sources share one allocator so stories can be referenced globally by the
+// alignment phase. The zero value is ready to use.
+type IDAlloc struct {
+	n atomic.Uint64
+}
+
+// Next returns a fresh story ID.
+func (a *IDAlloc) Next() event.StoryID { return event.StoryID(a.n.Add(1)) }
+
+// Stats counts the work done by an Identifier; the statistics module and
+// the benchmarks report them.
+type Stats struct {
+	Processed   int // snippets processed
+	Comparisons int // snippet-story similarity evaluations
+	Created     int // stories created
+	Attached    int // snippets attached to existing stories
+	Splits      int // stories created by split repair
+	Merges      int // story merges by repair
+	RepairRuns  int // repair passes executed
+}

@@ -1,0 +1,442 @@
+package identify
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/similarity"
+	"repro/internal/sketch"
+)
+
+// Identifier performs incremental story identification for a single data
+// source. Snippets are fed in arrival order through Process; the evolving
+// story set is available through Stories/Assignment at any time.
+//
+// An Identifier is not safe for concurrent use; the stream engine
+// serialises access per source.
+type Identifier struct {
+	source event.SourceID
+	cfg    Config
+	alloc  *IDAlloc
+
+	stories map[event.StoryID]*event.Story
+	order   []event.StoryID // creation order, for deterministic iteration
+	assign  map[event.SnippetID]event.StoryID
+
+	// Sketch index (optional): MinHash signatures over story content with
+	// a banded LSH index for candidate retrieval.
+	hasher *sketch.MinHasher
+	lsh    *sketch.LSH
+	sigs   map[event.StoryID]sketch.Signature
+
+	// winCache memoises per-story windowed aggregates. Queries are
+	// quantised to buckets of width ω/2, so the near-chronological
+	// snippet stream reuses one aggregate for many scores instead of
+	// rebuilding the window centroid per comparison (which would make
+	// temporal mode pay more per comparison than the complete baseline
+	// saves in comparison count).
+	winCache map[event.StoryID]*windowAggregate
+
+	// entCount tracks how many processed snippets mention each entity;
+	// it backs the IDF-style entity weighting (popular entities carry
+	// little story-discriminating signal on real news streams). entTotal
+	// is the sum of all counts, so the weighter can normalise by the mean
+	// and stay neutral on corpora with near-uniform entity usage.
+	entCount map[event.Entity]int
+	entTotal int
+
+	sinceRepair int
+	stats       Stats
+}
+
+// New creates an identifier for one source. All identifiers of a run share
+// the allocator so story IDs are globally unique.
+func New(source event.SourceID, cfg Config, alloc *IDAlloc) *Identifier {
+	if alloc == nil {
+		alloc = &IDAlloc{}
+	}
+	id := &Identifier{
+		source:   source,
+		cfg:      cfg,
+		alloc:    alloc,
+		stories:  make(map[event.StoryID]*event.Story),
+		assign:   make(map[event.SnippetID]event.StoryID),
+		winCache: make(map[event.StoryID]*windowAggregate),
+		entCount: make(map[event.Entity]int),
+	}
+	if cfg.UseSketchIndex {
+		bands, rows := cfg.SketchBands, cfg.SketchRows
+		if bands <= 0 {
+			bands = 32
+		}
+		if rows <= 0 {
+			rows = 2
+		}
+		id.hasher = sketch.NewMinHasher(bands*rows, 0x5350)
+		id.lsh = sketch.NewLSH(bands, rows)
+		id.sigs = make(map[event.StoryID]sketch.Signature)
+	}
+	return id
+}
+
+// Source returns the identifier's data source.
+func (id *Identifier) Source() event.SourceID { return id.source }
+
+// Stats returns a snapshot of the work counters.
+func (id *Identifier) Stats() Stats { return id.stats }
+
+// StoryCount returns the current number of stories.
+func (id *Identifier) StoryCount() int { return len(id.stories) }
+
+// Process assigns one snippet to its best-matching story, creating a new
+// story when nothing clears the attach threshold, and returns the story ID.
+// Process panics if the snippet belongs to a different source — routing is
+// the caller's job.
+func (id *Identifier) Process(s *event.Snippet) event.StoryID {
+	if s.Source != id.source {
+		panic(fmt.Sprintf("identify: snippet of source %q fed to identifier of %q", s.Source, id.source))
+	}
+	id.stats.Processed++
+	if id.cfg.UseEntityIDF {
+		for _, e := range s.Entities {
+			id.entCount[e]++
+			id.entTotal++
+		}
+	}
+
+	best, bestScore := event.StoryID(0), 0.0
+	for _, cand := range id.candidates(s) {
+		score := id.score(s, cand)
+		id.stats.Comparisons++
+		if score > bestScore {
+			best, bestScore = cand.ID, score
+		}
+	}
+
+	var target event.StoryID
+	if best != 0 && bestScore >= id.cfg.AttachThreshold {
+		id.stories[best].Add(s)
+		id.updateSketch(best, s)
+		id.stats.Attached++
+		target = best
+	} else {
+		st := event.NewStory(id.alloc.Next(), id.source)
+		st.Add(s)
+		id.stories[st.ID] = st
+		id.order = append(id.order, st.ID)
+		id.indexStory(st)
+		id.stats.Created++
+		target = st.ID
+	}
+	id.assign[s.ID] = target
+
+	if id.cfg.RepairEvery > 0 {
+		if id.sinceRepair++; id.sinceRepair >= id.cfg.RepairEvery {
+			id.Repair()
+			id.sinceRepair = 0
+		}
+	}
+	return target
+}
+
+// candidates returns the stories worth scoring for snippet s, per the
+// configured mode (Figure 2) and sketch-index setting.
+func (id *Identifier) candidates(s *event.Snippet) []*event.Story {
+	var out []*event.Story
+	if id.cfg.UseSketchIndex {
+		sig := id.hasher.Sign(snippetElems(s))
+		for _, key := range id.lsh.Query(sig, ^uint64(0)) {
+			st, ok := id.stories[event.StoryID(key)]
+			if !ok {
+				continue
+			}
+			if id.cfg.Mode == ModeTemporal && !id.inWindow(st, s.Timestamp) {
+				continue
+			}
+			out = append(out, st)
+		}
+		// Deterministic scoring order.
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		return out
+	}
+	for _, sid := range id.order {
+		st := id.stories[sid]
+		if st == nil {
+			continue
+		}
+		if id.cfg.Mode == ModeTemporal && !id.inWindow(st, s.Timestamp) {
+			continue
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// inWindow reports whether the story has any snippet inside [t−ω, t+ω].
+func (id *Identifier) inWindow(st *event.Story, t time.Time) bool {
+	return !st.Start.After(t.Add(id.cfg.Window)) && !st.End.Before(t.Add(-id.cfg.Window))
+}
+
+// windowAggregate is a cached windowed story summary. Queries quantise
+// the snippet timestamp to buckets of ω/2; a cache entry is valid while
+// the query falls in the same bucket and the story is unchanged, so the
+// near-chronological stream amortises the window-centroid construction
+// across many scores.
+type windowAggregate struct {
+	bucket   int64 // quantised query time
+	version  int   // story length when built
+	centroid map[string]float64
+	ents     map[event.Entity]int
+	norm     float64
+}
+
+// entityWeight is the IDF-style weighter over the source's entity-mention
+// counts, normalised by the mean count: w(e) = 1 / (1 + ln(1 + c(e)/mean)).
+// On near-uniform corpora every weight is ≈ 1/(1+ln 2) and the weighted
+// Jaccard reduces to the unweighted one; only genuinely skewed entities
+// are down-weighted.
+func (id *Identifier) entityWeight(e event.Entity) float64 {
+	mean := 1.0
+	if n := len(id.entCount); n > 0 {
+		mean = float64(id.entTotal) / float64(n)
+	}
+	return 1 / (1 + logf(1+float64(id.entCount[e])/mean))
+}
+
+func (id *Identifier) weighter() similarity.EntityWeighter {
+	if !id.cfg.UseEntityIDF {
+		return nil
+	}
+	return id.entityWeight
+}
+
+// score computes the snippet-story similarity. In temporal mode the story
+// is summarised by only the snippets inside the window, so the comparison
+// reflects "the story as it currently is"; in complete mode the whole
+// history is used (the overfitting baseline).
+func (id *Identifier) score(s *event.Snippet, st *event.Story) float64 {
+	switch id.cfg.Mode {
+	case ModeTemporal:
+		agg := id.windowAggregateFor(s.Timestamp, st)
+		if agg == nil {
+			return 0
+		}
+		ref := nearestTimestamp(st, s.Timestamp)
+		return similarity.SnippetStoryW(s, agg.ents, agg.centroid, agg.norm, ref,
+			id.cfg.TemporalScale, id.cfg.Weights, id.weighter())
+	default: // ModeComplete
+		ref := nearestTimestamp(st, s.Timestamp)
+		return similarity.SnippetStoryW(s, st.EntityFreq, st.Centroid, st.CentroidNorm(), ref,
+			id.cfg.TemporalScale, id.cfg.Weights, id.weighter())
+	}
+}
+
+// windowAggregateFor returns the (possibly cached) windowed aggregate of
+// st around t. The window is anchored at the bucket's midpoint and spans
+// [mid−ω−ω/4, mid+ω+ω/4], which covers the exact window of every query
+// time inside the bucket.
+func (id *Identifier) windowAggregateFor(t time.Time, st *event.Story) *windowAggregate {
+	half := id.cfg.Window / 2
+	if half <= 0 {
+		half = time.Nanosecond
+	}
+	bucket := t.UnixNano() / int64(half)
+	if agg := id.winCache[st.ID]; agg != nil && agg.bucket == bucket && agg.version == st.Len() {
+		return agg
+	}
+	mid := time.Unix(0, bucket*int64(half)+int64(half)/2).UTC()
+	pad := id.cfg.Window + id.cfg.Window/4
+	centroid, ents := st.WindowedCentroid(mid.Add(-pad), mid.Add(pad))
+	if len(centroid) == 0 && len(ents) == 0 {
+		return nil
+	}
+	var cnorm float64
+	for _, w := range centroid {
+		cnorm += w * w
+	}
+	agg := &windowAggregate{
+		bucket:   bucket,
+		version:  st.Len(),
+		centroid: centroid,
+		ents:     ents,
+		norm:     sqrt(cnorm),
+	}
+	id.winCache[st.ID] = agg
+	return agg
+}
+
+// nearestTimestamp returns the story snippet timestamp closest to t.
+func nearestTimestamp(st *event.Story, t time.Time) time.Time {
+	n := len(st.Snippets)
+	if n == 0 {
+		return t
+	}
+	i := sort.Search(n, func(i int) bool { return !st.Snippets[i].Timestamp.Before(t) })
+	switch {
+	case i == 0:
+		return st.Snippets[0].Timestamp
+	case i == n:
+		return st.Snippets[n-1].Timestamp
+	default:
+		before, after := st.Snippets[i-1].Timestamp, st.Snippets[i].Timestamp
+		if t.Sub(before) <= after.Sub(t) {
+			return before
+		}
+		return after
+	}
+}
+
+// Stories returns the current story set in creation order. The returned
+// stories are live; callers must not mutate them.
+func (id *Identifier) Stories() []*event.Story {
+	out := make([]*event.Story, 0, len(id.stories))
+	for _, sid := range id.order {
+		if st := id.stories[sid]; st != nil && st.Len() > 0 {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Story returns the story with the given ID, or nil.
+func (id *Identifier) Story(sid event.StoryID) *event.Story { return id.stories[sid] }
+
+// StoryOf returns the story a snippet is currently assigned to (0 if the
+// snippet is unknown).
+func (id *Identifier) StoryOf(snID event.SnippetID) event.StoryID { return id.assign[snID] }
+
+// Assignment returns a copy of the snippet→story assignment.
+func (id *Identifier) Assignment() map[event.SnippetID]event.StoryID {
+	out := make(map[event.SnippetID]event.StoryID, len(id.assign))
+	for k, v := range id.assign {
+		out[k] = v
+	}
+	return out
+}
+
+// Move re-homes a snippet from one story to another (used by story
+// refinement, paper Figure 1d). Both stories must belong to this source.
+// Emptied stories are dropped. It reports whether the move happened.
+func (id *Identifier) Move(snID event.SnippetID, to event.StoryID) bool {
+	fromID, ok := id.assign[snID]
+	if !ok || fromID == to {
+		return false
+	}
+	from, target := id.stories[fromID], id.stories[to]
+	if from == nil || target == nil {
+		return false
+	}
+	var moved *event.Snippet
+	for _, s := range from.Snippets {
+		if s.ID == snID {
+			moved = s
+			break
+		}
+	}
+	if moved == nil {
+		return false
+	}
+	from.Remove(snID)
+	target.Add(moved)
+	id.assign[snID] = to
+	id.reindexStory(from)
+	id.reindexStory(target)
+	if from.Len() == 0 {
+		id.dropStory(fromID)
+	}
+	return true
+}
+
+// sketch maintenance --------------------------------------------------------
+
+// snippetElems renders a snippet as sketch elements. Sketches are built
+// over the *entity set* — small, stable across a story's evolution, and
+// highly overlapping between a story and its snippets — rather than the
+// description vocabulary, whose union grows with story length and would
+// drive the snippet-vs-story Jaccard (and hence LSH recall) toward zero.
+// Entity-free snippets fall back to description tokens so they still
+// sketch to something.
+func snippetElems(s *event.Snippet) []string {
+	if len(s.Entities) > 0 {
+		elems := make([]string, len(s.Entities))
+		for i, e := range s.Entities {
+			elems[i] = "e:" + string(e)
+		}
+		return elems
+	}
+	elems := make([]string, len(s.Terms))
+	for i, t := range s.Terms {
+		elems[i] = "t:" + t.Token
+	}
+	return elems
+}
+
+func storyElems(st *event.Story) []string {
+	if len(st.EntityFreq) > 0 {
+		elems := make([]string, 0, len(st.EntityFreq))
+		for e := range st.EntityFreq {
+			elems = append(elems, "e:"+string(e))
+		}
+		return elems
+	}
+	elems := make([]string, 0, len(st.Centroid))
+	for tok := range st.Centroid {
+		elems = append(elems, "t:"+tok)
+	}
+	return elems
+}
+
+func (id *Identifier) indexStory(st *event.Story) {
+	if id.lsh == nil {
+		return
+	}
+	sig := id.hasher.Sign(storyElems(st))
+	id.sigs[st.ID] = sig
+	id.lsh.Add(uint64(st.ID), sig)
+}
+
+func (id *Identifier) updateSketch(sid event.StoryID, s *event.Snippet) {
+	if id.lsh == nil {
+		return
+	}
+	sig := id.sigs[sid]
+	if sig == nil {
+		id.indexStory(id.stories[sid])
+		return
+	}
+	// MinHash is a running minimum: folding the new snippet's elements in
+	// is equivalent to re-signing the union.
+	id.hasher.Update(sig, snippetElems(s))
+	id.lsh.Add(uint64(sid), sig)
+}
+
+func (id *Identifier) reindexStory(st *event.Story) {
+	if id.lsh == nil || st == nil {
+		return
+	}
+	// Removal invalidates the running-minimum signature; re-sign fully.
+	id.indexStory(st)
+}
+
+func (id *Identifier) dropStory(sid event.StoryID) {
+	delete(id.stories, sid)
+	delete(id.winCache, sid)
+	if id.lsh != nil {
+		id.lsh.Remove(uint64(sid))
+		delete(id.sigs, sid)
+	}
+	// order keeps the stale ID (Stories() skips missing entries); compact
+	// once stale entries dominate, or a long-running stream with heavy
+	// merge repair would scan an ever-growing list per snippet.
+	if len(id.order) > 2*len(id.stories)+16 {
+		live := id.order[:0]
+		for _, s := range id.order {
+			if _, ok := id.stories[s]; ok {
+				live = append(live, s)
+			}
+		}
+		id.order = live
+	}
+}

@@ -1,0 +1,245 @@
+// Package kb implements the knowledge-base integration the paper proposes
+// as an extension (§3: "we can further extend it with interfaces to
+// existing knowledge bases such as DBpedia. Connecting STORYPIVOT to
+// knowledge bases explicitly helps experts and casual users to obtain more
+// information on the context of stories"). DBpedia itself is unavailable
+// offline, so this package provides an embedded knowledge base with the
+// same access pattern: canonical entities with labels, types, aliases, and
+// typed relations, loadable from JSONL dumps and queryable for story
+// context.
+package kb
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/extract"
+)
+
+// Record is one knowledge-base entity.
+type Record struct {
+	// ID is the canonical entity identifier used across StoryPivot.
+	ID event.Entity `json:"id"`
+	// Label is the display name.
+	Label string `json:"label"`
+	// Type is a coarse ontology class (country, organization, person,
+	// company, location, aircraft, ...).
+	Type string `json:"type"`
+	// Aliases are the surface forms that should resolve to this entity.
+	Aliases []string `json:"aliases"`
+	// Abstract is a one-sentence description for the context panel.
+	Abstract string `json:"abstract,omitempty"`
+	// Related lists typed relations to other entities.
+	Related []Relation `json:"related,omitempty"`
+}
+
+// Relation is a typed edge between entities.
+type Relation struct {
+	Predicate string       `json:"predicate"` // e.g. "capitalOf", "memberOf"
+	Object    event.Entity `json:"object"`
+}
+
+// KB is an in-memory knowledge base. Safe for concurrent reads after
+// loading; loads are serialised internally.
+type KB struct {
+	mu      sync.RWMutex
+	records map[event.Entity]*Record
+}
+
+// New creates an empty knowledge base.
+func New() *KB {
+	return &KB{records: make(map[event.Entity]*Record)}
+}
+
+// ErrDuplicate reports an Add of an already-present entity ID.
+var ErrDuplicate = errors.New("kb: duplicate entity")
+
+// Add inserts a record. The ID must be unique.
+func (k *KB) Add(r *Record) error {
+	if r.ID == "" {
+		return errors.New("kb: record without ID")
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, dup := k.records[r.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicate, r.ID)
+	}
+	cp := *r
+	cp.Aliases = append([]string(nil), r.Aliases...)
+	cp.Related = append([]Relation(nil), r.Related...)
+	k.records[r.ID] = &cp
+	return nil
+}
+
+// Get returns the record for an entity, or nil.
+func (k *KB) Get(e event.Entity) *Record {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.records[e]
+}
+
+// Len returns the number of records.
+func (k *KB) Len() int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return len(k.records)
+}
+
+// Entities returns all entity IDs, sorted.
+func (k *KB) Entities() []event.Entity {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make([]event.Entity, 0, len(k.records))
+	for e := range k.records {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LoadJSONL reads records from a JSONL stream (one Record per line),
+// returning the number loaded. Duplicate IDs abort the load.
+func (k *KB) LoadJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return n, fmt.Errorf("kb: line %d: %w", n+1, err)
+		}
+		if err := k.Add(&rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+// Gazetteer derives an extraction gazetteer from the knowledge base:
+// every record's label and aliases become surface forms of its entity.
+// This is how KB integration feeds back into the pipeline — richer KBs
+// yield richer annotation.
+func (k *KB) Gazetteer() *extract.Gazetteer {
+	g := extract.NewGazetteer()
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	for _, r := range k.records {
+		if r.Label != "" {
+			g.Add(r.Label, r.ID)
+		}
+		for _, a := range r.Aliases {
+			g.Add(a, r.ID)
+		}
+	}
+	return g
+}
+
+// Context describes a story's entities with KB knowledge: resolved
+// records, unknown entities, and intra-story relations (pairs of story
+// entities directly related in the KB) — the "context of stories" panel.
+type Context struct {
+	Known    []*Record
+	Unknown  []event.Entity
+	Links    []Link
+	TypeFreq map[string]int
+}
+
+// Link is a KB relation whose subject and object both occur in the story.
+type Link struct {
+	Subject   event.Entity
+	Predicate string
+	Object    event.Entity
+}
+
+// StoryContext resolves the entities of an entity-frequency map (a story
+// or integrated story aggregate) against the knowledge base.
+func (k *KB) StoryContext(entities map[event.Entity]int) *Context {
+	ctx := &Context{TypeFreq: make(map[string]int)}
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	present := make(map[event.Entity]bool, len(entities))
+	ids := make([]event.Entity, 0, len(entities))
+	for e := range entities {
+		present[e] = true
+		ids = append(ids, e)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, e := range ids {
+		r := k.records[e]
+		if r == nil {
+			ctx.Unknown = append(ctx.Unknown, e)
+			continue
+		}
+		ctx.Known = append(ctx.Known, r)
+		ctx.TypeFreq[r.Type]++
+		for _, rel := range r.Related {
+			if present[rel.Object] {
+				ctx.Links = append(ctx.Links, Link{Subject: e, Predicate: rel.Predicate, Object: rel.Object})
+			}
+		}
+	}
+	return ctx
+}
+
+// Seed returns a knowledge base covering the paper's running examples,
+// the offline stand-in for a DBpedia snapshot.
+func Seed() *KB {
+	k := New()
+	for _, r := range []Record{
+		{ID: "UKR", Label: "Ukraine", Type: "country", Aliases: []string{"ukrainian"},
+			Abstract: "Country in eastern Europe; site of the 2014 crisis.",
+			Related:  []Relation{{Predicate: "borders", Object: "RUS"}, {Predicate: "contains", Object: "DONETSK"}, {Predicate: "contains", Object: "CRIMEA"}}},
+		{ID: "RUS", Label: "Russia", Type: "country", Aliases: []string{"russian", "russians"},
+			Abstract: "Country spanning eastern Europe and northern Asia.",
+			Related:  []Relation{{Predicate: "borders", Object: "UKR"}}},
+		{ID: "MAL", Label: "Malaysia", Type: "country", Aliases: []string{"malaysian"},
+			Abstract: "Country in southeast Asia."},
+		{ID: "MAL_AIR", Label: "Malaysia Airlines", Type: "company", Aliases: []string{"malaysian airlines"},
+			Abstract: "Flag carrier airline of Malaysia; operator of flight MH17.",
+			Related:  []Relation{{Predicate: "basedIn", Object: "MAL"}}},
+		{ID: "NTH", Label: "Netherlands", Type: "country", Aliases: []string{"dutch", "amsterdam"},
+			Abstract: "Country in western Europe; most MH17 victims were Dutch."},
+		{ID: "UN", Label: "United Nations", Type: "organization",
+			Abstract: "Intergovernmental organization."},
+		{ID: "US", Label: "United States", Type: "country", Aliases: []string{"american"},
+			Abstract: "Country in North America."},
+		{ID: "EU", Label: "European Union", Type: "organization",
+			Abstract: "Political and economic union of European states.",
+			Related:  []Relation{{Predicate: "member", Object: "NTH"}}},
+		{ID: "DONETSK", Label: "Donetsk", Type: "location",
+			Abstract: "City in eastern Ukraine.",
+			Related:  []Relation{{Predicate: "locatedIn", Object: "UKR"}}},
+		{ID: "CRIMEA", Label: "Crimea", Type: "location",
+			Abstract: "Peninsula on the Black Sea.",
+			Related:  []Relation{{Predicate: "locatedIn", Object: "UKR"}}},
+		{ID: "BOEING", Label: "Boeing", Type: "company",
+			Abstract: "Aircraft manufacturer; built the 777 lost as MH17."},
+		{ID: "GOOG", Label: "Google", Type: "company",
+			Abstract: "Search and advertising company."},
+		{ID: "YELP", Label: "Yelp", Type: "company",
+			Abstract: "Local-business review platform.",
+			Related:  []Relation{{Predicate: "competitorOf", Object: "GOOG"}}},
+		{ID: "ISL", Label: "Israel", Type: "country", Aliases: []string{"israeli"},
+			Abstract: "Country in western Asia."},
+		{ID: "PAL", Label: "Palestine", Type: "country", Aliases: []string{"palestinian"},
+			Abstract: "Territories in western Asia."},
+	} {
+		rec := r
+		if err := k.Add(&rec); err != nil {
+			panic(err) // seed data is static; a duplicate is a programming error
+		}
+	}
+	return k
+}

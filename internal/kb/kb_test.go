@@ -1,0 +1,145 @@
+package kb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/text"
+)
+
+func TestAddGetLen(t *testing.T) {
+	k := New()
+	if err := k.Add(&Record{ID: "UKR", Label: "Ukraine", Type: "country"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Add(&Record{ID: "UKR"}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate add error = %v", err)
+	}
+	if err := k.Add(&Record{}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	if k.Len() != 1 {
+		t.Fatalf("Len = %d", k.Len())
+	}
+	if got := k.Get("UKR"); got == nil || got.Label != "Ukraine" {
+		t.Fatalf("Get = %+v", got)
+	}
+	if k.Get("NOPE") != nil {
+		t.Fatal("Get of absent entity should be nil")
+	}
+}
+
+func TestAddIsolatesCallerSlices(t *testing.T) {
+	k := New()
+	aliases := []string{"ukrainian"}
+	k.Add(&Record{ID: "UKR", Aliases: aliases})
+	aliases[0] = "mutated"
+	if k.Get("UKR").Aliases[0] != "ukrainian" {
+		t.Fatal("KB shares alias slice with caller")
+	}
+}
+
+func TestLoadJSONL(t *testing.T) {
+	input := `{"id":"UKR","label":"Ukraine","type":"country","aliases":["ukrainian"]}
+{"id":"RUS","label":"Russia","type":"country","related":[{"predicate":"borders","object":"UKR"}]}
+
+`
+	k := New()
+	n, err := k.LoadJSONL(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || k.Len() != 2 {
+		t.Fatalf("loaded %d, Len %d", n, k.Len())
+	}
+	rus := k.Get("RUS")
+	if len(rus.Related) != 1 || rus.Related[0].Object != "UKR" {
+		t.Fatalf("relations not loaded: %+v", rus)
+	}
+	// Malformed JSON aborts with position info.
+	if _, err := New().LoadJSONL(strings.NewReader("{nope")); err == nil {
+		t.Fatal("malformed JSONL accepted")
+	}
+	// Duplicates abort.
+	if _, err := New().LoadJSONL(strings.NewReader(`{"id":"A"}` + "\n" + `{"id":"A"}`)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate load error = %v", err)
+	}
+}
+
+func TestEntitiesSorted(t *testing.T) {
+	k := Seed()
+	ents := k.Entities()
+	if len(ents) != k.Len() {
+		t.Fatalf("Entities len %d != Len %d", len(ents), k.Len())
+	}
+	for i := 1; i < len(ents); i++ {
+		if ents[i] <= ents[i-1] {
+			t.Fatal("Entities not sorted")
+		}
+	}
+}
+
+func TestGazetteerFromKB(t *testing.T) {
+	k := Seed()
+	g := k.Gazetteer()
+	toks := text.StemAll(text.Tokenize("Malaysia Airlines flight crashed over Ukraine, Dutch investigators say"))
+	found := g.FindAll(toks)
+	want := map[event.Entity]bool{"MAL_AIR": true, "UKR": true, "NTH": true}
+	got := map[event.Entity]bool{}
+	for _, e := range found {
+		got[e] = true
+	}
+	for e := range want {
+		if !got[e] {
+			t.Errorf("gazetteer missed %s (found %v)", e, found)
+		}
+	}
+}
+
+func TestStoryContext(t *testing.T) {
+	k := Seed()
+	ctx := k.StoryContext(map[event.Entity]int{
+		"UKR": 5, "RUS": 2, "DONETSK": 1, "ent_unknown": 3,
+	})
+	if len(ctx.Known) != 3 {
+		t.Fatalf("Known = %d", len(ctx.Known))
+	}
+	if len(ctx.Unknown) != 1 || ctx.Unknown[0] != "ent_unknown" {
+		t.Fatalf("Unknown = %v", ctx.Unknown)
+	}
+	if ctx.TypeFreq["country"] != 2 || ctx.TypeFreq["location"] != 1 {
+		t.Fatalf("TypeFreq = %v", ctx.TypeFreq)
+	}
+	// Intra-story links: UKR borders RUS (and vice versa), DONETSK in UKR,
+	// UKR contains DONETSK.
+	if len(ctx.Links) < 3 {
+		t.Fatalf("Links = %+v", ctx.Links)
+	}
+	hasLink := func(s event.Entity, p string, o event.Entity) bool {
+		for _, l := range ctx.Links {
+			if l.Subject == s && l.Predicate == p && l.Object == o {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasLink("UKR", "borders", "RUS") || !hasLink("DONETSK", "locatedIn", "UKR") {
+		t.Fatalf("expected links missing: %+v", ctx.Links)
+	}
+	// Empty input.
+	empty := k.StoryContext(nil)
+	if len(empty.Known) != 0 || len(empty.Unknown) != 0 {
+		t.Fatal("empty context not empty")
+	}
+}
+
+func TestSeedCoversRunningExample(t *testing.T) {
+	k := Seed()
+	for _, e := range []event.Entity{"UKR", "RUS", "MAL", "MAL_AIR", "NTH", "UN", "GOOG", "YELP"} {
+		if k.Get(e) == nil {
+			t.Errorf("seed missing %s", e)
+		}
+	}
+}

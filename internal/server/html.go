@@ -1,0 +1,200 @@
+package server
+
+// indexHTML is the embedded single-page demo UI. It mirrors the paper's
+// module structure: document selection (Figure 3), story overview
+// (Figure 4), stories per source (Figure 5), snippets per story
+// (Figure 6), and statistics (Figure 7). The page is dependency-free
+// vanilla JS talking to the JSON API.
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>StoryPivot</title>
+<style>
+  :root { --ink:#1f2430; --muted:#697186; --line:#d9dde7; --accent:#2457a6; --bg:#f6f7fa; }
+  * { box-sizing: border-box; }
+  body { font: 14px/1.5 system-ui, sans-serif; color: var(--ink); background: var(--bg); margin: 0; }
+  header { background: var(--accent); color: #fff; padding: 12px 24px; display:flex; align-items:baseline; gap:16px; }
+  header h1 { font-size: 20px; margin: 0; }
+  header span { opacity:.8; font-size:12px; }
+  main { display: grid; grid-template-columns: 1fr 1fr; gap: 16px; padding: 16px 24px; max-width: 1280px; margin: 0 auto; }
+  section { background:#fff; border:1px solid var(--line); border-radius:8px; padding:14px 16px; }
+  section.wide { grid-column: 1 / -1; }
+  h2 { font-size:15px; margin:0 0 10px; color: var(--accent); }
+  table { border-collapse: collapse; width:100%; font-size:13px; }
+  th, td { text-align:left; padding:4px 8px; border-bottom:1px solid var(--line); vertical-align: top;}
+  th { color:var(--muted); font-weight:600; }
+  tr.sel { background:#eef3fb; }
+  .pill { display:inline-block; background:#eef3fb; color:var(--accent); border-radius:10px; padding:0 8px; margin:1px 2px; font-size:12px; }
+  .role-aligning { color:#1a7f37; } .role-enriching { color:#9a6700; }
+  button { background:var(--accent); color:#fff; border:0; border-radius:6px; padding:5px 12px; cursor:pointer; }
+  button.ghost { background:#fff; color:var(--accent); border:1px solid var(--accent); }
+  .muted { color:var(--muted); }
+  input[type=text] { border:1px solid var(--line); border-radius:6px; padding:5px 8px; width:220px; }
+  .row { display:flex; gap:8px; align-items:center; margin-bottom:8px; flex-wrap:wrap;}
+</style>
+</head>
+<body>
+<header><h1>StoryPivot</h1><span>comparing and contrasting story evolution &mdash; SIGMOD 2015 demo reproduction</span></header>
+<main>
+  <section class="wide">
+    <h2>Document Selection</h2>
+    <div class="row">
+      <button onclick="selectAll()">Select all</button>
+      <button class="ghost" onclick="selectNone()">Clear</button>
+      <span class="muted" id="docCount"></span>
+    </div>
+    <table id="docs"><thead><tr><th></th><th>Source</th><th>Description</th><th>URL</th></tr></thead><tbody></tbody></table>
+  </section>
+  <section>
+    <h2>Story Overview (aligned across sources)</h2>
+    <table id="integrated"><thead><tr><th>Story</th><th>Sources</th><th>Entities</th><th>Snippets</th><th>Window</th></tr></thead><tbody></tbody></table>
+  </section>
+  <section>
+    <h2>Stories per Source</h2>
+    <div class="row"><select id="srcSel" onchange="loadStories()"></select></div>
+    <table id="stories"><thead><tr><th>Story</th><th>Entities</th><th>Description</th><th>Snippets</th></tr></thead><tbody></tbody></table>
+  </section>
+  <section class="wide">
+    <h2>Snippets per Story</h2>
+    <div class="row"><span class="muted">Click a story above to inspect its snippets and their alignment roles.</span></div>
+    <table id="snippets"><thead><tr><th>Snippet</th><th>Source</th><th>Time</th><th>Entities</th><th>Description</th><th>Role</th></tr></thead><tbody></tbody></table>
+  </section>
+  <section>
+    <h2>Knowledge-Base Context</h2>
+    <div class="row"><span class="muted">Entities of the selected story, resolved against the knowledge base.</span></div>
+    <table id="kbctx"><thead><tr><th>Entity</th><th>Type</th><th>About</th></tr></thead><tbody></tbody></table>
+    <div id="kblinks" class="muted"></div>
+  </section>
+  <section>
+    <h2>Source Profiles</h2>
+    <table id="profiles"><thead><tr><th>Source</th><th>Coverage</th><th>Mean lag</th><th>Firsts</th><th>Exclusive</th></tr></thead><tbody></tbody></table>
+  </section>
+  <section class="wide">
+    <h2>Statistics</h2>
+    <div class="row"><span id="statsLine" class="muted"></span></div>
+    <table id="stats"><thead><tr><th>Source</th><th>Snippets</th><th>Stories</th><th>Comparisons</th><th>Splits</th><th>Merges</th></tr></thead><tbody></tbody></table>
+  </section>
+</main>
+<script>
+async function j(url, opts) { const r = await fetch(url, opts); return r.json(); }
+function esc(s){ const d=document.createElement('div'); d.textContent=s??''; return d.innerHTML; }
+
+async function loadDocs() {
+  const docs = await j('/api/documents');
+  const tb = document.querySelector('#docs tbody'); tb.innerHTML='';
+  document.getElementById('docCount').textContent = docs.filter(d=>d.selected).length + ' of ' + docs.length + ' selected';
+  for (const d of docs) {
+    const tr = document.createElement('tr'); if (d.selected) tr.className='sel';
+    tr.innerHTML = '<td><input type="checkbox" '+(d.selected?'checked':'')+' onchange="toggleDoc(\''+d.url+'\', this.checked)"></td>'+
+      '<td>'+esc(d.source)+'</td><td><b>'+esc(d.title)+'</b><br><span class="muted">'+esc(d.preview)+'</span></td><td class="muted">'+esc(d.url)+'</td>';
+    tb.appendChild(tr);
+  }
+}
+async function currentSelection() {
+  const docs = await j('/api/documents');
+  return docs.filter(d=>d.selected).map(d=>d.url);
+}
+async function toggleDoc(url, on) {
+  const sel = await currentSelection();
+  const next = on ? [...sel, url] : sel.filter(u=>u!==url);
+  await j('/api/documents/select', {method:'POST', body: JSON.stringify({urls: next})});
+  refresh();
+}
+async function selectAll() {
+  const docs = await j('/api/documents');
+  await j('/api/documents/select', {method:'POST', body: JSON.stringify({urls: docs.map(d=>d.url)})});
+  refresh();
+}
+async function selectNone() {
+  await j('/api/documents/select', {method:'POST', body: JSON.stringify({urls: []})});
+  refresh();
+}
+async function loadIntegrated() {
+  const list = await j('/api/integrated');
+  const tb = document.querySelector('#integrated tbody'); tb.innerHTML='';
+  for (const s of list) {
+    const tr = document.createElement('tr');
+    tr.style.cursor='pointer';
+    tr.onclick = () => loadSnippets(s.id);
+    tr.innerHTML = '<td>c&prime;'+s.id+'</td><td>'+(s.sources||[]).map(x=>'<span class="pill">'+esc(x)+'</span>').join('')+'</td>'+
+      '<td>'+(s.entities||[]).slice(0,4).map(e=>'<span class="pill">'+esc(e.entity)+','+e.count+'</span>').join('')+'</td>'+
+      '<td>'+s.snippets+'</td><td class="muted">'+s.start.slice(0,10)+' &rarr; '+s.end.slice(0,10)+'</td>';
+    tb.appendChild(tr);
+  }
+}
+async function loadSources() {
+  const list = await j('/api/sources');
+  const sel = document.getElementById('srcSel'); sel.innerHTML='';
+  for (const s of list) { const o=document.createElement('option'); o.value=o.textContent=s; sel.appendChild(o); }
+  if (list.length) loadStories();
+}
+async function loadStories() {
+  const src = document.getElementById('srcSel').value; if (!src) return;
+  const list = await j('/api/stories?source='+encodeURIComponent(src));
+  const tb = document.querySelector('#stories tbody'); tb.innerHTML='';
+  for (const s of list) {
+    const tr = document.createElement('tr');
+    tr.innerHTML = '<td>c'+s.id+'</td><td>'+(s.entities||[]).slice(0,4).map(e=>'<span class="pill">'+esc(e.entity)+','+e.count+'</span>').join('')+'</td>'+
+      '<td class="muted">'+(s.description||[]).slice(0,5).map(t=>esc(t.token)).join(', ')+'</td><td>'+s.snippets+'</td>';
+    tb.appendChild(tr);
+  }
+}
+async function loadContext(id) {
+  const tb = document.querySelector('#kbctx tbody'); tb.innerHTML='';
+  const linksEl = document.getElementById('kblinks'); linksEl.textContent='';
+  try {
+    const r = await fetch('/api/context/'+id);
+    if (!r.ok) return;
+    const ctx = await r.json();
+    for (const rec of (ctx.Known||[])) {
+      const tr = document.createElement('tr');
+      tr.innerHTML = '<td><span class="pill">'+esc(rec.id)+'</span></td><td>'+esc(rec.type)+'</td><td class="muted">'+esc(rec.abstract||'')+'</td>';
+      tb.appendChild(tr);
+    }
+    const links = (ctx.Links||[]).map(l=>l.Subject+' →'+l.Predicate+'→ '+l.Object);
+    if (links.length) linksEl.textContent = 'relations: ' + links.join('; ');
+  } catch (e) { /* no KB attached */ }
+}
+async function loadProfiles() {
+  const tb = document.querySelector('#profiles tbody'); tb.innerHTML='';
+  const list = await j('/api/profiles');
+  for (const p of list) {
+    const tr = document.createElement('tr');
+    const lagH = (p.MeanLag||0)/3.6e12;
+    tr.innerHTML = '<td>'+esc(p.Source)+'</td><td>'+((p.Coverage||0)*100).toFixed(0)+'%</td>'+
+      '<td>'+lagH.toFixed(1)+'h</td><td>'+(p.FirstReports||0)+'</td><td>'+((p.Exclusivity||0)*100).toFixed(0)+'%</td>';
+    tb.appendChild(tr);
+  }
+}
+async function loadSnippets(id) {
+  loadContext(id);
+  const s = await j('/api/integrated/'+id);
+  const tb = document.querySelector('#snippets tbody'); tb.innerHTML='';
+  for (const sn of (s.snippetList||[])) {
+    const tr = document.createElement('tr');
+    tr.innerHTML = '<td>v'+sn.id+'</td><td>'+esc(sn.source)+'</td><td class="muted">'+sn.timestamp.slice(0,10)+'</td>'+
+      '<td>'+(sn.entities||[]).map(e=>'<span class="pill">'+esc(e)+'</span>').join('')+'</td>'+
+      '<td class="muted">'+(sn.description||[]).slice(0,6).join(', ')+'</td>'+
+      '<td class="role-'+esc(sn.role)+'">'+esc(sn.role||'')+'</td>';
+    tb.appendChild(tr);
+  }
+}
+async function loadStats() {
+  const s = await j('/api/stats');
+  document.getElementById('statsLine').textContent =
+    s.ingested+' snippets | '+s.integratedStories+' integrated stories ('+s.multiSourceStories+' multi-source) | '+
+    s.matches+' matches | ingest mean '+(s.ingestMeanMicros||0).toFixed(0)+'us | align mean '+(s.alignMeanMs||0).toFixed(1)+'ms';
+  const tb = document.querySelector('#stats tbody'); tb.innerHTML='';
+  for (const r of (s.sources||[])) {
+    const tr = document.createElement('tr');
+    tr.innerHTML = '<td>'+esc(r.source)+'</td><td>'+r.snippets+'</td><td>'+r.stories+'</td><td>'+r.comparisons+'</td><td>'+r.splits+'</td><td>'+r.merges+'</td>';
+    tb.appendChild(tr);
+  }
+}
+async function refresh() { await loadDocs(); await loadIntegrated(); await loadSources(); await loadStats(); await loadProfiles(); }
+refresh();
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,440 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	storypivot "repro"
+	"repro/internal/eval"
+	"repro/internal/event"
+)
+
+// Server is the demonstration backend. It owns a set of available
+// documents (Figure 3's document-selection module); the selected subset is
+// run through a StoryPivot pipeline whose results the remaining modules
+// expose. Adding a document ingests it incrementally; deselecting rebuilds
+// the pipeline from the remaining selection, which mirrors the demo's
+// "remove documents ... to explore how missing information affects the
+// displayed stories" interaction (small interactive corpora make the
+// rebuild instantaneous).
+type Server struct {
+	opts []storypivot.Option
+
+	mu        sync.Mutex
+	pipeline  *storypivot.Pipeline
+	available []*storypivot.Document
+	selected  map[string]bool // by URL
+	ingestT   *eval.Timer
+	alignT    *eval.Timer
+}
+
+// New creates a server; opts configure every pipeline it builds.
+func New(opts ...storypivot.Option) (*Server, error) {
+	p, err := storypivot.New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		opts:     opts,
+		pipeline: p,
+		selected: make(map[string]bool),
+		ingestT:  eval.NewTimer(),
+		alignT:   eval.NewTimer(),
+	}, nil
+}
+
+// Preload registers documents as available (but not selected).
+func (s *Server) Preload(docs ...*storypivot.Document) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.available = append(s.available, docs...)
+}
+
+// SelectAll selects every available document and ingests it.
+func (s *Server) SelectAll() error {
+	s.mu.Lock()
+	urls := make([]string, 0, len(s.available))
+	for _, d := range s.available {
+		urls = append(urls, d.URL)
+	}
+	s.mu.Unlock()
+	return s.Select(urls)
+}
+
+// Select replaces the selection with the given URLs and rebuilds the
+// pipeline over them.
+func (s *Server) Select(urls []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	want := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		want[u] = true
+	}
+	return s.rebuildLocked(want)
+}
+
+func (s *Server) rebuildLocked(want map[string]bool) error {
+	p, err := storypivot.New(s.opts...)
+	if err != nil {
+		return err
+	}
+	old := s.pipeline
+	s.pipeline = p
+	s.selected = make(map[string]bool)
+	for _, d := range s.available {
+		if want[d.URL] {
+			start := time.Now()
+			if _, err := p.AddDocument(d); err != nil {
+				continue // documents with no extractable content stay unselected
+			}
+			s.ingestT.Observe(time.Since(start))
+			s.selected[d.URL] = true
+		}
+	}
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
+// AddDocument registers a new document, selects it, and ingests it
+// incrementally.
+func (s *Server) AddDocument(d *storypivot.Document) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, have := range s.available {
+		if have.URL == d.URL {
+			return fmt.Errorf("server: document %q already registered", d.URL)
+		}
+	}
+	start := time.Now()
+	if _, err := s.pipeline.AddDocument(d); err != nil {
+		return err
+	}
+	s.ingestT.Observe(time.Since(start))
+	s.available = append(s.available, d)
+	s.selected[d.URL] = true
+	return nil
+}
+
+// RemoveDocument deselects a document and rebuilds the pipeline without
+// it. It reports whether the document was selected.
+func (s *Server) RemoveDocument(url string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.selected[url] {
+		return false, nil
+	}
+	want := make(map[string]bool, len(s.selected))
+	for u := range s.selected {
+		if u != url {
+			want[u] = true
+		}
+	}
+	return true, s.rebuildLocked(want)
+}
+
+// Pipeline returns the live pipeline (for embedding in other tools).
+func (s *Server) Pipeline() *storypivot.Pipeline {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipeline
+}
+
+// Handler returns the HTTP handler exposing the demo API and UI.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/documents", s.handleDocuments)
+	mux.HandleFunc("POST /api/documents", s.handleAddDocument)
+	mux.HandleFunc("POST /api/documents/select", s.handleSelect)
+	mux.HandleFunc("DELETE /api/documents", s.handleRemoveDocument)
+	mux.HandleFunc("GET /api/sources", s.handleSources)
+	mux.HandleFunc("GET /api/stories", s.handleStories)
+	mux.HandleFunc("GET /api/integrated", s.handleIntegrated)
+	mux.HandleFunc("GET /api/integrated/{id}", s.handleIntegratedOne)
+	mux.HandleFunc("GET /api/search", s.handleSearch)
+	mux.HandleFunc("GET /api/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /api/context/{id}", s.handleContext)
+	mux.HandleFunc("GET /api/profiles", s.handleProfiles)
+	mux.HandleFunc("GET /api/trending", s.handleTrending)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /", s.handleIndex)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func (s *Server) handleDocuments(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DocumentView, 0, len(s.available))
+	for _, d := range s.available {
+		preview := d.Body
+		if len(preview) > 140 {
+			preview = preview[:140] + "..."
+		}
+		out = append(out, DocumentView{
+			Source:    string(d.Source),
+			URL:       d.URL,
+			Title:     d.Title,
+			Preview:   preview,
+			Published: d.Published,
+			Selected:  s.selected[d.URL],
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleAddDocument(w http.ResponseWriter, r *http.Request) {
+	var d storypivot.Document
+	if err := json.NewDecoder(r.Body).Decode(&d); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid document JSON: "+err.Error())
+		return
+	}
+	if err := s.AddDocument(&d); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, map[string]string{"status": "added", "url": d.URL})
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		URLs []string `json:"urls"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid selection JSON: "+err.Error())
+		return
+	}
+	if err := s.Select(req.URLs); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"status": "selected", "count": len(req.URLs)})
+}
+
+func (s *Server) handleRemoveDocument(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		httpError(w, http.StatusBadRequest, "missing url parameter")
+		return
+	}
+	ok, err := s.RemoveDocument(url)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "document not selected: "+url)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "removed", "url": url})
+}
+
+func (s *Server) handleSources(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Pipeline().Sources())
+}
+
+func (s *Server) handleStories(w http.ResponseWriter, r *http.Request) {
+	src := r.URL.Query().Get("source")
+	if src == "" {
+		httpError(w, http.StatusBadRequest, "missing source parameter")
+		return
+	}
+	stories := s.Pipeline().Stories(storypivot.SourceID(src))
+	out := make([]StoryView, 0, len(stories))
+	for _, st := range stories {
+		out = append(out, storyView(st, r.URL.Query().Get("detail") == "1"))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, out)
+}
+
+func (s *Server) handleIntegrated(w http.ResponseWriter, _ *http.Request) {
+	start := time.Now()
+	res := s.Pipeline().Result()
+	s.alignT.Observe(time.Since(start))
+	out := make([]IntegratedView, 0, len(res.Integrated()))
+	for _, is := range res.Integrated() {
+		out = append(out, integratedView(is, false))
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleIntegratedOne(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid story id")
+		return
+	}
+	for _, is := range s.Pipeline().Result().Integrated() {
+		if uint64(is.ID) == id {
+			writeJSON(w, integratedView(is, true))
+			return
+		}
+	}
+	httpError(w, http.StatusNotFound, "no such integrated story")
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	hits := s.Pipeline().Search(q)
+	out := make([]IntegratedView, 0, len(hits))
+	for _, is := range hits {
+		out = append(out, integratedView(is, false))
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	e := r.URL.Query().Get("entity")
+	if e == "" {
+		httpError(w, http.StatusBadRequest, "missing entity parameter")
+		return
+	}
+	sns := s.Pipeline().Timeline(storypivot.Entity(e))
+	out := make([]SnippetView, 0, len(sns))
+	for _, sn := range sns {
+		out = append(out, snippetView(sn, event.RoleUnknown))
+	}
+	writeJSON(w, out)
+}
+
+// handleContext resolves an integrated story's entities against the
+// pipeline's knowledge base (paper §3: KB integration for story context).
+func (s *Server) handleContext(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid story id")
+		return
+	}
+	p := s.Pipeline()
+	if p.KnowledgeBase() == nil {
+		httpError(w, http.StatusNotImplemented, "no knowledge base attached")
+		return
+	}
+	for _, is := range p.Result().Integrated() {
+		if uint64(is.ID) == id {
+			writeJSON(w, p.Context(is))
+			return
+		}
+	}
+	httpError(w, http.StatusNotFound, "no such integrated story")
+}
+
+// handleProfiles serves the per-source reporting profiles (timeliness,
+// coverage, exclusivity) derived from the current alignment.
+func (s *Server) handleProfiles(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Pipeline().SourceProfiles())
+}
+
+// TrendView is one row of the trending endpoint.
+type TrendView struct {
+	Story  IntegratedView `json:"story"`
+	Recent int            `json:"recent"`
+	Score  float64        `json:"score"`
+}
+
+// handleTrending ranks stories by recent activity relative to their own
+// history. `now` defaults to the corpus's latest timestamp (demo corpora
+// are historical, so wall-clock now would always be quiet); `window`
+// accepts Go duration syntax (default 72h).
+func (s *Server) handleTrending(w http.ResponseWriter, r *http.Request) {
+	p := s.Pipeline()
+	_, end := p.Engine().TimeRange()
+	now := end
+	if v := r.URL.Query().Get("now"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "invalid now (want RFC3339)")
+			return
+		}
+		now = t
+	}
+	window := 72 * time.Hour
+	if v := r.URL.Query().Get("window"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "invalid window duration")
+			return
+		}
+		window = d
+	}
+	trends := p.Trending(now, window)
+	out := make([]TrendView, 0, len(trends))
+	for _, tr := range trends {
+		out = append(out, TrendView{
+			Story:  integratedView(tr.Story, false),
+			Recent: tr.Recent,
+			Score:  tr.Score,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	p := s.pipeline
+	docCount := len(s.selected)
+	ingestMean := s.ingestT.Mean()
+	alignMean := s.alignT.Mean()
+	s.mu.Unlock()
+
+	res := p.Result()
+	view := StatsView{
+		Ingested:      p.Engine().Ingested(),
+		Integrated:    len(res.Integrated()),
+		MultiSource:   len(res.MultiSource()),
+		Matches:       len(res.Matches()),
+		AlignMeanMs:   float64(alignMean) / float64(time.Millisecond),
+		IngestMeanUs:  float64(ingestMean) / float64(time.Microsecond),
+		DocumentCount: docCount,
+	}
+	for _, src := range p.Sources() {
+		id := p.Engine().Identifier(src)
+		if id == nil {
+			continue
+		}
+		st := id.Stats()
+		view.Sources = append(view.Sources, SourceStatsView{
+			Source:      string(src),
+			Snippets:    st.Processed,
+			Stories:     id.StoryCount(),
+			Comparisons: st.Comparisons,
+			Splits:      st.Splits,
+			Merges:      st.Merges,
+		})
+	}
+	view.EntityCount = int(p.Engine().DistinctEntities())
+	view.StartDate, view.EndDate = p.Engine().TimeRange()
+	writeJSON(w, view)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(indexHTML))
+}

@@ -1,0 +1,171 @@
+// Package server implements the StoryPivot demonstration backend: an HTTP
+// JSON API plus an embedded HTML front-end that mirrors the paper's demo
+// modules — document selection (Figure 3), story overview (Figure 4),
+// stories per source (Figure 5), snippets per story (Figure 6), and the
+// statistics module (Figure 7).
+package server
+
+import (
+	"time"
+
+	"repro/internal/event"
+)
+
+// SnippetView is the JSON rendering of a snippet (Figures 5/6 "Snippet
+// Information" panel).
+type SnippetView struct {
+	ID        uint64    `json:"id"`
+	Source    string    `json:"source"`
+	Timestamp time.Time `json:"timestamp"`
+	Entities  []string  `json:"entities"`
+	Terms     []string  `json:"description"`
+	Text      string    `json:"text,omitempty"`
+	Document  string    `json:"document,omitempty"`
+	Role      string    `json:"role,omitempty"`
+}
+
+func snippetView(s *event.Snippet, role event.SnippetRole) SnippetView {
+	v := SnippetView{
+		ID:        uint64(s.ID),
+		Source:    string(s.Source),
+		Timestamp: s.Timestamp,
+		Text:      s.Text,
+		Document:  s.Document,
+	}
+	for _, e := range s.Entities {
+		v.Entities = append(v.Entities, string(e))
+	}
+	for _, t := range s.Terms {
+		v.Terms = append(v.Terms, t.Token)
+	}
+	if role != event.RoleUnknown {
+		v.Role = role.String()
+	}
+	return v
+}
+
+// EntityCountView renders "{UKR,5}" style entries of the story panels.
+type EntityCountView struct {
+	Entity string `json:"entity"`
+	Count  int    `json:"count"`
+}
+
+// TermWeightView renders "{crash,3}" style entries.
+type TermWeightView struct {
+	Token  string  `json:"token"`
+	Weight float64 `json:"weight"`
+}
+
+// StoryView is the JSON rendering of a per-source story ("Story
+// Information" panel, Figure 5).
+type StoryView struct {
+	ID       uint64            `json:"id"`
+	Source   string            `json:"source"`
+	Start    time.Time         `json:"start"`
+	End      time.Time         `json:"end"`
+	Size     int               `json:"snippets"`
+	Entities []EntityCountView `json:"entities"`
+	Terms    []TermWeightView  `json:"description"`
+	Snippets []SnippetView     `json:"snippetList,omitempty"`
+}
+
+func storyView(st *event.Story, withSnippets bool) StoryView {
+	v := StoryView{
+		ID:     uint64(st.ID),
+		Source: string(st.Source),
+		Start:  st.Start,
+		End:    st.End,
+		Size:   st.Len(),
+	}
+	for _, ec := range st.TopEntities(10) {
+		v.Entities = append(v.Entities, EntityCountView{string(ec.Entity), ec.Count})
+	}
+	for _, tw := range st.TopTerms(10) {
+		v.Terms = append(v.Terms, TermWeightView{tw.Token, tw.Weight})
+	}
+	if withSnippets {
+		for _, s := range st.Snippets {
+			v.Snippets = append(v.Snippets, snippetView(s, event.RoleUnknown))
+		}
+	}
+	return v
+}
+
+// IntegratedView renders an integrated story (Figures 4 and 6).
+type IntegratedView struct {
+	ID       uint64            `json:"id"`
+	Sources  []string          `json:"sources"`
+	Start    time.Time         `json:"start"`
+	End      time.Time         `json:"end"`
+	Size     int               `json:"snippets"`
+	Members  []StoryView       `json:"members,omitempty"`
+	Entities []EntityCountView `json:"entities"`
+	Snippets []SnippetView     `json:"snippetList,omitempty"`
+}
+
+func integratedView(is *event.IntegratedStory, detail bool) IntegratedView {
+	start, end := is.Extent()
+	v := IntegratedView{
+		ID:    uint64(is.ID),
+		Start: start,
+		End:   end,
+		Size:  is.Len(),
+	}
+	for _, s := range is.Sources() {
+		v.Sources = append(v.Sources, string(s))
+	}
+	ef := is.EntityFreq()
+	// Top entities by count.
+	tmp := event.NewStory(0, "aggregate")
+	tmp.EntityFreq = ef
+	for _, ec := range tmp.TopEntities(10) {
+		v.Entities = append(v.Entities, EntityCountView{string(ec.Entity), ec.Count})
+	}
+	if detail {
+		for _, m := range is.Members {
+			v.Members = append(v.Members, storyView(m, false))
+		}
+		for _, s := range is.Snippets() {
+			v.Snippets = append(v.Snippets, snippetView(s, is.Roles[s.ID]))
+		}
+	}
+	return v
+}
+
+// DocumentView renders an entry of the document-selection module
+// (Figure 3).
+type DocumentView struct {
+	Source    string    `json:"source"`
+	URL       string    `json:"url"`
+	Title     string    `json:"title"`
+	Preview   string    `json:"preview"`
+	Published time.Time `json:"published"`
+	Selected  bool      `json:"selected"`
+}
+
+// SourceStatsView is one source's row in the statistics module (Figure 7).
+type SourceStatsView struct {
+	Source      string `json:"source"`
+	Snippets    int    `json:"snippets"`
+	Stories     int    `json:"stories"`
+	Comparisons int    `json:"comparisons"`
+	Splits      int    `json:"splits"`
+	Merges      int    `json:"merges"`
+}
+
+// StatsView is the statistics module payload.
+type StatsView struct {
+	Sources       []SourceStatsView `json:"sources"`
+	Ingested      uint64            `json:"ingested"`
+	Integrated    int               `json:"integratedStories"`
+	MultiSource   int               `json:"multiSourceStories"`
+	Matches       int               `json:"matches"`
+	AlignMeanMs   float64           `json:"alignMeanMs"`
+	IngestMeanUs  float64           `json:"ingestMeanMicros"`
+	IdentifyMode  string            `json:"identifyMode"`
+	WindowHours   float64           `json:"windowHours"`
+	StartDate     time.Time         `json:"startDate"`
+	EndDate       time.Time         `json:"endDate"`
+	EntityCount   int               `json:"entities"`
+	DocumentCount int               `json:"documents"`
+}

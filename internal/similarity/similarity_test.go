@@ -1,0 +1,407 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/event"
+)
+
+func day(d int) time.Time { return time.Date(2014, 7, d, 0, 0, 0, 0, time.UTC) }
+
+func snip(id event.SnippetID, src event.SourceID, d int, ents []event.Entity, terms ...event.Term) *event.Snippet {
+	s := &event.Snippet{ID: id, Source: src, Timestamp: day(d), Entities: ents, Terms: terms}
+	s.Normalize()
+	return s
+}
+
+func TestWeightsNormalized(t *testing.T) {
+	w := Weights{Entity: 2, Description: 1, Temporal: 1}.Normalized()
+	if math.Abs(w.Entity+w.Description+w.Temporal-1) > 1e-12 {
+		t.Fatalf("normalized weights sum to %g", w.Entity+w.Description+w.Temporal)
+	}
+	if w.Entity != 0.5 {
+		t.Errorf("Entity = %g, want 0.5", w.Entity)
+	}
+	// All-zero weights fall back to defaults.
+	z := Weights{}.Normalized()
+	if z != DefaultWeights() {
+		t.Errorf("zero weights normalized to %+v", z)
+	}
+}
+
+func TestCosineTerms(t *testing.T) {
+	a := map[string]float64{"crash": 1, "plane": 1}
+	b := map[string]float64{"crash": 1, "plane": 1}
+	if got := CosineTerms(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical vectors cosine = %g, want 1", got)
+	}
+	c := map[string]float64{"sanctions": 1}
+	if got := CosineTerms(a, c); got != 0 {
+		t.Errorf("orthogonal vectors cosine = %g, want 0", got)
+	}
+	if got := CosineTerms(nil, a); got != 0 {
+		t.Errorf("empty vector cosine = %g, want 0", got)
+	}
+	// Scaling invariance.
+	d := map[string]float64{"crash": 10, "plane": 10}
+	if got := CosineTerms(a, d); math.Abs(got-1) > 1e-12 {
+		t.Errorf("scaled vectors cosine = %g, want 1", got)
+	}
+}
+
+func TestCosineSymmetryAndRangeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vocab := []string{"a", "b", "c", "d", "e", "f"}
+	genVec := func() map[string]float64 {
+		v := make(map[string]float64)
+		for _, tok := range vocab {
+			if rng.Intn(2) == 0 {
+				v[tok] = rng.Float64() * 10
+			}
+		}
+		return v
+	}
+	f := func(int64) bool {
+		a, b := genVec(), genVec()
+		s1, s2 := CosineTerms(a, b), CosineTerms(b, a)
+		if math.Abs(s1-s2) > 1e-12 {
+			return false
+		}
+		return s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosineTermsNormMatchesCosineTerms(t *testing.T) {
+	a := map[string]float64{"crash": 2, "plane": 1}
+	b := map[string]float64{"crash": 1, "shot": 3}
+	var nb float64
+	for _, w := range b {
+		nb += w * w
+	}
+	got := CosineTermsNorm(a, b, math.Sqrt(nb))
+	want := CosineTerms(a, b)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CosineTermsNorm = %g, CosineTerms = %g", got, want)
+	}
+	if CosineTermsNorm(a, b, 0) != 0 {
+		t.Error("zero norm must yield 0")
+	}
+}
+
+func TestJaccardEntities(t *testing.T) {
+	story := map[event.Entity]int{"UKR": 3, "MAL": 1}
+	if got := JaccardEntities([]event.Entity{"UKR", "MAL"}, story); got != 1 {
+		t.Errorf("full overlap = %g, want 1", got)
+	}
+	if got := JaccardEntities([]event.Entity{"UKR", "RUS"}, story); got != 1.0/3 {
+		t.Errorf("partial = %g, want 1/3", got)
+	}
+	if got := JaccardEntities(nil, story); got != 0 {
+		t.Errorf("empty snippet = %g", got)
+	}
+	if got := JaccardEntities([]event.Entity{"UKR"}, nil); got != 0 {
+		t.Errorf("empty story = %g", got)
+	}
+	// Zero-count entries in the story map are treated as absent.
+	story2 := map[event.Entity]int{"UKR": 0}
+	if got := JaccardEntities([]event.Entity{"UKR"}, story2); got != 0 {
+		t.Errorf("zero-count entity counted: %g", got)
+	}
+}
+
+func TestJaccardEntitySetsSymmetric(t *testing.T) {
+	a := map[event.Entity]int{"A": 1, "B": 2, "C": 1}
+	b := map[event.Entity]int{"B": 5, "C": 1, "D": 2}
+	s1, s2 := JaccardEntitySets(a, b), JaccardEntitySets(b, a)
+	if s1 != s2 {
+		t.Fatalf("asymmetric: %g vs %g", s1, s2)
+	}
+	if want := 2.0 / 4.0; s1 != want {
+		t.Fatalf("Jaccard = %g, want %g", s1, want)
+	}
+}
+
+func TestTemporalDecay(t *testing.T) {
+	scale := 24 * time.Hour
+	if got := TemporalDecay(day(1), day(1), scale); got != 1 {
+		t.Errorf("zero distance = %g", got)
+	}
+	oneDayApart := TemporalDecay(day(1), day(2), scale)
+	if math.Abs(oneDayApart-1/math.E) > 1e-12 {
+		t.Errorf("one scale apart = %g, want 1/e", oneDayApart)
+	}
+	// Symmetric.
+	if TemporalDecay(day(2), day(1), scale) != oneDayApart {
+		t.Error("TemporalDecay not symmetric")
+	}
+	// Degenerate scale.
+	if TemporalDecay(day(1), day(2), 0) != 0 || TemporalDecay(day(1), day(1), 0) != 1 {
+		t.Error("zero scale handling wrong")
+	}
+}
+
+func TestGapDecay(t *testing.T) {
+	if GapDecay(-time.Hour, time.Hour) != 1 || GapDecay(0, time.Hour) != 1 {
+		t.Error("overlap must score 1")
+	}
+	if got := GapDecay(time.Hour, time.Hour); math.Abs(got-1/math.E) > 1e-12 {
+		t.Errorf("gap=scale decay = %g", got)
+	}
+	if GapDecay(time.Hour, 0) != 0 {
+		t.Error("zero scale with positive gap must be 0")
+	}
+}
+
+func TestSnippetStoryScore(t *testing.T) {
+	st := event.NewStory(1, "nyt")
+	st.Add(snip(1, "nyt", 17, []event.Entity{"UKR", "MAL"}, event.Term{Token: "crash", Weight: 2}))
+	st.Add(snip(2, "nyt", 18, []event.Entity{"UKR"}, event.Term{Token: "investig", Weight: 1}))
+
+	matching := snip(3, "nyt", 18, []event.Entity{"UKR", "MAL"}, event.Term{Token: "crash", Weight: 1})
+	unrelated := snip(4, "nyt", 18, []event.Entity{"ISL"}, event.Term{Token: "settlement", Weight: 1})
+
+	w := DefaultWeights()
+	scale := 3 * 24 * time.Hour
+	sm := SnippetStory(matching, st.EntityFreq, st.Centroid, st.CentroidNorm(), day(18), scale, w)
+	su := SnippetStory(unrelated, st.EntityFreq, st.Centroid, st.CentroidNorm(), day(18), scale, w)
+	if !(sm > su) {
+		t.Fatalf("matching snippet (%g) must outscore unrelated (%g)", sm, su)
+	}
+	if sm < 0 || sm > 1 || su < 0 || su > 1 {
+		t.Fatalf("scores out of range: %g, %g", sm, su)
+	}
+}
+
+func TestSnippetsPairScore(t *testing.T) {
+	a := snip(1, "nyt", 17, []event.Entity{"MAL", "UKR"}, event.Term{Token: "crash", Weight: 1}, event.Term{Token: "plane", Weight: 1})
+	b := snip(2, "wsj", 17, []event.Entity{"MAL", "UKR"}, event.Term{Token: "crash", Weight: 2}, event.Term{Token: "plane", Weight: 2})
+	c := snip(3, "wsj", 17, []event.Entity{"GOOG"}, event.Term{Token: "search", Weight: 1})
+
+	scale := 24 * time.Hour
+	w := DefaultWeights()
+	sab := Snippets(a, b, scale, w)
+	sac := Snippets(a, c, scale, w)
+	if !(sab > sac) {
+		t.Fatalf("similar pair %g must outscore dissimilar %g", sab, sac)
+	}
+	if got := Snippets(b, a, scale, w); math.Abs(got-sab) > 1e-12 {
+		t.Error("Snippets not symmetric")
+	}
+	// Identical snippets at same time score close to 1.
+	if saa := Snippets(a, a, scale, w); math.Abs(saa-1) > 1e-9 {
+		t.Errorf("self-similarity = %g, want 1", saa)
+	}
+}
+
+func TestCosineSnippetTerms(t *testing.T) {
+	a := []event.Term{{Token: "a", Weight: 1}, {Token: "b", Weight: 2}}
+	b := []event.Term{{Token: "b", Weight: 2}, {Token: "c", Weight: 1}}
+	got := CosineSnippetTerms(a, b)
+	want := CosineTerms(map[string]float64{"a": 1, "b": 2}, map[string]float64{"b": 2, "c": 1})
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sorted-slice cosine %g != map cosine %g", got, want)
+	}
+	if CosineSnippetTerms(nil, b) != 0 {
+		t.Error("empty slice must yield 0")
+	}
+}
+
+func TestStoriesSimilarity(t *testing.T) {
+	cfg := DefaultStoryConfig()
+
+	mk := func(id event.StoryID, src event.SourceID, days []int, term string, ents ...event.Entity) *event.Story {
+		st := event.NewStory(id, src)
+		for i, d := range days {
+			st.Add(snip(event.SnippetID(uint64(id)*100+uint64(i)), src, d, ents, event.Term{Token: term, Weight: 1}))
+		}
+		return st
+	}
+
+	a := mk(1, "nyt", []int{17, 18, 20}, "crash", "UKR", "MAL")
+	b := mk(2, "wsj", []int{17, 19, 20}, "crash", "UKR", "MAL")
+	c := mk(3, "wsj", []int{17, 18}, "search", "GOOG")
+
+	sab := Stories(a, b, cfg)
+	sac := Stories(a, c, cfg)
+	if !(sab > sac) {
+		t.Fatalf("same-story pair %g must outscore different-story %g", sab, sac)
+	}
+	if sab <= 0 || sab > 1 {
+		t.Fatalf("score out of range: %g", sab)
+	}
+	// Symmetry (centroid-norm caching must not break it).
+	if sba := Stories(b, a, cfg); math.Abs(sab-sba) > 1e-9 {
+		t.Fatalf("Stories not symmetric: %g vs %g", sab, sba)
+	}
+	// Empty story.
+	empty := event.NewStory(9, "nyt")
+	if Stories(a, empty, cfg) != 0 || Stories(empty, a, cfg) != 0 {
+		t.Error("empty story similarity must be 0")
+	}
+}
+
+func TestStoriesTemporalGapPenalty(t *testing.T) {
+	cfg := DefaultStoryConfig()
+	cfg.EvolutionBuckets = 0 // isolate the gap component
+
+	mk := func(id event.StoryID, days []int) *event.Story {
+		st := event.NewStory(id, "s")
+		for i, d := range days {
+			st.Add(snip(event.SnippetID(uint64(id)*100+uint64(i)), "s", d, []event.Entity{"UKR"}, event.Term{Token: "crash", Weight: 1}))
+		}
+		return st
+	}
+	base := mk(1, []int{1, 2, 3})
+	near := mk(2, []int{3, 4})
+	far := mk(3, []int{25, 26})
+	if !(Stories(base, near, cfg) > Stories(base, far, cfg)) {
+		t.Fatal("temporally distant story must score lower (paper §2.3)")
+	}
+}
+
+func TestEvolutionSimilarity(t *testing.T) {
+	// Same burst shape vs inverted shape.
+	mk := func(id event.StoryID, days []int) *event.Story {
+		st := event.NewStory(id, "s")
+		for i, d := range days {
+			st.Add(snip(event.SnippetID(uint64(id)*1000+uint64(i)), "s", d, []event.Entity{"E"}, event.Term{Token: "t", Weight: 1}))
+		}
+		return st
+	}
+	burstEarly := mk(1, []int{1, 1, 1, 2, 20})
+	burstEarly2 := mk(2, []int{1, 1, 2, 2, 20})
+	burstLate := mk(3, []int{1, 19, 20, 20, 20})
+
+	same := evolutionSimilarity(burstEarly, burstEarly2, 8)
+	diff := evolutionSimilarity(burstEarly, burstLate, 8)
+	if !(same > diff) {
+		t.Fatalf("same-shape evolution %g must exceed inverted %g", same, diff)
+	}
+	// Degenerate: all snippets at one instant.
+	inst1, inst2 := mk(4, []int{5}), mk(5, []int{5})
+	if got := evolutionSimilarity(inst1, inst2, 8); got != 1 {
+		t.Errorf("degenerate span similarity = %g, want 1", got)
+	}
+}
+
+func TestWeightedJaccardEntities(t *testing.T) {
+	story := map[event.Entity]int{"POPULAR": 3, "RARE": 1}
+	uniform := func(event.Entity) float64 { return 1 }
+	// Uniform weights reduce to plain Jaccard. The slice follows the
+	// normalized-snippet invariant: sorted, deduplicated.
+	snip := []event.Entity{"OTHER", "POPULAR"}
+	if got, want := WeightedJaccardEntities(snip, story, uniform),
+		JaccardEntities(snip, story); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("uniform weighted %g != plain %g", got, want)
+	}
+	// Nil weighter delegates to plain Jaccard.
+	if got, want := WeightedJaccardEntities(snip, story, nil),
+		JaccardEntities(snip, story); got != want {
+		t.Fatalf("nil weighter %g != plain %g", got, want)
+	}
+	// Down-weighting the shared popular entity lowers the score.
+	idf := func(e event.Entity) float64 {
+		if e == "POPULAR" {
+			return 0.1
+		}
+		return 1
+	}
+	weighted := WeightedJaccardEntities(snip, story, idf)
+	plain := JaccardEntities(snip, story)
+	if !(weighted < plain) {
+		t.Fatalf("IDF-weighted %g not below plain %g", weighted, plain)
+	}
+	// Empty sides.
+	if WeightedJaccardEntities(nil, story, idf) != 0 ||
+		WeightedJaccardEntities(snip, nil, idf) != 0 {
+		t.Fatal("empty side must yield 0")
+	}
+	// Zero-count story entries are ignored.
+	zeroed := map[event.Entity]int{"POPULAR": 0, "RARE": 1}
+	if got := WeightedJaccardEntities([]event.Entity{"POPULAR"}, zeroed, idf); got != 0 {
+		t.Fatalf("zero-count entity counted: %g", got)
+	}
+}
+
+func TestWeightedJaccardEntitySets(t *testing.T) {
+	a := map[event.Entity]int{"A": 1, "B": 2}
+	b := map[event.Entity]int{"B": 1, "C": 4}
+	uniform := func(event.Entity) float64 { return 1 }
+	if got, want := WeightedJaccardEntitySets(a, b, uniform),
+		JaccardEntitySets(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("uniform weighted %g != plain %g", got, want)
+	}
+	if got, want := WeightedJaccardEntitySets(a, b, nil), JaccardEntitySets(a, b); got != want {
+		t.Fatalf("nil weighter %g != plain %g", got, want)
+	}
+	// Symmetry under weighting.
+	idf := func(e event.Entity) float64 {
+		if e == "B" {
+			return 0.2
+		}
+		return 1
+	}
+	if s1, s2 := WeightedJaccardEntitySets(a, b, idf), WeightedJaccardEntitySets(b, a, idf); math.Abs(s1-s2) > 1e-12 {
+		t.Fatalf("asymmetric: %g vs %g", s1, s2)
+	}
+	if WeightedJaccardEntitySets(nil, b, idf) != 0 || WeightedJaccardEntitySets(a, nil, idf) != 0 {
+		t.Fatal("empty side must yield 0")
+	}
+	zeroA := map[event.Entity]int{"A": 0, "B": 1}
+	zeroB := map[event.Entity]int{"B": 1, "C": 0}
+	if got := WeightedJaccardEntitySets(zeroA, zeroB, idf); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("zero-count entries not ignored: %g", got)
+	}
+}
+
+func TestAdaptiveWeighting(t *testing.T) {
+	w := DefaultWeights()
+	scale := 24 * time.Hour
+	st := event.NewStory(1, "s")
+	st.Add(snip(1, "s", 10, []event.Entity{"A"}, event.Term{Token: "x", Weight: 1}))
+
+	// Snippet with no entities: entity component dropped, description and
+	// temporal renormalised — a perfect description match at the same time
+	// must score high, not be capped by the missing entity evidence.
+	noEnt := &event.Snippet{ID: 2, Source: "s", Timestamp: day(10),
+		Terms: []event.Term{{Token: "x", Weight: 1}}}
+	noEnt.Normalize()
+	got := SnippetStory(noEnt, st.EntityFreq, st.Centroid, st.CentroidNorm(), day(10), scale, w)
+	if got < 0.95 {
+		t.Fatalf("entity-less perfect match scored %g", got)
+	}
+	// Snippet with no terms either: only temporal remains.
+	bare := &event.Snippet{ID: 3, Source: "s", Timestamp: day(10)}
+	got = SnippetStory(bare, st.EntityFreq, st.Centroid, st.CentroidNorm(), day(10), scale, w)
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("temporal-only match scored %g", got)
+	}
+	// Snippets pairwise: one side entity-less.
+	a := snip(4, "s", 10, []event.Entity{"A"}, event.Term{Token: "x", Weight: 1})
+	b := &event.Snippet{ID: 5, Source: "s", Timestamp: day(10),
+		Terms: []event.Term{{Token: "x", Weight: 1}}}
+	b.Normalize()
+	if got := Snippets(a, b, scale, w); got < 0.95 {
+		t.Fatalf("pairwise adaptive score %g", got)
+	}
+}
+
+func TestExtentGapDirections(t *testing.T) {
+	cfg := DefaultStoryConfig()
+	cfg.EvolutionBuckets = 0
+	early := event.NewStory(1, "s")
+	early.Add(snip(10, "s", 1, []event.Entity{"A"}, event.Term{Token: "x", Weight: 1}))
+	late := event.NewStory(2, "t")
+	late.Add(snip(11, "t", 20, []event.Entity{"A"}, event.Term{Token: "x", Weight: 1}))
+	// Both directions produce the same gap decay.
+	if s1, s2 := Stories(early, late, cfg), Stories(late, early, cfg); math.Abs(s1-s2) > 1e-9 {
+		t.Fatalf("gap direction asymmetry: %g vs %g", s1, s2)
+	}
+}

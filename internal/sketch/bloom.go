@@ -1,0 +1,77 @@
+package sketch
+
+import (
+	"math"
+)
+
+// Bloom is a Bloom filter: a compact set-membership summary with
+// configurable false-positive rate and no false negatives. The stream
+// engine uses one per source to cheaply reject duplicate snippet
+// deliveries (feeds can re-deliver on reconnect).
+//
+// Bloom is not safe for concurrent use.
+type Bloom struct {
+	bits   []uint64
+	nbits  uint64
+	hashes int
+	count  uint64
+}
+
+// NewBloom sizes a filter for the expected number of elements n and target
+// false-positive probability p.
+func NewBloom(n int, p float64) *Bloom {
+	if n <= 0 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return &Bloom{
+		bits:   make([]uint64, (m+63)/64),
+		nbits:  m,
+		hashes: k,
+	}
+}
+
+// Add inserts key into the filter.
+func (b *Bloom) Add(key string) {
+	h1, h2 := b.hashPair(key)
+	for i := 0; i < b.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % b.nbits
+		b.bits[idx/64] |= 1 << (idx % 64)
+	}
+	b.count++
+}
+
+// Contains reports whether key may have been added (false positives
+// possible, false negatives not).
+func (b *Bloom) Contains(key string) bool {
+	h1, h2 := b.hashPair(key)
+	for i := 0; i < b.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % b.nbits
+		if b.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of Add calls (not distinct elements).
+func (b *Bloom) Count() uint64 { return b.count }
+
+// hashPair derives two independent 64-bit hashes via Kirsch-Mitzenmacher
+// double hashing.
+func (b *Bloom) hashPair(key string) (uint64, uint64) {
+	h := fnv64(key)
+	h2 := h*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	h2 |= 1 // must be odd so the stride covers the ring
+	return h, h2
+}

@@ -1,0 +1,78 @@
+package sketch
+
+import (
+	"math"
+)
+
+// CountMin is a Count-Min sketch (Cormode & Muthukrishnan 2005 — the data
+// streams reference the paper cites for sketches): a fixed-size frequency
+// summary with one-sided error. StoryPivot uses it to track global entity
+// mention frequencies across the stream without holding exact counters for
+// 10M-snippet corpora, which powers the statistics module's entity panels.
+//
+// CountMin is not safe for concurrent use; callers wrap it with their own
+// synchronisation.
+type CountMin struct {
+	depth, width int
+	rows         [][]uint64
+	seeds        []uint64
+	total        uint64
+}
+
+// NewCountMin creates a sketch with the given error bounds: estimates are
+// within epsilon*N of the true count with probability 1-delta, where N is
+// the total number of increments.
+func NewCountMin(epsilon, delta float64) *CountMin {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		panic("sketch: epsilon and delta must be in (0, 1)")
+	}
+	width := int(math.Ceil(math.E / epsilon))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	return NewCountMinSized(depth, width)
+}
+
+// NewCountMinSized creates a sketch with explicit dimensions.
+func NewCountMinSized(depth, width int) *CountMin {
+	if depth <= 0 || width <= 0 {
+		panic("sketch: depth and width must be positive")
+	}
+	cm := &CountMin{depth: depth, width: width}
+	cm.rows = make([][]uint64, depth)
+	cm.seeds = make([]uint64, depth)
+	for i := range cm.rows {
+		cm.rows[i] = make([]uint64, width)
+		cm.seeds[i] = 0x9e3779b97f4a7c15 * uint64(i+1)
+	}
+	return cm
+}
+
+// Add increments the count of key by n.
+func (cm *CountMin) Add(key string, n uint64) {
+	h := fnv64(key)
+	for i := 0; i < cm.depth; i++ {
+		idx := (h*cm.seeds[i] + cm.seeds[i]>>17) % uint64(cm.width)
+		cm.rows[i][idx] += n
+	}
+	cm.total += n
+}
+
+// Count returns the estimated count of key (an overestimate with the
+// configured probability bounds; never an underestimate).
+func (cm *CountMin) Count(key string) uint64 {
+	h := fnv64(key)
+	min := uint64(math.MaxUint64)
+	for i := 0; i < cm.depth; i++ {
+		idx := (h*cm.seeds[i] + cm.seeds[i]>>17) % uint64(cm.width)
+		if c := cm.rows[i][idx]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Total returns the total number of increments observed.
+func (cm *CountMin) Total() uint64 { return cm.total }
+
+// Depth and Width expose the sketch dimensions.
+func (cm *CountMin) Depth() int { return cm.depth }
+func (cm *CountMin) Width() int { return cm.width }

@@ -1,0 +1,105 @@
+package sketch
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// HyperLogLog estimates the number of distinct elements in a stream with
+// fixed memory (Flajolet et al. 2007). The statistics module uses it to
+// report distinct-entity counts on corpora where exact counting per
+// source per window would dominate memory (the paper's dataset panel
+// reports "# Entities" over a 10M-snippet feed).
+//
+// Standard error is ≈ 1.04/√m for m registers. Not safe for concurrent
+// use.
+type HyperLogLog struct {
+	registers []uint8
+	p         uint8 // precision: m = 2^p registers
+}
+
+// NewHyperLogLog creates a sketch with 2^precision registers
+// (4 ≤ precision ≤ 18). precision 12 ⇒ 4096 registers ⇒ ~1.6% error.
+func NewHyperLogLog(precision uint8) (*HyperLogLog, error) {
+	if precision < 4 || precision > 18 {
+		return nil, errors.New("sketch: hll precision must be in [4, 18]")
+	}
+	return &HyperLogLog{
+		registers: make([]uint8, 1<<precision),
+		p:         precision,
+	}, nil
+}
+
+// mix64 is the SplitMix64 finaliser. FNV-1a's high-order bits avalanche
+// poorly (the register index would concentrate in a few hundred buckets);
+// the finaliser spreads them uniformly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add observes one element.
+func (h *HyperLogLog) Add(elem string) {
+	x := mix64(fnv64(elem))
+	idx := x >> (64 - h.p)                           // first p bits pick the register
+	rank := uint8(bits.LeadingZeros64(x<<h.p|1)) + 1 // rank of remaining bits
+	if rank > h.registers[idx] {
+		h.registers[idx] = rank
+	}
+}
+
+// Count returns the cardinality estimate with the standard small- and
+// large-range corrections.
+func (h *HyperLogLog) Count() uint64 {
+	m := float64(len(h.registers))
+	var sum float64
+	zeros := 0
+	for _, r := range h.registers {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	switch len(h.registers) {
+	case 16:
+		alpha = 0.673
+	case 32:
+		alpha = 0.697
+	case 64:
+		alpha = 0.709
+	}
+	est := alpha * m * m / sum
+	// Small-range correction: linear counting.
+	if est <= 2.5*m && zeros > 0 {
+		est = m * math.Log(m/float64(zeros))
+	}
+	// Large-range correction for 64-bit hashes is negligible at our
+	// scales; omitted (2^64 >> any corpus).
+	return uint64(est + 0.5)
+}
+
+// Merge folds another sketch of the same precision into h.
+func (h *HyperLogLog) Merge(other *HyperLogLog) error {
+	if other == nil || h.p != other.p {
+		return errors.New("sketch: hll precision mismatch")
+	}
+	for i, r := range other.registers {
+		if r > h.registers[i] {
+			h.registers[i] = r
+		}
+	}
+	return nil
+}
+
+// Reset clears the sketch.
+func (h *HyperLogLog) Reset() {
+	for i := range h.registers {
+		h.registers[i] = 0
+	}
+}

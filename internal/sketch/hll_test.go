@@ -1,0 +1,94 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{100, 1000, 50000} {
+		h, err := NewHyperLogLog(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			h.Add(fmt.Sprintf("entity-%d", i))
+		}
+		got := float64(h.Count())
+		relErr := math.Abs(got-float64(n)) / float64(n)
+		if relErr > 0.05 {
+			t.Errorf("n=%d estimate=%d relative error %.3f > 5%%", n, h.Count(), relErr)
+		}
+	}
+}
+
+func TestHLLDuplicatesDoNotInflate(t *testing.T) {
+	h, _ := NewHyperLogLog(12)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 500; i++ {
+			h.Add(fmt.Sprintf("e%d", i))
+		}
+	}
+	got := float64(h.Count())
+	if math.Abs(got-500)/500 > 0.05 {
+		t.Fatalf("estimate %d for 500 distinct with duplicates", h.Count())
+	}
+}
+
+func TestHLLEmptyAndReset(t *testing.T) {
+	h, _ := NewHyperLogLog(10)
+	if got := h.Count(); got != 0 {
+		t.Fatalf("empty Count = %d", got)
+	}
+	h.Add("x")
+	if h.Count() == 0 {
+		t.Fatal("Count after Add = 0")
+	}
+	h.Reset()
+	if got := h.Count(); got != 0 {
+		t.Fatalf("Count after Reset = %d", got)
+	}
+}
+
+func TestHLLMerge(t *testing.T) {
+	a, _ := NewHyperLogLog(12)
+	b, _ := NewHyperLogLog(12)
+	for i := 0; i < 1000; i++ {
+		a.Add(fmt.Sprintf("a%d", i))
+		b.Add(fmt.Sprintf("b%d", i))
+	}
+	// 200 shared elements.
+	for i := 0; i < 200; i++ {
+		a.Add(fmt.Sprintf("s%d", i))
+		b.Add(fmt.Sprintf("s%d", i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(a.Count())
+	want := 2200.0
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("merged estimate %d, want ~%d", a.Count(), int(want))
+	}
+	// Mismatched precision rejected.
+	c, _ := NewHyperLogLog(10)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("precision mismatch accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Fatal("nil merge accepted")
+	}
+}
+
+func TestHLLPrecisionBounds(t *testing.T) {
+	if _, err := NewHyperLogLog(3); err == nil {
+		t.Fatal("precision 3 accepted")
+	}
+	if _, err := NewHyperLogLog(19); err == nil {
+		t.Fatal("precision 19 accepted")
+	}
+	if _, err := NewHyperLogLog(4); err != nil {
+		t.Fatal(err)
+	}
+}

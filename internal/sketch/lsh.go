@@ -1,0 +1,145 @@
+package sketch
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LSH is a banded locality-sensitive-hash index over MinHash signatures.
+// Signatures are cut into b bands of r rows; two items collide (become
+// candidates) if any band hashes identically. With Jaccard similarity s the
+// collision probability is 1-(1-s^r)^b, the classic S-curve, so the (b, r)
+// choice tunes the similarity threshold at which candidates surface.
+//
+// StoryPivot uses the index two ways: story identification (temporal mode)
+// retrieves candidate stories for an incoming snippet, and story alignment
+// retrieves candidate story pairs across sources. LSH is safe for
+// concurrent use.
+type LSH struct {
+	bands, rows int
+
+	mu      sync.RWMutex
+	buckets []map[uint64][]uint64 // per band: band-hash -> item keys
+	sigs    map[uint64]Signature  // item key -> current signature
+}
+
+// NewLSH creates an index for signatures of length bands*rows.
+func NewLSH(bands, rows int) *LSH {
+	if bands <= 0 || rows <= 0 {
+		panic("sketch: bands and rows must be positive")
+	}
+	l := &LSH{
+		bands:   bands,
+		rows:    rows,
+		buckets: make([]map[uint64][]uint64, bands),
+		sigs:    make(map[uint64]Signature),
+	}
+	for i := range l.buckets {
+		l.buckets[i] = make(map[uint64][]uint64)
+	}
+	return l
+}
+
+// SignatureLength returns the signature length the index expects.
+func (l *LSH) SignatureLength() int { return l.bands * l.rows }
+
+// Add inserts (or re-inserts) an item with the given signature. If the key
+// is already present it is removed first, so Add doubles as update.
+func (l *LSH) Add(key uint64, sig Signature) error {
+	if len(sig) != l.bands*l.rows {
+		return fmt.Errorf("%w: got %d, want %d", ErrSignatureLength, len(sig), l.bands*l.rows)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.sigs[key]; ok {
+		l.removeLocked(key)
+	}
+	own := sig.Clone()
+	l.sigs[key] = own
+	for band := 0; band < l.bands; band++ {
+		h := hashBand(own, band*l.rows, (band+1)*l.rows)
+		l.buckets[band][h] = append(l.buckets[band][h], key)
+	}
+	return nil
+}
+
+// Remove deletes an item. It reports whether the key was present.
+func (l *LSH) Remove(key uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.sigs[key]; !ok {
+		return false
+	}
+	l.removeLocked(key)
+	return true
+}
+
+func (l *LSH) removeLocked(key uint64) {
+	sig := l.sigs[key]
+	for band := 0; band < l.bands; band++ {
+		h := hashBand(sig, band*l.rows, (band+1)*l.rows)
+		bucket := l.buckets[band][h]
+		for i, k := range bucket {
+			if k == key {
+				bucket[i] = bucket[len(bucket)-1]
+				bucket = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(l.buckets[band], h)
+		} else {
+			l.buckets[band][h] = bucket
+		}
+	}
+	delete(l.sigs, key)
+}
+
+// Query returns the keys of all items sharing at least one band with the
+// given signature, excluding excludeKey (pass ^uint64(0) to exclude
+// nothing). The result order is unspecified but duplicate-free.
+func (l *LSH) Query(sig Signature, excludeKey uint64) []uint64 {
+	if len(sig) != l.bands*l.rows {
+		return nil
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for band := 0; band < l.bands; band++ {
+		h := hashBand(sig, band*l.rows, (band+1)*l.rows)
+		for _, k := range l.buckets[band][h] {
+			if k != excludeKey && !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// Signature returns the current signature of key, or nil if absent. The
+// returned slice is the index's own copy; callers must not modify it.
+func (l *LSH) Signature(key uint64) Signature {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.sigs[key]
+}
+
+// Len returns the number of indexed items.
+func (l *LSH) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.sigs)
+}
+
+// Keys returns all indexed keys in unspecified order.
+func (l *LSH) Keys() []uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]uint64, 0, len(l.sigs))
+	for k := range l.sigs {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,370 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func setOf(n int, prefix string) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return out
+}
+
+func trueJaccard(a, b []string) float64 {
+	sa := make(map[string]bool, len(a))
+	for _, x := range a {
+		sa[x] = true
+	}
+	inter := 0
+	sb := make(map[string]bool, len(b))
+	for _, x := range b {
+		if !sb[x] {
+			sb[x] = true
+			if sa[x] {
+				inter++
+			}
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func TestMinHashEstimateAccuracy(t *testing.T) {
+	m := NewMinHasher(256, 42)
+	// Build sets with known Jaccard: |A|=|B|=100, overlap 50 -> J = 50/150.
+	a := setOf(100, "x")
+	b := append(setOf(50, "x"), setOf(50, "y")...)
+	want := trueJaccard(a, b)
+	got := Estimate(m.Sign(a), m.Sign(b))
+	if math.Abs(got-want) > 0.1 {
+		t.Fatalf("MinHash estimate %g too far from true Jaccard %g", got, want)
+	}
+}
+
+func TestMinHashIdenticalAndDisjoint(t *testing.T) {
+	m := NewMinHasher(64, 1)
+	a := setOf(20, "e")
+	if got := Estimate(m.Sign(a), m.Sign(a)); got != 1 {
+		t.Errorf("identical sets estimate = %g, want 1", got)
+	}
+	b := setOf(20, "q")
+	if got := Estimate(m.Sign(a), m.Sign(b)); got > 0.15 {
+		t.Errorf("disjoint sets estimate = %g, want ~0", got)
+	}
+	// Empty signatures never match, even with each other.
+	if got := Estimate(m.Sign(nil), m.Sign(nil)); got != 0 {
+		t.Errorf("empty sets estimate = %g, want 0", got)
+	}
+	if got := Estimate(m.Sign(a), nil); got != 0 {
+		t.Errorf("mismatched lengths estimate = %g, want 0", got)
+	}
+}
+
+func TestMinHashIncrementalUpdateEqualsBatch(t *testing.T) {
+	m := NewMinHasher(128, 7)
+	all := setOf(50, "w")
+	batch := m.Sign(all)
+	incr := m.Sign(all[:20])
+	m.Update(incr, all[20:])
+	for i := range batch {
+		if batch[i] != incr[i] {
+			t.Fatalf("incremental signature diverges from batch at %d", i)
+		}
+	}
+}
+
+func TestMinHashMergeIsUnion(t *testing.T) {
+	m := NewMinHasher(128, 7)
+	a, b := setOf(30, "a"), setOf(30, "b")
+	union := m.Sign(append(append([]string{}, a...), b...))
+	merged := m.Sign(a)
+	Merge(merged, m.Sign(b))
+	for i := range union {
+		if union[i] != merged[i] {
+			t.Fatalf("merge != union signature at %d", i)
+		}
+	}
+}
+
+func TestMinHashSignInto(t *testing.T) {
+	m := NewMinHasher(32, 3)
+	a := setOf(10, "z")
+	buf := make(Signature, 32)
+	m.SignInto(buf, a)
+	want := m.Sign(a)
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatal("SignInto differs from Sign")
+		}
+	}
+}
+
+func TestMinHashOrderInvariantQuick(t *testing.T) {
+	m := NewMinHasher(64, 9)
+	f := func(perm []byte) bool {
+		elems := setOf(10, "p")
+		shuffled := append([]string{}, elems...)
+		rng := rand.New(rand.NewSource(int64(len(perm))))
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		s1, s2 := m.Sign(elems), m.Sign(shuffled)
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewMinHasherPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMinHasher(0) did not panic")
+		}
+	}()
+	NewMinHasher(0, 1)
+}
+
+func TestLSHFindsSimilarItems(t *testing.T) {
+	m := NewMinHasher(64, 11)
+	l := NewLSH(16, 4)
+
+	base := setOf(100, "x")
+	similar := append(setOf(90, "x"), setOf(10, "n")...) // J ≈ 0.82
+	different := setOf(100, "q")
+
+	if err := l.Add(1, m.Sign(base)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(2, m.Sign(different)); err != nil {
+		t.Fatal(err)
+	}
+	got := l.Query(m.Sign(similar), ^uint64(0))
+	found := false
+	for _, k := range got {
+		if k == 1 {
+			found = true
+		}
+		if k == 2 {
+			t.Error("LSH returned dissimilar item")
+		}
+	}
+	if !found {
+		t.Error("LSH missed highly similar item")
+	}
+}
+
+func TestLSHAddUpdateRemove(t *testing.T) {
+	m := NewMinHasher(64, 5)
+	l := NewLSH(16, 4)
+	a := setOf(50, "a")
+	if err := l.Add(7, m.Sign(a)); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	// Update with a completely different signature: old buckets must be
+	// cleaned so the old set no longer finds key 7.
+	b := setOf(50, "b")
+	if err := l.Add(7, m.Sign(b)); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Query(m.Sign(a), ^uint64(0)); len(got) != 0 {
+		t.Errorf("stale buckets after update: %v", got)
+	}
+	if got := l.Query(m.Sign(b), ^uint64(0)); len(got) != 1 || got[0] != 7 {
+		t.Errorf("updated item not found: %v", got)
+	}
+	if !l.Remove(7) {
+		t.Fatal("Remove(7) = false")
+	}
+	if l.Remove(7) {
+		t.Fatal("second Remove(7) = true")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len after remove = %d", l.Len())
+	}
+	if got := l.Query(m.Sign(b), ^uint64(0)); len(got) != 0 {
+		t.Errorf("removed item still found: %v", got)
+	}
+}
+
+func TestLSHExcludeKey(t *testing.T) {
+	m := NewMinHasher(64, 5)
+	l := NewLSH(16, 4)
+	a := setOf(50, "a")
+	l.Add(1, m.Sign(a))
+	if got := l.Query(m.Sign(a), 1); len(got) != 0 {
+		t.Errorf("excluded key returned: %v", got)
+	}
+}
+
+func TestLSHSignatureLengthMismatch(t *testing.T) {
+	l := NewLSH(4, 4)
+	if err := l.Add(1, make(Signature, 7)); err == nil {
+		t.Fatal("Add accepted wrong-length signature")
+	}
+	if got := l.Query(make(Signature, 7), ^uint64(0)); got != nil {
+		t.Fatal("Query accepted wrong-length signature")
+	}
+}
+
+func TestLSHSignatureAndKeys(t *testing.T) {
+	m := NewMinHasher(16, 2)
+	l := NewLSH(4, 4)
+	sig := m.Sign(setOf(5, "k"))
+	l.Add(3, sig)
+	got := l.Signature(3)
+	if got == nil || got[0] != sig[0] {
+		t.Fatal("Signature(3) wrong")
+	}
+	if l.Signature(99) != nil {
+		t.Fatal("Signature of absent key should be nil")
+	}
+	if keys := l.Keys(); len(keys) != 1 || keys[0] != 3 {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestLSHConcurrent(t *testing.T) {
+	m := NewMinHasher(64, 5)
+	l := NewLSH(16, 4)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				key := uint64(g*1000 + i)
+				sig := m.Sign(setOf(20, fmt.Sprintf("g%d-%d-", g, i)))
+				l.Add(key, sig)
+				l.Query(sig, key)
+				if i%3 == 0 {
+					l.Remove(key)
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	cm := NewCountMin(0.01, 0.01)
+	truth := map[string]uint64{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("e%d", rng.Intn(200))
+		cm.Add(key, 1)
+		truth[key]++
+	}
+	for k, want := range truth {
+		if got := cm.Count(k); got < want {
+			t.Fatalf("Count(%s) = %d underestimates true %d", k, got, want)
+		}
+	}
+	if cm.Total() != 5000 {
+		t.Errorf("Total = %d", cm.Total())
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	eps := 0.005
+	cm := NewCountMin(eps, 0.01)
+	for i := 0; i < 10000; i++ {
+		cm.Add(fmt.Sprintf("k%d", i%500), 1)
+	}
+	// Allow a small number of violations of the eps*N bound (prob delta).
+	violations := 0
+	bound := uint64(float64(cm.Total()) * eps * 2)
+	for i := 0; i < 500; i++ {
+		got := cm.Count(fmt.Sprintf("k%d", i))
+		if got > 20+bound {
+			violations++
+		}
+	}
+	if violations > 5 {
+		t.Fatalf("%d estimates exceeded error bound", violations)
+	}
+}
+
+func TestCountMinUnknownKey(t *testing.T) {
+	cm := NewCountMinSized(4, 1024)
+	if got := cm.Count("never-added"); got != 0 {
+		t.Fatalf("empty sketch Count = %d", got)
+	}
+	if cm.Depth() != 4 || cm.Width() != 1024 {
+		t.Error("dimension accessors wrong")
+	}
+}
+
+func TestCountMinPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCountMin(0, 0.5) },
+		func() { NewCountMin(0.5, 1.5) },
+		func() { NewCountMinSized(0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := NewBloom(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		b.Add(fmt.Sprintf("snippet-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.Contains(fmt.Sprintf("snippet-%d", i)) {
+			t.Fatalf("false negative for snippet-%d", i)
+		}
+	}
+	if b.Count() != 1000 {
+		t.Errorf("Count = %d", b.Count())
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b := NewBloom(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		b.Add(fmt.Sprintf("in-%d", i))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if b.Contains(fmt.Sprintf("out-%d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Fatalf("false positive rate %g far above target 0.01", rate)
+	}
+}
+
+func TestBloomDegenerateParams(t *testing.T) {
+	b := NewBloom(0, 2.0) // both invalid; must still work
+	b.Add("x")
+	if !b.Contains("x") {
+		t.Fatal("degenerate bloom lost element")
+	}
+}

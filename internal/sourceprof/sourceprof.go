@@ -1,0 +1,261 @@
+// Package sourceprof profiles data-source reporting behaviour from
+// aligned StoryPivot results. The paper motivates this directly: "data
+// sources have different perspectives on stories because they report the
+// same story with varying content and with varying levels of timeliness"
+// (§1), and the expert-scientist use case (§3) contrasts source bias.
+//
+// Given an alignment result, the profiler derives per-source metrics:
+//
+//   - Timeliness: how far behind the first reporter the source's aligning
+//     snippets trail on average (local media lead, international media
+//     follow — paper §2.4).
+//   - Coverage: the fraction of multi-source integrated stories the
+//     source participates in.
+//   - Exclusivity: the fraction of the source's snippets that are
+//     enriching (source-exclusive reports).
+//   - Breadth: distinct entities the source mentioned.
+package sourceprof
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/event"
+	"repro/internal/similarity"
+)
+
+// Profile is one source's reporting profile.
+type Profile struct {
+	Source event.SourceID
+
+	// Snippets is the total number of snippets the source contributed.
+	Snippets int
+	// Stories is the number of per-source stories.
+	Stories int
+	// MultiSourceStories is the number of multi-source integrated stories
+	// the source participates in.
+	MultiSourceStories int
+	// Coverage is MultiSourceStories / total multi-source stories.
+	Coverage float64
+	// MeanLag is the average delay of the source's aligning snippets
+	// behind the earliest cross-source counterpart.
+	MeanLag time.Duration
+	// MedianLag is the median of the same delays.
+	MedianLag time.Duration
+	// FirstReports counts the aligning events this source reported first.
+	FirstReports int
+	// Exclusivity is the fraction of the source's snippets classified as
+	// enriching.
+	Exclusivity float64
+	// Entities is the number of distinct entities mentioned.
+	Entities int
+}
+
+// Config parameterises event grouping for timeliness.
+type Config struct {
+	// CounterpartScale is the temporal tolerance when pairing a snippet
+	// with its cross-source counterparts (defaults to 3 days).
+	CounterpartScale time.Duration
+	// CounterpartThreshold is the minimum snippet similarity for a
+	// counterpart (defaults to 0.35).
+	CounterpartThreshold float64
+	// Weights for snippet similarity.
+	Weights similarity.Weights
+}
+
+// DefaultConfig returns the profiler defaults.
+func DefaultConfig() Config {
+	return Config{
+		CounterpartScale:     3 * 24 * time.Hour,
+		CounterpartThreshold: 0.35,
+		Weights:              similarity.DefaultWeights(),
+	}
+}
+
+// Build computes profiles for every source appearing in the result.
+func Build(res *align.Result, cfg Config) []Profile {
+	if cfg.CounterpartScale <= 0 {
+		cfg.CounterpartScale = 3 * 24 * time.Hour
+	}
+	if cfg.CounterpartThreshold <= 0 {
+		cfg.CounterpartThreshold = 0.35
+	}
+
+	type acc struct {
+		snippets  int
+		stories   int
+		multi     map[event.IntegratedID]bool
+		lags      []time.Duration
+		firsts    int
+		enriching int
+		entities  map[event.Entity]bool
+	}
+	accs := map[event.SourceID]*acc{}
+	get := func(src event.SourceID) *acc {
+		a := accs[src]
+		if a == nil {
+			a = &acc{multi: map[event.IntegratedID]bool{}, entities: map[event.Entity]bool{}}
+			accs[src] = a
+		}
+		return a
+	}
+
+	totalMulti := 0
+	for _, is := range res.Integrated {
+		multi := len(is.Sources()) > 1
+		if multi {
+			totalMulti++
+		}
+		for _, m := range is.Members {
+			a := get(m.Source)
+			a.stories++
+			a.snippets += m.Len()
+			if multi {
+				a.multi[is.ID] = true
+			}
+			for e := range m.EntityFreq {
+				a.entities[e] = true
+			}
+			for _, sn := range m.Snippets {
+				if is.Roles[sn.ID] == event.RoleEnriching {
+					a.enriching++
+				}
+			}
+		}
+		if multi {
+			collectLags(is, cfg, func(src event.SourceID, lag time.Duration, first bool) {
+				a := get(src)
+				a.lags = append(a.lags, lag)
+				if first {
+					a.firsts++
+				}
+			})
+		}
+	}
+
+	out := make([]Profile, 0, len(accs))
+	for src, a := range accs {
+		p := Profile{
+			Source:             src,
+			Snippets:           a.snippets,
+			Stories:            a.stories,
+			MultiSourceStories: len(a.multi),
+			FirstReports:       a.firsts,
+			Entities:           len(a.entities),
+		}
+		if totalMulti > 0 {
+			p.Coverage = float64(len(a.multi)) / float64(totalMulti)
+		}
+		if a.snippets > 0 {
+			p.Exclusivity = float64(a.enriching) / float64(a.snippets)
+		}
+		if len(a.lags) > 0 {
+			var sum time.Duration
+			for _, l := range a.lags {
+				sum += l
+			}
+			p.MeanLag = sum / time.Duration(len(a.lags))
+			sorted := append([]time.Duration(nil), a.lags...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			p.MedianLag = sorted[len(sorted)/2]
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+// collectLags groups an integrated story's snippets into cross-source
+// event clusters and reports, for each snippet of a multi-source cluster,
+// its lag behind the cluster's earliest snippet. Clustering is greedy and
+// chronological: a snippet joins the cluster of its most similar earlier
+// *other-source* snippet within the counterpart scale. A cluster holds at
+// most one report per source — it models "the same real-world event as
+// reported by each source" — so consecutive distinct events of a story do
+// not chain.
+func collectLags(is *event.IntegratedStory, cfg Config,
+	emit func(src event.SourceID, lag time.Duration, first bool)) {
+	sns := is.Snippets() // chronological
+	cluster := make([]int, len(sns))
+	clusterSources := make(map[int]map[event.SourceID]bool)
+	for i := range cluster {
+		cluster[i] = i
+	}
+	for i, sn := range sns {
+		bestSim := cfg.CounterpartThreshold
+		best := -1
+		for j := i - 1; j >= 0; j-- {
+			if sn.Timestamp.Sub(sns[j].Timestamp) > cfg.CounterpartScale {
+				break
+			}
+			if sns[j].Source == sn.Source {
+				continue
+			}
+			root := cluster[j]
+			if srcs := clusterSources[root]; srcs != nil && srcs[sn.Source] {
+				continue // cluster already has this source's report
+			}
+			if s := similarity.Snippets(sn, sns[j], cfg.CounterpartScale, cfg.Weights); s >= bestSim {
+				bestSim = s
+				best = j
+			}
+		}
+		root := i
+		if best >= 0 {
+			root = cluster[best]
+		}
+		cluster[i] = root
+		srcs := clusterSources[root]
+		if srcs == nil {
+			srcs = make(map[event.SourceID]bool)
+			clusterSources[root] = srcs
+		}
+		srcs[sn.Source] = true
+	}
+	groups := map[int][]*event.Snippet{}
+	order := map[int]int{}
+	for i, sn := range sns {
+		root := cluster[i]
+		if _, ok := order[root]; !ok {
+			order[root] = len(order)
+		}
+		groups[root] = append(groups[root], sn)
+	}
+	for _, members := range groups {
+		srcs := map[event.SourceID]bool{}
+		for _, sn := range members {
+			srcs[sn.Source] = true
+		}
+		if len(srcs) < 2 {
+			continue // single-source cluster: no timeliness signal
+		}
+		first := members[0].Timestamp
+		seenFirst := false
+		for _, sn := range members {
+			lag := sn.Timestamp.Sub(first)
+			isFirst := !seenFirst && lag == 0
+			if isFirst {
+				seenFirst = true
+			}
+			emit(sn.Source, lag, isFirst)
+		}
+	}
+}
+
+// Rank orders profiles by a blended score favouring timely, broad, covering
+// sources — the "which sources should an analyst watch" question raised by
+// the source-selection literature the paper cites ([4], [15]).
+func Rank(profiles []Profile) []Profile {
+	out := append([]Profile(nil), profiles...)
+	score := func(p Profile) float64 {
+		lagPenalty := 0.0
+		if p.MeanLag > 0 {
+			lagPenalty = math.Log1p(p.MeanLag.Hours())
+		}
+		return p.Coverage*3 + float64(p.FirstReports)*0.1 - lagPenalty*0.1 + p.Exclusivity
+	}
+	sort.SliceStable(out, func(i, j int) bool { return score(out[i]) > score(out[j]) })
+	return out
+}

@@ -1,0 +1,301 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+)
+
+// SyncPolicy controls when appends are fsynced to disk.
+type SyncPolicy int
+
+const (
+	// SyncNever leaves flushing to the OS; fastest, loses recent appends
+	// on machine crash (process crash is still safe: writes go straight to
+	// the page cache).
+	SyncNever SyncPolicy = iota
+	// SyncAlways fsyncs after every append; durable, slow.
+	SyncAlways
+	// SyncBatch fsyncs every Options.SyncEvery appends.
+	SyncBatch
+)
+
+// Options configures a Store.
+type Options struct {
+	// SegmentSize is the rotation threshold in bytes (default 64 MiB).
+	SegmentSize int64
+	// Sync selects the durability policy (default SyncNever).
+	Sync SyncPolicy
+	// SyncEvery is the batch size for SyncBatch (default 256).
+	SyncEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 64 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 256
+	}
+	return o
+}
+
+// Store is the embedded event repository. All snippets are persisted in an
+// append-only segmented log and indexed in memory by ID, time, source, and
+// entity. A Store is safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu           sync.RWMutex
+	active       *segment
+	closed       bool
+	sinceSync    int
+	frameBuf     []byte
+	recoveryDrop int64 // bytes dropped from torn tails at open
+
+	// Indexes. byTime is kept sorted by (timestamp, ID); the common append
+	// pattern is mostly-chronological so insertion is near the end.
+	byID     map[event.SnippetID]*event.Snippet
+	byTime   []*event.Snippet
+	bySource map[event.SourceID][]*event.Snippet
+	byEntity map[event.Entity][]*event.Snippet
+}
+
+// Open opens (creating if necessary) a store in dir, replaying all
+// segments to rebuild the indexes. Torn tails from a previous crash are
+// truncated; RecoveredDrop reports how many bytes were discarded.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:      dir,
+		opts:     opts,
+		byID:     make(map[event.SnippetID]*event.Snippet),
+		bySource: make(map[event.SourceID][]*event.Snippet),
+		byEntity: make(map[event.Entity][]*event.Snippet),
+	}
+	indices, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range indices {
+		dropped, err := scanSegment(segmentPath(dir, idx), func(payload []byte) error {
+			sn, derr := event.Decode(payload)
+			if derr != nil {
+				return fmt.Errorf("storage: segment %d: %w", idx, derr)
+			}
+			// Replay is idempotent: a crash mid-compaction can leave the
+			// same record in two segments; the first occurrence wins.
+			if _, dup := s.byID[sn.ID]; dup {
+				return nil
+			}
+			s.indexLocked(sn)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.recoveryDrop += dropped
+	}
+	// Replay may leave byTime unsorted if ingestion was out of order
+	// across segments; normalise once.
+	sort.Sort(event.ByTimestamp(s.byTime))
+
+	next := 1
+	if len(indices) > 0 {
+		next = indices[len(indices)-1]
+	}
+	seg, err := openSegmentForAppend(dir, next)
+	if err != nil {
+		return nil, err
+	}
+	s.active = seg
+	return s, nil
+}
+
+// RecoveredDrop returns the number of torn-tail bytes truncated at Open.
+func (s *Store) RecoveredDrop() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.recoveryDrop
+}
+
+// Append validates, persists, and indexes a snippet. The snippet must have
+// a unique ID; duplicate IDs are rejected.
+func (s *Store) Append(sn *event.Snippet) error {
+	if err := sn.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.byID[sn.ID]; dup {
+		return fmt.Errorf("storage: duplicate snippet ID %d", sn.ID)
+	}
+	s.frameBuf = appendRecord(s.frameBuf[:0], event.AppendEncode(nil, sn))
+	if err := s.active.append(s.frameBuf); err != nil {
+		return err
+	}
+	switch s.opts.Sync {
+	case SyncAlways:
+		if err := s.active.sync(); err != nil {
+			return err
+		}
+	case SyncBatch:
+		if s.sinceSync++; s.sinceSync >= s.opts.SyncEvery {
+			if err := s.active.sync(); err != nil {
+				return err
+			}
+			s.sinceSync = 0
+		}
+	}
+	if s.active.size >= s.opts.SegmentSize {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	s.indexLocked(sn.Clone())
+	return nil
+}
+
+func (s *Store) rotateLocked() error {
+	if err := s.active.sync(); err != nil {
+		return err
+	}
+	if err := s.active.close(); err != nil {
+		return err
+	}
+	seg, err := openSegmentForAppend(s.dir, s.active.index+1)
+	if err != nil {
+		return err
+	}
+	s.active = seg
+	return nil
+}
+
+func (s *Store) indexLocked(sn *event.Snippet) {
+	s.byID[sn.ID] = sn
+	// Insert into byTime maintaining order; appends are usually in order.
+	n := len(s.byTime)
+	if n == 0 || !lessSnip(sn, s.byTime[n-1]) {
+		s.byTime = append(s.byTime, sn)
+	} else {
+		i := sort.Search(n, func(i int) bool { return lessSnip(sn, s.byTime[i]) })
+		s.byTime = append(s.byTime, nil)
+		copy(s.byTime[i+1:], s.byTime[i:])
+		s.byTime[i] = sn
+	}
+	s.bySource[sn.Source] = append(s.bySource[sn.Source], sn)
+	for _, e := range sn.Entities {
+		s.byEntity[e] = append(s.byEntity[e], sn)
+	}
+}
+
+func lessSnip(a, b *event.Snippet) bool {
+	if !a.Timestamp.Equal(b.Timestamp) {
+		return a.Timestamp.Before(b.Timestamp)
+	}
+	return a.ID < b.ID
+}
+
+// Get returns the snippet with the given ID, or nil if absent.
+func (s *Store) Get(id event.SnippetID) *event.Snippet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byID[id]
+}
+
+// Len returns the number of stored snippets.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
+
+// Sources returns the distinct source IDs present, sorted.
+func (s *Store) Sources() []event.SourceID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]event.SourceID, 0, len(s.bySource))
+	for src := range s.bySource {
+		out = append(out, src)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ScanRange invokes fn with every snippet whose timestamp lies in
+// [from, to], in chronological order, stopping early if fn returns false.
+func (s *Store) ScanRange(from, to time.Time, fn func(*event.Snippet) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo := sort.Search(len(s.byTime), func(i int) bool {
+		return !s.byTime[i].Timestamp.Before(from)
+	})
+	for i := lo; i < len(s.byTime); i++ {
+		if s.byTime[i].Timestamp.After(to) {
+			return
+		}
+		if !fn(s.byTime[i]) {
+			return
+		}
+	}
+}
+
+// BySource returns the snippets of a source in insertion order. The
+// returned slice is a copy.
+func (s *Store) BySource(src event.SourceID) []*event.Snippet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*event.Snippet(nil), s.bySource[src]...)
+}
+
+// ByEntity returns the snippets mentioning the entity, chronologically.
+func (s *Store) ByEntity(e event.Entity) []*event.Snippet {
+	s.mu.RLock()
+	out := append([]*event.Snippet(nil), s.byEntity[e]...)
+	s.mu.RUnlock()
+	sort.Sort(event.ByTimestamp(out))
+	return out
+}
+
+// All returns every snippet in chronological order (a copy).
+func (s *Store) All() []*event.Snippet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*event.Snippet(nil), s.byTime...)
+}
+
+// Sync forces an fsync of the active segment.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.active.sync()
+}
+
+// Close syncs and closes the store. Further operations return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.closed = true
+	if err := s.active.sync(); err != nil {
+		s.active.close()
+		return err
+	}
+	return s.active.close()
+}

@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/identify"
+	"repro/internal/sketch"
+)
+
+// Checkpoint is a serialisable snapshot of the engine's identification
+// state: for every source, the snippet→story assignment. Together with
+// the snippets themselves (which the event store persists), it lets a
+// restart rebuild the exact story structure in O(n) instead of
+// re-running similarity search over the whole history.
+//
+// Alignment state is deliberately NOT checkpointed: it is derived from
+// the per-source stories and rebuilding it is a single alignment pass.
+type Checkpoint struct {
+	Version int                                 `json:"version"`
+	Sources map[event.SourceID]SourceCheckpoint `json:"sources"`
+}
+
+// SourceCheckpoint is one source's assignment table.
+type SourceCheckpoint struct {
+	// Assign maps snippet ID → story ID.
+	Assign map[event.SnippetID]event.StoryID `json:"assign"`
+}
+
+const checkpointVersion = 1
+
+// ErrCheckpointStale reports a checkpoint that does not cover the
+// snippets it is being restored against.
+var ErrCheckpointStale = errors.New("stream: checkpoint stale")
+
+// Checkpoint captures the current identification state.
+func (e *Engine) Checkpoint() *Checkpoint {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cp := &Checkpoint{Version: checkpointVersion, Sources: make(map[event.SourceID]SourceCheckpoint, len(e.identifiers))}
+	for src, id := range e.identifiers {
+		cp.Sources[src] = SourceCheckpoint{Assign: id.Assignments()}
+	}
+	return cp
+}
+
+// Write serialises the checkpoint as JSON.
+func (c *Checkpoint) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(c)
+}
+
+// ReadCheckpoint parses a checkpoint.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("stream: reading checkpoint: %w", err)
+	}
+	if c.Version != checkpointVersion {
+		return nil, fmt.Errorf("stream: unsupported checkpoint version %d", c.Version)
+	}
+	return &c, nil
+}
+
+// RestoreEngine rebuilds an engine from persisted snippets plus a
+// checkpoint. The snippets are partitioned by source; every snippet must
+// be covered by the checkpoint or ErrCheckpointStale is returned (the
+// caller then falls back to replaying through Ingest). The restored
+// engine's dedup filters, entity statistics, and time range are rebuilt
+// from the snippets.
+func RestoreEngine(opts Options, snippets []*event.Snippet, cp *Checkpoint) (*Engine, error) {
+	if cp == nil || cp.Sources == nil {
+		return nil, ErrCheckpointStale
+	}
+	e := NewEngine(opts)
+	bySource := make(map[event.SourceID][]*event.Snippet)
+	var order []event.SourceID
+	for _, sn := range snippets {
+		if _, ok := bySource[sn.Source]; !ok {
+			order = append(order, sn.Source)
+		}
+		bySource[sn.Source] = append(bySource[sn.Source], sn)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, src := range order {
+		sc, ok := cp.Sources[src]
+		if !ok {
+			return nil, fmt.Errorf("%w: source %s not covered", ErrCheckpointStale, src)
+		}
+		id, err := identify.Restore(src, opts.Identify, &e.alloc, bySource[src], sc.Assign)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCheckpointStale, err)
+		}
+		e.identifiers[src] = id
+		if opts.DedupCapacity > 0 {
+			bloom := sketch.NewBloom(opts.DedupCapacity, 0.001)
+			for _, sn := range bySource[src] {
+				bloom.Add(fmt.Sprintf("%d", sn.ID))
+			}
+			e.dedup[src] = bloom
+		}
+		for _, st := range id.Stories() {
+			e.dirty[st.ID] = true
+			e.storyOwner[st.ID] = src
+		}
+		for _, sn := range bySource[src] {
+			e.ingested++
+			for _, ent := range sn.Entities {
+				e.entHLL.Add(string(ent))
+			}
+			if e.firstTS.IsZero() || sn.Timestamp.Before(e.firstTS) {
+				e.firstTS = sn.Timestamp
+			}
+			if sn.Timestamp.After(e.lastTS) {
+				e.lastTS = sn.Timestamp
+			}
+		}
+	}
+	return e, nil
+}

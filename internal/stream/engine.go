@@ -1,0 +1,345 @@
+// Package stream implements StoryPivot's dynamic integration of story
+// identification and story alignment (paper §2.4): snippets arrive
+// continuously — and not necessarily in timestamp order — from a changing
+// set of data sources; the engine routes each snippet through its source's
+// incremental identifier, tracks which stories changed, and re-aligns only
+// the dirty stories, so users always see near-real-time integrated
+// stories.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/event"
+	"repro/internal/identify"
+	"repro/internal/sketch"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Identify configures the per-source identifiers.
+	Identify identify.Config
+	// Align configures the shared aligner.
+	Align align.Config
+	// Refine configures refinement; applied when RefineOnAlign is true.
+	Refine align.RefineConfig
+	// RefineOnAlign runs a refinement pass after every (re-)alignment.
+	RefineOnAlign bool
+	// AutoAlignEvery re-aligns automatically after this many ingested
+	// snippets (0 disables; callers then call Align explicitly).
+	AutoAlignEvery int
+	// DedupCapacity sizes the per-source duplicate-delivery filter
+	// (0 disables deduplication).
+	DedupCapacity int
+}
+
+// DefaultOptions mirrors the demo system's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Identify:       identify.DefaultConfig(),
+		Align:          align.DefaultConfig(),
+		Refine:         align.DefaultRefineConfig(),
+		RefineOnAlign:  false,
+		AutoAlignEvery: 0,
+		DedupCapacity:  1 << 16,
+	}
+}
+
+// Errors returned by the engine.
+var (
+	// ErrUnknownSource is returned by Ingest when the snippet's source was
+	// never added (or was removed) and auto-registration is off.
+	ErrUnknownSource = errors.New("stream: unknown source")
+	// ErrDuplicate is returned for a snippet the per-source deduplication
+	// filter has (very probably) seen before.
+	ErrDuplicate = errors.New("stream: duplicate snippet delivery")
+)
+
+// Engine is the live StoryPivot pipeline. It is safe for concurrent use;
+// internally a single mutex serialises state changes (ingest latency is
+// micro-seconds, so a finer scheme is not warranted — the paper's 10M
+// corpus processes in minutes through this path).
+type Engine struct {
+	opts Options
+
+	mu          sync.Mutex
+	alloc       identify.IDAlloc
+	identifiers map[event.SourceID]*identify.Identifier
+	dedup       map[event.SourceID]*sketch.Bloom
+	aligner     *align.Aligner
+	dirty       map[event.StoryID]bool
+	// storyOwner tracks which source produced a story so removals can
+	// clean the aligner.
+	storyOwner map[event.StoryID]event.SourceID
+
+	sinceAlign int
+	ingested   uint64
+	result     *align.Result
+
+	// entHLL estimates the distinct-entity count of everything ingested
+	// (the "# Entities" figure of the statistics module's dataset panel)
+	// in fixed memory.
+	entHLL *sketch.HyperLogLog
+	// firstTS/lastTS track the ingested time range for the same panel.
+	firstTS, lastTS time.Time
+}
+
+// NewEngine creates an engine with no sources.
+func NewEngine(opts Options) *Engine {
+	hll, err := sketch.NewHyperLogLog(12)
+	if err != nil {
+		panic(err) // precision 12 is statically valid
+	}
+	return &Engine{
+		opts:        opts,
+		identifiers: make(map[event.SourceID]*identify.Identifier),
+		dedup:       make(map[event.SourceID]*sketch.Bloom),
+		aligner:     align.NewAligner(opts.Align),
+		dirty:       make(map[event.StoryID]bool),
+		storyOwner:  make(map[event.StoryID]event.SourceID),
+		entHLL:      hll,
+	}
+}
+
+// AddSource registers a data source. Adding an existing source is a no-op.
+// Snippets for unregistered sources are auto-registered by Ingest, so
+// explicit AddSource is only needed to pre-create empty sources.
+func (e *Engine) AddSource(src event.SourceID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.addSourceLocked(src)
+}
+
+func (e *Engine) addSourceLocked(src event.SourceID) *identify.Identifier {
+	if id, ok := e.identifiers[src]; ok {
+		return id
+	}
+	id := identify.New(src, e.opts.Identify, &e.alloc)
+	e.identifiers[src] = id
+	if e.opts.DedupCapacity > 0 {
+		e.dedup[src] = sketch.NewBloom(e.opts.DedupCapacity, 0.001)
+	}
+	return id
+}
+
+// RemoveSource detaches a source: its stories leave the aligner and the
+// integrated result (paper §2.4: "any story detection system should allow
+// the addition or removal of data sources"). It reports whether the source
+// existed.
+func (e *Engine) RemoveSource(src event.SourceID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id, ok := e.identifiers[src]
+	if !ok {
+		return false
+	}
+	for _, st := range id.Stories() {
+		e.aligner.Remove(st.ID)
+		delete(e.dirty, st.ID)
+		delete(e.storyOwner, st.ID)
+	}
+	delete(e.identifiers, src)
+	delete(e.dedup, src)
+	e.result = nil
+	return true
+}
+
+// Sources returns the registered sources, sorted.
+func (e *Engine) Sources() []event.SourceID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]event.SourceID, 0, len(e.identifiers))
+	for src := range e.identifiers {
+		out = append(out, src)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Ingest routes one snippet through its source's identifier and marks the
+// touched story dirty for the next alignment. Unknown sources are
+// registered on first sight. Returns the per-source story the snippet
+// joined.
+func (e *Engine) Ingest(s *event.Snippet) (event.StoryID, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.addSourceLocked(s.Source)
+	if bloom := e.dedup[s.Source]; bloom != nil {
+		key := fmt.Sprintf("%d", s.ID)
+		if bloom.Contains(key) {
+			return 0, fmt.Errorf("%w: snippet %d", ErrDuplicate, s.ID)
+		}
+		bloom.Add(key)
+	}
+	sid := id.Process(s)
+	e.dirty[sid] = true
+	e.storyOwner[sid] = s.Source
+	e.ingested++
+	for _, ent := range s.Entities {
+		e.entHLL.Add(string(ent))
+	}
+	if e.firstTS.IsZero() || s.Timestamp.Before(e.firstTS) {
+		e.firstTS = s.Timestamp
+	}
+	if s.Timestamp.After(e.lastTS) {
+		e.lastTS = s.Timestamp
+	}
+	if e.opts.AutoAlignEvery > 0 {
+		if e.sinceAlign++; e.sinceAlign >= e.opts.AutoAlignEvery {
+			e.alignLocked()
+			e.sinceAlign = 0
+		}
+	}
+	return sid, nil
+}
+
+// IngestAll ingests a batch, skipping invalid and duplicate snippets, and
+// returns how many were accepted.
+func (e *Engine) IngestAll(snippets []*event.Snippet) int {
+	n := 0
+	for _, s := range snippets {
+		if _, err := e.Ingest(s); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Align re-aligns the dirty stories and returns the fresh integrated
+// result. Repair inside identifiers may have split/merged stories since
+// the last call; stories that vanished are removed from the aligner.
+func (e *Engine) Align() *align.Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.alignLocked()
+}
+
+func (e *Engine) alignLocked() *align.Result {
+	// Reconcile: identifier repair can retire story IDs (merge/split) at
+	// any time, so dirty bookkeeping is advisory; we resync the touched
+	// sources' full story sets, which is still far cheaper than global
+	// recomputation when few sources changed.
+	touchedSources := make(map[event.SourceID]bool)
+	for sid := range e.dirty {
+		if src, ok := e.storyOwner[sid]; ok {
+			touchedSources[src] = true
+		}
+	}
+	for src := range touchedSources {
+		id := e.identifiers[src]
+		if id == nil {
+			continue
+		}
+		live := make(map[event.StoryID]bool)
+		for _, st := range id.Stories() {
+			live[st.ID] = true
+			e.aligner.Upsert(st)
+			e.storyOwner[st.ID] = src
+		}
+		// Drop stories of this source that no longer exist.
+		for sid, owner := range e.storyOwner {
+			if owner == src && !live[sid] {
+				e.aligner.Remove(sid)
+				delete(e.storyOwner, sid)
+			}
+		}
+	}
+	e.dirty = make(map[event.StoryID]bool)
+	e.result = e.aligner.Result()
+
+	if e.opts.RefineOnAlign {
+		movers := make(map[event.SourceID]align.Mover, len(e.identifiers))
+		for src, id := range e.identifiers {
+			movers[src] = id
+		}
+		if corr := align.Refine(e.result, movers, e.opts.Refine); len(corr) > 0 {
+			// Moves changed story contents; refresh and re-align once.
+			for _, c := range corr {
+				e.dirty[c.From] = true
+				e.dirty[c.To] = true
+			}
+			for sid := range e.dirty {
+				if src, ok := e.storyOwner[sid]; ok {
+					if id := e.identifiers[src]; id != nil {
+						if st := id.Story(sid); st != nil {
+							e.aligner.Upsert(st)
+						} else {
+							e.aligner.Remove(sid)
+							delete(e.storyOwner, sid)
+						}
+					}
+				}
+			}
+			e.dirty = make(map[event.StoryID]bool)
+			e.result = e.aligner.Result()
+		}
+	}
+	return e.result
+}
+
+// Result returns the most recent alignment result, aligning first if none
+// exists or ingests happened since.
+func (e *Engine) Result() *align.Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.result == nil || len(e.dirty) > 0 {
+		return e.alignLocked()
+	}
+	return e.result
+}
+
+// Stories returns the current per-source stories of one source, as
+// snapshots that stay consistent while ingestion continues.
+func (e *Engine) Stories(src event.SourceID) []*event.Story {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.identifiers[src]
+	if id == nil {
+		return nil
+	}
+	live := id.Stories()
+	out := make([]*event.Story, len(live))
+	for i, st := range live {
+		out[i] = st.Snapshot()
+	}
+	return out
+}
+
+// Identifier exposes a source's identifier (primarily for the statistics
+// module and tests).
+func (e *Engine) Identifier(src event.SourceID) *identify.Identifier {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.identifiers[src]
+}
+
+// Ingested returns the number of accepted snippets.
+func (e *Engine) Ingested() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ingested
+}
+
+// DistinctEntities estimates the number of distinct entities ingested
+// (HyperLogLog, ~1.6% standard error).
+func (e *Engine) DistinctEntities() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.entHLL.Count()
+}
+
+// TimeRange returns the [earliest, latest] snippet timestamps ingested;
+// zero times when nothing was ingested.
+func (e *Engine) TimeRange() (start, end time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.firstTS, e.lastTS
+}

@@ -1,0 +1,417 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/event"
+)
+
+func day(d int) time.Time { return time.Date(2014, 7, d, 0, 0, 0, 0, time.UTC) }
+
+func snip(id event.SnippetID, src event.SourceID, d int, ents []event.Entity, toks ...string) *event.Snippet {
+	s := &event.Snippet{ID: id, Source: src, Timestamp: day(d), Entities: ents}
+	for _, tok := range toks {
+		s.Terms = append(s.Terms, event.Term{Token: tok, Weight: 1})
+	}
+	s.Normalize()
+	return s
+}
+
+func TestEngineBasicFlow(t *testing.T) {
+	e := NewEngine(DefaultOptions())
+	crash := []event.Entity{"UKR", "MAL"}
+
+	sid1, err := e.Ingest(snip(1, "nyt", 17, crash, "crash", "plane"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid2, err := e.Ingest(snip(2, "nyt", 18, crash, "crash", "investig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid1 != sid2 {
+		t.Fatal("related snippets in different stories")
+	}
+	if _, err := e.Ingest(snip(11, "wsj", 17, crash, "crash", "plane", "explod")); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Sources(); len(got) != 2 || got[0] != "nyt" || got[1] != "wsj" {
+		t.Fatalf("Sources = %v", got)
+	}
+	res := e.Align()
+	if len(res.MultiSource()) != 1 {
+		t.Fatalf("MultiSource = %d", len(res.MultiSource()))
+	}
+	if e.Ingested() != 3 {
+		t.Fatalf("Ingested = %d", e.Ingested())
+	}
+	if got := e.Stories("nyt"); len(got) != 1 {
+		t.Fatalf("nyt stories = %d", len(got))
+	}
+	if e.Identifier("nyt") == nil || e.Identifier("nope") != nil {
+		t.Fatal("Identifier accessor wrong")
+	}
+}
+
+func TestEngineRejectsInvalidAndDuplicates(t *testing.T) {
+	e := NewEngine(DefaultOptions())
+	if _, err := e.Ingest(&event.Snippet{ID: 1}); err == nil {
+		t.Fatal("invalid snippet accepted")
+	}
+	s := snip(1, "nyt", 17, []event.Entity{"UKR"}, "crash")
+	if _, err := e.Ingest(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(s); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate delivery error = %v", err)
+	}
+	// With dedup disabled duplicates pass (caller's responsibility).
+	opts := DefaultOptions()
+	opts.DedupCapacity = 0
+	e2 := NewEngine(opts)
+	e2.Ingest(s)
+	if _, err := e2.Ingest(s); err != nil {
+		t.Fatalf("dedup-off duplicate rejected: %v", err)
+	}
+}
+
+func TestEngineRemoveSource(t *testing.T) {
+	e := NewEngine(DefaultOptions())
+	crash := []event.Entity{"UKR", "MAL"}
+	e.Ingest(snip(1, "nyt", 17, crash, "crash", "plane"))
+	e.Ingest(snip(11, "wsj", 17, crash, "crash", "plane"))
+	if len(e.Align().MultiSource()) != 1 {
+		t.Fatal("setup alignment failed")
+	}
+	if !e.RemoveSource("wsj") {
+		t.Fatal("RemoveSource = false")
+	}
+	if e.RemoveSource("wsj") {
+		t.Fatal("second RemoveSource = true")
+	}
+	res := e.Result()
+	if len(res.MultiSource()) != 0 {
+		t.Fatal("removed source still aligned")
+	}
+	if len(res.Integrated) != 1 {
+		t.Fatalf("Integrated = %d after removal", len(res.Integrated))
+	}
+}
+
+func TestEngineAddSourceIdempotent(t *testing.T) {
+	e := NewEngine(DefaultOptions())
+	e.AddSource("nyt")
+	e.AddSource("nyt")
+	if got := e.Sources(); len(got) != 1 {
+		t.Fatalf("Sources = %v", got)
+	}
+}
+
+func TestEngineAutoAlign(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AutoAlignEvery = 2
+	e := NewEngine(opts)
+	crash := []event.Entity{"UKR", "MAL"}
+	e.Ingest(snip(1, "nyt", 17, crash, "crash", "plane"))
+	e.Ingest(snip(11, "wsj", 17, crash, "crash", "plane"))
+	// Auto-align fired; Result should not need recomputation (no dirty).
+	res := e.Result()
+	if len(res.MultiSource()) != 1 {
+		t.Fatal("auto-align did not produce integrated story")
+	}
+}
+
+func TestEngineOutOfOrderMatchesInOrder(t *testing.T) {
+	gen := datagen.DefaultConfig()
+	gen.Sources = 3
+	gen.Stories = 8
+	gen.EventsPerStory = 8
+	corpus := datagen.Generate(gen)
+
+	truth := eval.Assignment{}
+	for id, l := range corpus.Truth {
+		truth[id] = l
+	}
+	run := func(snips []*event.Snippet) float64 {
+		e := NewEngine(DefaultOptions())
+		e.IngestAll(snips)
+		res := e.Align()
+		return eval.Pairwise(eval.FromIntegrated(res.Integrated), truth).F1
+	}
+	inOrder := run(corpus.Snippets)
+	outOfOrder := run(corpus.Shuffled(0.3, 25, 7))
+	if inOrder < 0.55 {
+		t.Fatalf("in-order F1 = %.3f too low", inOrder)
+	}
+	if outOfOrder < inOrder-0.2 {
+		t.Fatalf("out-of-order F1 %.3f collapsed vs in-order %.3f", outOfOrder, inOrder)
+	}
+}
+
+func TestEngineIncrementalSourceAddition(t *testing.T) {
+	gen := datagen.DefaultConfig()
+	gen.Sources = 4
+	gen.Stories = 8
+	gen.EventsPerStory = 6
+	corpus := datagen.Generate(gen)
+	parts := corpus.BySource()
+
+	// Stream sources one at a time, aligning between additions — the
+	// paper's "new source appears" flow.
+	e := NewEngine(DefaultOptions())
+	var lastCount int
+	for _, src := range corpus.Sources {
+		e.IngestAll(parts[src])
+		res := e.Align()
+		if len(res.Integrated) == 0 {
+			t.Fatalf("no integrated stories after adding %s", src)
+		}
+		lastCount = len(res.Integrated)
+	}
+
+	// Compare against a single batch run over everything.
+	e2 := NewEngine(DefaultOptions())
+	e2.IngestAll(corpus.Snippets)
+	batch := e2.Align()
+
+	f := eval.Pairwise(
+		eval.FromIntegrated(e.Result().Integrated),
+		eval.FromIntegrated(batch.Integrated),
+	)
+	if f.F1 < 0.8 {
+		t.Fatalf("incremental-by-source vs batch agreement F1 = %.3f (counts %d vs %d)",
+			f.F1, lastCount, len(batch.Integrated))
+	}
+}
+
+func TestEngineRefineOnAlign(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RefineOnAlign = true
+	e := NewEngine(opts)
+	crash := []event.Entity{"UKR", "MAL"}
+	goog := []event.Entity{"GOOG", "YELP"}
+	e.Ingest(snip(1, "nyt", 17, crash, "crash", "plane", "shot"))
+	e.Ingest(snip(2, "nyt", 18, crash, "crash", "investig", "shot"))
+	e.Ingest(snip(3, "nyt", 18, goog, "search", "antitrust", "content"))
+	e.Ingest(snip(11, "wsj", 17, crash, "crash", "plane", "shot"))
+	e.Ingest(snip(12, "wsj", 18, crash, "crash", "investig", "shot"))
+	e.Ingest(snip(13, "wsj", 18, goog, "search", "antitrust", "content"))
+
+	// Inject a mistake directly through the identifier, then re-align
+	// with refinement enabled.
+	nyt := e.Identifier("nyt")
+	if !nyt.Move(2, nyt.StoryOf(3)) {
+		t.Fatal("setup move failed")
+	}
+	e.Align()
+	if nyt.StoryOf(2) != nyt.StoryOf(1) {
+		t.Fatal("refinement during Align did not correct the mistake")
+	}
+	res := e.Result()
+	// The result must reflect the corrected stories: snippet 2 in the
+	// crash integrated story.
+	var crashIS *event.IntegratedStory
+	for _, is := range res.Integrated {
+		for _, sn := range is.Snippets() {
+			if sn.ID == 1 {
+				crashIS = is
+			}
+		}
+	}
+	if crashIS == nil {
+		t.Fatal("crash story missing")
+	}
+	found := false
+	for _, sn := range crashIS.Snippets() {
+		if sn.ID == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("corrected snippet not in the integrated crash story")
+	}
+}
+
+func TestEngineConcurrentIngest(t *testing.T) {
+	gen := datagen.DefaultConfig()
+	gen.Sources = 4
+	gen.Stories = 6
+	gen.EventsPerStory = 6
+	corpus := datagen.Generate(gen)
+	parts := corpus.BySource()
+
+	e := NewEngine(DefaultOptions())
+	var wg sync.WaitGroup
+	for _, src := range corpus.Sources {
+		wg.Add(1)
+		go func(snips []*event.Snippet) {
+			defer wg.Done()
+			for _, s := range snips {
+				e.Ingest(s)
+			}
+		}(parts[src])
+	}
+	// Concurrent aligns while ingesting.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			e.Align()
+		}
+	}()
+	wg.Wait()
+	if int(e.Ingested()) != len(corpus.Snippets) {
+		t.Fatalf("Ingested = %d, want %d", e.Ingested(), len(corpus.Snippets))
+	}
+	res := e.Align()
+	covered := 0
+	for _, is := range res.Integrated {
+		covered += is.Len()
+	}
+	if covered != len(corpus.Snippets) {
+		t.Fatalf("integrated stories cover %d of %d snippets", covered, len(corpus.Snippets))
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	gen := datagen.DefaultConfig()
+	gen.Sources = 3
+	gen.Stories = 6
+	gen.EventsPerStory = 6
+	corpus := datagen.Generate(gen)
+
+	e := NewEngine(DefaultOptions())
+	e.IngestAll(corpus.Snippets)
+	before := eval.FromIntegrated(e.Align().Integrated)
+
+	var buf bytes.Buffer
+	if err := e.Checkpoint().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := RestoreEngine(DefaultOptions(), corpus.Snippets, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := eval.FromIntegrated(e2.Align().Integrated)
+	if f := eval.Pairwise(after, before).F1; f != 1 {
+		t.Fatalf("restored partition differs: agreement F1 = %.3f", f)
+	}
+	// Statistics rebuilt.
+	if e2.Ingested() != e.Ingested() {
+		t.Fatalf("ingested %d, want %d", e2.Ingested(), e.Ingested())
+	}
+	if e2.DistinctEntities() == 0 {
+		t.Fatal("entity HLL not rebuilt")
+	}
+	s1, e1 := e.TimeRange()
+	s2, e2t := e2.TimeRange()
+	if !s1.Equal(s2) || !e1.Equal(e2t) {
+		t.Fatal("time range not rebuilt")
+	}
+	// Dedup filters rebuilt: re-delivery rejected.
+	if _, err := e2.Ingest(corpus.Snippets[0]); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("restored dedup missed duplicate: %v", err)
+	}
+	// New ingestion gets fresh story IDs (allocator bumped).
+	fresh := corpus.Snippets[0].Clone()
+	fresh.ID = event.SnippetID(1 << 50)
+	fresh.Timestamp = fresh.Timestamp.Add(365 * 24 * time.Hour)
+	sid, err := e2.Ingest(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range e2.Stories(fresh.Source) {
+		if st.ID == sid {
+			continue
+		}
+		if st.ID > sid {
+			t.Fatalf("allocator not bumped: new story %d below existing %d", sid, st.ID)
+		}
+	}
+}
+
+func TestRestoreEngineStaleCheckpoint(t *testing.T) {
+	gen := datagen.DefaultConfig()
+	gen.Sources = 2
+	gen.Stories = 3
+	gen.EventsPerStory = 4
+	corpus := datagen.Generate(gen)
+
+	e := NewEngine(DefaultOptions())
+	e.IngestAll(corpus.Snippets[:len(corpus.Snippets)/2])
+	cp := e.Checkpoint()
+
+	// Restoring against MORE snippets than the checkpoint covers fails.
+	if _, err := RestoreEngine(DefaultOptions(), corpus.Snippets, cp); !errors.Is(err, ErrCheckpointStale) {
+		t.Fatalf("stale checkpoint accepted: %v", err)
+	}
+	// Nil checkpoint fails.
+	if _, err := RestoreEngine(DefaultOptions(), corpus.Snippets, nil); !errors.Is(err, ErrCheckpointStale) {
+		t.Fatalf("nil checkpoint accepted: %v", err)
+	}
+	// Wrong version rejected at read time.
+	if _, err := ReadCheckpoint(strings.NewReader(`{"version":99,"sources":{}}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if _, err := ReadCheckpoint(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestEngineSoakBoundedState streams a larger corpus with aggressive
+// repair and verifies internal bookkeeping stays bounded: the aligner and
+// identifiers must not accumulate unbounded stale story references, and
+// the final result must still cover every snippet exactly once.
+func TestEngineSoakBoundedState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	gen := datagen.DefaultConfig()
+	gen.Sources = 6
+	gen.Stories = 40
+	gen.EventsPerStory = 30
+	corpus := datagen.Generate(gen)
+
+	opts := DefaultOptions()
+	opts.Identify.RepairEvery = 16 // aggressive churn
+	opts.AutoAlignEvery = 997
+	e := NewEngine(opts)
+	if got := e.IngestAll(corpus.Snippets); got != len(corpus.Snippets) {
+		t.Fatalf("accepted %d of %d", got, len(corpus.Snippets))
+	}
+	res := e.Align()
+
+	covered := map[event.SnippetID]bool{}
+	for _, is := range res.Integrated {
+		for _, sn := range is.Snippets() {
+			if covered[sn.ID] {
+				t.Fatalf("snippet %d in two integrated stories", sn.ID)
+			}
+			covered[sn.ID] = true
+		}
+	}
+	if len(covered) != len(corpus.Snippets) {
+		t.Fatalf("result covers %d of %d", len(covered), len(corpus.Snippets))
+	}
+	// Repair churn actually happened (the soak is meaningless otherwise).
+	splits, merges := 0, 0
+	for _, src := range e.Sources() {
+		st := e.Identifier(src).Stats()
+		splits += st.Splits
+		merges += st.Merges
+	}
+	if splits+merges == 0 {
+		t.Fatal("no repair churn during soak")
+	}
+}

@@ -1,0 +1,252 @@
+package text
+
+// Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980), implemented from the original paper.
+// Stemming collapses inflected forms ("crashed", "crashing", "crashes")
+// onto one stem so that description-term vectors of related snippets
+// overlap even when wording differs.
+
+// Stem returns the Porter stem of a lowercase word. Words shorter than
+// three characters are returned unchanged, as in the reference
+// implementation.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	w := &stemWord{b: []byte(word)}
+	w.step1a()
+	w.step1b()
+	w.step1c()
+	w.step2()
+	w.step3()
+	w.step4()
+	w.step5a()
+	w.step5b()
+	return string(w.b)
+}
+
+// StemAll stems every token in place and returns the slice.
+func StemAll(tokens []string) []string {
+	for i, t := range tokens {
+		tokens[i] = Stem(t)
+	}
+	return tokens
+}
+
+type stemWord struct {
+	b []byte
+}
+
+// isConsonant reports whether b[i] is a consonant in Porter's sense:
+// letters other than a,e,i,o,u; 'y' is a consonant when preceded by a
+// vowel position (or at position 0).
+func (w *stemWord) isConsonant(i int) bool {
+	switch w.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !w.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure computes m, the number of VC sequences in b[:end].
+func (w *stemWord) measure(end int) int {
+	n, i := 0, 0
+	for i < end && w.isConsonant(i) {
+		i++
+	}
+	for i < end {
+		for i < end && !w.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		n++
+		for i < end && w.isConsonant(i) {
+			i++
+		}
+	}
+	return n
+}
+
+// hasVowel reports whether b[:end] contains a vowel.
+func (w *stemWord) hasVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !w.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether b[:end] ends in a double consonant.
+func (w *stemWord) endsDoubleConsonant(end int) bool {
+	if end < 2 {
+		return false
+	}
+	return w.b[end-1] == w.b[end-2] && w.isConsonant(end-1)
+}
+
+// endsCVC reports whether b[:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x, or y.
+func (w *stemWord) endsCVC(end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !w.isConsonant(end-3) || w.isConsonant(end-2) || !w.isConsonant(end-1) {
+		return false
+	}
+	switch w.b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the word ends with s and, if so, returns the
+// length of the stem before the suffix.
+func (w *stemWord) hasSuffix(s string) (stemLen int, ok bool) {
+	if len(w.b) < len(s) {
+		return 0, false
+	}
+	off := len(w.b) - len(s)
+	if string(w.b[off:]) != s {
+		return 0, false
+	}
+	return off, true
+}
+
+// replace replaces the suffix of length sufLen with r.
+func (w *stemWord) replace(sufLen int, r string) {
+	w.b = append(w.b[:len(w.b)-sufLen], r...)
+}
+
+func (w *stemWord) step1a() {
+	switch {
+	case endsWith(w.b, "sses"):
+		w.replace(2, "")
+	case endsWith(w.b, "ies"):
+		w.replace(2, "")
+	case endsWith(w.b, "ss"):
+		// keep
+	case endsWith(w.b, "s"):
+		w.replace(1, "")
+	}
+}
+
+func (w *stemWord) step1b() {
+	if stem, ok := w.hasSuffix("eed"); ok {
+		if w.measure(stem) > 0 {
+			w.replace(1, "")
+		}
+		return
+	}
+	applied := false
+	if stem, ok := w.hasSuffix("ed"); ok && w.hasVowel(stem) {
+		w.b = w.b[:stem]
+		applied = true
+	} else if stem, ok := w.hasSuffix("ing"); ok && w.hasVowel(stem) {
+		w.b = w.b[:stem]
+		applied = true
+	}
+	if !applied {
+		return
+	}
+	switch {
+	case endsWith(w.b, "at"), endsWith(w.b, "bl"), endsWith(w.b, "iz"):
+		w.b = append(w.b, 'e')
+	case w.endsDoubleConsonant(len(w.b)):
+		last := w.b[len(w.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			w.b = w.b[:len(w.b)-1]
+		}
+	case w.measure(len(w.b)) == 1 && w.endsCVC(len(w.b)):
+		w.b = append(w.b, 'e')
+	}
+}
+
+func (w *stemWord) step1c() {
+	if stem, ok := w.hasSuffix("y"); ok && w.hasVowel(stem) {
+		w.b[len(w.b)-1] = 'i'
+	}
+}
+
+// suffix rule table entry: suffix -> replacement, applied when measure of
+// the remaining stem exceeds the threshold.
+type rule struct{ suf, rep string }
+
+var step2Rules = []rule{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+var step3Rules = []rule{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func (w *stemWord) applyRules(rules []rule, minMeasure int) {
+	for _, r := range rules {
+		if stem, ok := w.hasSuffix(r.suf); ok {
+			if w.measure(stem) > minMeasure {
+				w.replace(len(r.suf), r.rep)
+			}
+			return
+		}
+	}
+}
+
+func (w *stemWord) step2() { w.applyRules(step2Rules, 0) }
+func (w *stemWord) step3() { w.applyRules(step3Rules, 0) }
+
+func (w *stemWord) step4() {
+	for _, suf := range step4Suffixes {
+		stem, ok := w.hasSuffix(suf)
+		if !ok {
+			continue
+		}
+		if suf == "ion" {
+			// "ion" is only removed after s or t.
+			if stem == 0 || (w.b[stem-1] != 's' && w.b[stem-1] != 't') {
+				return
+			}
+		}
+		if w.measure(stem) > 1 {
+			w.b = w.b[:stem]
+		}
+		return
+	}
+}
+
+func (w *stemWord) step5a() {
+	if stem, ok := w.hasSuffix("e"); ok {
+		m := w.measure(stem)
+		if m > 1 || (m == 1 && !w.endsCVC(stem)) {
+			w.b = w.b[:stem]
+		}
+	}
+}
+
+func (w *stemWord) step5b() {
+	n := len(w.b)
+	if n > 1 && w.b[n-1] == 'l' && w.endsDoubleConsonant(n) && w.measure(n) > 1 {
+		w.b = w.b[:n-1]
+	}
+}
+
+func endsWith(b []byte, s string) bool {
+	return len(b) >= len(s) && string(b[len(b)-len(s):]) == s
+}

@@ -1,0 +1,278 @@
+package text
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	got := Tokenize("A Malaysian airplane crashed over Ukraine!")
+	want := []string{"malaysian", "airplane", "crashed", "over", "ukraine"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"   \t\n ", nil},
+		{"...!!!", nil},
+		{"a b c", nil}, // single chars dropped
+		{"MH17 flight", []string{"mh17", "flight"}},    // alnum kept
+		{"jet's downing", []string{"jets", "downing"}}, // apostrophe folded
+		{"pro-Russia", []string{"pro-russia"}},         // intra-word hyphen kept
+		{"end-", []string{"end"}},                      // trailing hyphen dropped
+		{"-start", []string{"start"}},                  // leading hyphen dropped
+		{"Ukraine,Russia;Malaysia", []string{"ukraine", "russia", "malaysia"}},
+		{"UPPER lower MiXeD", []string{"upper", "lower", "mixed"}},
+		{"über café", []string{"über", "café"}}, // unicode letters kept
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeAlwaysLowercase(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok != strings.ToLower(tok) {
+				return false
+			}
+			if len(tok) < 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSentences(t *testing.T) {
+	got := Sentences("The plane crashed. Investigators arrived! Why? No trailing")
+	want := []string{"The plane crashed.", "Investigators arrived!", "Why?", "No trailing"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sentences = %v, want %v", got, want)
+	}
+	// Abbreviation-ish: "U.S. officials" — period followed by space splits;
+	// this is a documented simplification, just assert no crash/empty.
+	if s := Sentences(""); s != nil {
+		t.Errorf("Sentences(\"\") = %v", s)
+	}
+}
+
+func TestParagraphs(t *testing.T) {
+	got := Paragraphs("First para.\nStill first.\n\nSecond para.\n\n\n\nThird.")
+	if len(got) != 3 {
+		t.Fatalf("Paragraphs = %v, want 3", got)
+	}
+	if got[1] != "Second para." {
+		t.Errorf("Paragraphs[1] = %q", got[1])
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	if !IsStopword("the") || !IsStopword("dont") || IsStopword("ukraine") {
+		t.Fatal("stopword membership wrong")
+	}
+	got := FilterStopwords([]string{"the", "plane", "was", "shot", "tragically"})
+	want := []string{"plane", "shot", "tragically"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FilterStopwords = %v, want %v", got, want)
+	}
+}
+
+func TestPorterStemmer(t *testing.T) {
+	// Canonical examples from Porter's paper plus news-domain words.
+	cases := map[string]string{
+		"caresses":     "caress",
+		"ponies":       "poni",
+		"ties":         "ti",
+		"caress":       "caress",
+		"cats":         "cat",
+		"feed":         "feed",
+		"agreed":       "agre",
+		"plastered":    "plaster",
+		"bled":         "bled",
+		"motoring":     "motor",
+		"sing":         "sing",
+		"conflated":    "conflat",
+		"troubled":     "troubl",
+		"sized":        "size",
+		"hopping":      "hop",
+		"tanned":       "tan",
+		"falling":      "fall",
+		"hissing":      "hiss",
+		"fizzed":       "fizz",
+		"failing":      "fail",
+		"filing":       "file",
+		"happy":        "happi",
+		"sky":          "sky",
+		"relational":   "relat",
+		"conditional":  "condit",
+		"rational":     "ration",
+		"valenci":      "valenc",
+		"digitizer":    "digit",
+		"operator":     "oper",
+		"feudalism":    "feudal",
+		"decisiveness": "decis",
+		"hopefulness":  "hope",
+		"formaliti":    "formal",
+		"triplicate":   "triplic",
+		"formative":    "form",
+		"formalize":    "formal",
+		"electriciti":  "electr",
+		"electrical":   "electr",
+		"hopeful":      "hope",
+		"goodness":     "good",
+		"revival":      "reviv",
+		"allowance":    "allow",
+		"inference":    "infer",
+		"airliner":     "airlin",
+		"adjustable":   "adjust",
+		"defensible":   "defens",
+		"irritant":     "irrit",
+		"replacement":  "replac",
+		"adjustment":   "adjust",
+		"dependent":    "depend",
+		"adoption":     "adopt",
+		"homologou":    "homolog",
+		"communism":    "commun",
+		"activate":     "activ",
+		"angulariti":   "angular",
+		"homologous":   "homolog",
+		"effective":    "effect",
+		"bowdlerize":   "bowdler",
+		"probate":      "probat",
+		"rate":         "rate",
+		"cease":        "ceas",
+		"controll":     "control",
+		"roll":         "roll",
+		// news domain
+		"crashed":       "crash",
+		"crashes":       "crash",
+		"crashing":      "crash",
+		"investigation": "investig",
+		"investigators": "investig",
+		"sanctions":     "sanction",
+		"separatists":   "separatist",
+		"at":            "at", // short words untouched
+		"be":            "be",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemIdempotentOnStems(t *testing.T) {
+	// Stemming the inflection family collapses to one form.
+	family := []string{"crash", "crashed", "crashes", "crashing"}
+	stem := Stem(family[0])
+	for _, w := range family {
+		if got := Stem(w); got != stem {
+			t.Errorf("Stem(%q) = %q, want %q", w, got, stem)
+		}
+	}
+}
+
+func TestStemAll(t *testing.T) {
+	got := StemAll([]string{"planes", "falling"})
+	want := []string{"plane", "fall"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("StemAll = %v, want %v", got, want)
+	}
+}
+
+func TestCorpusIDF(t *testing.T) {
+	c := NewCorpus()
+	c.Observe([]string{"crash", "plane"})
+	c.Observe([]string{"crash", "sanction"})
+	c.Observe([]string{"crash"})
+	if c.Docs() != 3 {
+		t.Fatalf("Docs = %d", c.Docs())
+	}
+	// "crash" appears everywhere: lowest IDF. Unknown term: highest.
+	if !(c.IDF("crash") < c.IDF("plane")) {
+		t.Error("ubiquitous term should have lower IDF than rare term")
+	}
+	if !(c.IDF("plane") < c.IDF("zzz")) {
+		t.Error("unseen term should have highest IDF")
+	}
+	if c.IDF("crash") <= 0 {
+		t.Error("IDF must be positive")
+	}
+}
+
+func TestCorpusObserveDeduplicates(t *testing.T) {
+	c := NewCorpus()
+	c.Observe([]string{"crash", "crash", "crash"})
+	c.Observe([]string{"plane"})
+	// df(crash) must be 1 (document frequency, not term frequency).
+	if !(c.IDF("crash") == c.IDF("plane")) {
+		t.Error("Observe must deduplicate tokens per document")
+	}
+}
+
+func TestWeigh(t *testing.T) {
+	c := NewCorpus()
+	for i := 0; i < 10; i++ {
+		c.Observe([]string{"common"})
+	}
+	c.Observe([]string{"rare", "common"})
+	v := c.Weigh([]string{"rare", "common", "common"})
+	if len(v) != 2 {
+		t.Fatalf("Weigh returned %d terms", len(v))
+	}
+	// Sorted by token.
+	if v[0].Token != "common" || v[1].Token != "rare" {
+		t.Fatalf("Weigh not sorted: %v", v)
+	}
+	// rare has higher IDF; even though common has tf=2, sublinear tf keeps
+	// rare on top here.
+	if !(v[1].Weight > v[0].Weight) {
+		t.Errorf("rare weight %g should exceed common weight %g", v[1].Weight, v[0].Weight)
+	}
+	if empty := c.Weigh(nil); len(empty) != 0 {
+		t.Errorf("Weigh(nil) = %v", empty)
+	}
+}
+
+func TestCorpusConcurrentUse(t *testing.T) {
+	c := NewCorpus()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				c.Observe([]string{"a", "b"})
+				c.Weigh([]string{"a", "c"})
+				c.IDF("b")
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if c.Docs() != 400 {
+		t.Fatalf("Docs = %d, want 400", c.Docs())
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	got := Pipeline("The planes were crashing over Ukraine.")
+	want := []string{"plane", "crash", "ukrain"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Pipeline = %v, want %v", got, want)
+	}
+}

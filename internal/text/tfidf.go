@@ -1,0 +1,88 @@
+package text
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Corpus maintains document-frequency statistics over a growing stream of
+// documents and assigns TF-IDF weights to term vectors. It is safe for
+// concurrent use: the extraction pipeline annotates documents from multiple
+// sources in parallel.
+type Corpus struct {
+	mu   sync.RWMutex
+	df   map[string]int // document frequency per term
+	docs int            // number of documents observed
+}
+
+// NewCorpus creates an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{df: make(map[string]int)}
+}
+
+// Observe updates document-frequency statistics with the (deduplicated)
+// terms of one document.
+func (c *Corpus) Observe(tokens []string) {
+	seen := make(map[string]bool, len(tokens))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.docs++
+	for _, t := range tokens {
+		if !seen[t] {
+			seen[t] = true
+			c.df[t]++
+		}
+	}
+}
+
+// Docs returns the number of documents observed so far.
+func (c *Corpus) Docs() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.docs
+}
+
+// IDF returns the smoothed inverse document frequency of a term:
+// log(1 + N/(1+df)). Unknown terms receive the maximum IDF, making rare
+// terms the most discriminative, as is standard.
+func (c *Corpus) IDF(term string) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idfLocked(term)
+}
+
+func (c *Corpus) idfLocked(term string) float64 {
+	return math.Log(1 + float64(c.docs)/float64(1+c.df[term]))
+}
+
+// Weigh converts a bag of tokens into a TF-IDF weighted term vector, sorted
+// by token. Term frequency is sub-linear (1 + log tf), the common variant
+// that prevents long documents from dominating.
+func (c *Corpus) Weigh(tokens []string) []WeightedTerm {
+	tf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	out := make([]WeightedTerm, 0, len(tf))
+	c.mu.RLock()
+	for t, f := range tf {
+		w := (1 + math.Log(float64(f))) * c.idfLocked(t)
+		out = append(out, WeightedTerm{Token: t, Weight: w})
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Token < out[j].Token })
+	return out
+}
+
+// WeightedTerm pairs a token with its TF-IDF weight.
+type WeightedTerm struct {
+	Token  string
+	Weight float64
+}
+
+// Pipeline is the canonical token pipeline used across StoryPivot:
+// tokenise, drop stopwords, stem. It returns processing-ready tokens.
+func Pipeline(s string) []string {
+	return StemAll(FilterStopwords(Tokenize(s)))
+}

@@ -1,0 +1,84 @@
+// Package text implements the hand-rolled natural-language substrate that
+// StoryPivot's extraction pipeline depends on: tokenisation, stopword
+// filtering, Porter stemming, vocabulary management, and TF-IDF weighting.
+//
+// The paper delegates annotation to Open Calais; offline we reproduce the
+// relevant output — entity mentions and weighted description terms — with
+// these classical components (no external NLP libraries are available).
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits raw text into lowercase word tokens. A token is a maximal
+// run of letters, digits, or intra-word apostrophes/hyphens; everything else
+// is a separator. Pure-digit runs are kept (dates and flight numbers carry
+// signal in event data), but single characters are dropped as noise.
+func Tokenize(s string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() >= 2 {
+			tokens = append(tokens, b.String())
+		}
+		b.Reset()
+	}
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case (r == '\'' || r == '-') && b.Len() > 0 && i+1 < len(runes) &&
+			(unicode.IsLetter(runes[i+1]) || unicode.IsDigit(runes[i+1])):
+			// Intra-word apostrophe or hyphen: keep hyphen, drop apostrophe
+			// (so "jet's" -> "jets", "pro-russia" -> "pro-russia").
+			if r == '-' {
+				b.WriteRune(r)
+			}
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Sentences splits text into sentences on '.', '!' and '?' boundaries
+// followed by whitespace or end-of-text. It is intentionally simple: the
+// extraction pipeline only needs rough excerpt boundaries, matching the
+// paper's "breaks their text down based on paragraphs, title, etc."
+func Sentences(s string) []string {
+	var out []string
+	start := 0
+	runes := []rune(s)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r == '.' || r == '!' || r == '?' {
+			// Look ahead: sentence ends if next rune is space or EOT.
+			if i+1 >= len(runes) || unicode.IsSpace(runes[i+1]) {
+				sent := strings.TrimSpace(string(runes[start : i+1]))
+				if sent != "" {
+					out = append(out, sent)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if tail := strings.TrimSpace(string(runes[start:])); tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}
+
+// Paragraphs splits a document into paragraphs on blank lines.
+func Paragraphs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, "\n\n") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+// Package trend implements burst detection over story activity — the
+// "trend detection" application the paper motivates in §1 ("recovering
+// the evolution and the dynamics of news stories across time is of
+// tremendous value in different application domains, ranging from trend
+// detection to economic analysis") and the temporal-pattern analysis the
+// political-forecasting use case relies on.
+//
+// The detector buckets a story's snippet timestamps into fixed-width
+// intervals and scores each bucket's activity against the story's own
+// baseline with a z-score; runs of elevated buckets become bursts. On top
+// of per-story bursts, Trending ranks stories by their activity in a
+// query window relative to history.
+package trend
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/event"
+)
+
+// Config parameterises burst detection.
+type Config struct {
+	// Bucket is the histogram bucket width (default 24h).
+	Bucket time.Duration
+	// Threshold is the z-score above which a bucket counts as bursting
+	// (default 2.0).
+	Threshold float64
+	// MinSnippets is the minimum story size to analyse (default 4).
+	MinSnippets int
+}
+
+// DefaultConfig returns the standard settings.
+func DefaultConfig() Config {
+	return Config{Bucket: 24 * time.Hour, Threshold: 2.0, MinSnippets: 4}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bucket <= 0 {
+		c.Bucket = 24 * time.Hour
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 2.0
+	}
+	if c.MinSnippets <= 0 {
+		c.MinSnippets = 4
+	}
+	return c
+}
+
+// Burst is one detected activity burst of a story.
+type Burst struct {
+	Start, End time.Time
+	Snippets   int     // snippets inside the burst
+	Score      float64 // peak z-score
+}
+
+// Series is a story's bucketed activity histogram.
+type Series struct {
+	Origin time.Time
+	Bucket time.Duration
+	Counts []int
+}
+
+// At returns the bucket index for a timestamp (-1 if before the origin).
+func (s *Series) At(t time.Time) int {
+	if t.Before(s.Origin) {
+		return -1
+	}
+	idx := int(t.Sub(s.Origin) / s.Bucket)
+	if idx >= len(s.Counts) {
+		return len(s.Counts) - 1
+	}
+	return idx
+}
+
+// BuildSeries buckets timestamps into the story's activity histogram.
+func BuildSeries(times []time.Time, bucket time.Duration) *Series {
+	if len(times) == 0 || bucket <= 0 {
+		return &Series{Bucket: bucket}
+	}
+	min, max := times[0], times[0]
+	for _, t := range times[1:] {
+		if t.Before(min) {
+			min = t
+		}
+		if t.After(max) {
+			max = t
+		}
+	}
+	origin := min.Truncate(bucket)
+	n := int(max.Sub(origin)/bucket) + 1
+	s := &Series{Origin: origin, Bucket: bucket, Counts: make([]int, n)}
+	for _, t := range times {
+		idx := int(t.Sub(origin) / bucket)
+		if idx >= 0 && idx < n {
+			s.Counts[idx]++
+		}
+	}
+	return s
+}
+
+// Bursts detects activity bursts in the series: maximal runs of buckets
+// whose count exceeds mean + threshold·stddev of the whole series.
+// Stories with uniform activity yield no bursts; a degenerate series
+// (all activity in one bucket of an otherwise empty span) yields one.
+func Bursts(s *Series, cfg Config) []Burst {
+	cfg = cfg.withDefaults()
+	n := len(s.Counts)
+	if n == 0 {
+		return nil
+	}
+	var sum, sumSq float64
+	for _, c := range s.Counts {
+		sum += float64(c)
+		sumSq += float64(c) * float64(c)
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 1e-12 {
+		return nil // perfectly uniform activity
+	}
+	std := math.Sqrt(variance)
+	cut := mean + cfg.Threshold*std
+
+	var bursts []Burst
+	i := 0
+	for i < n {
+		if float64(s.Counts[i]) <= cut {
+			i++
+			continue
+		}
+		j := i
+		snips := 0
+		peak := 0.0
+		for j < n && float64(s.Counts[j]) > cut {
+			snips += s.Counts[j]
+			if z := (float64(s.Counts[j]) - mean) / std; z > peak {
+				peak = z
+			}
+			j++
+		}
+		bursts = append(bursts, Burst{
+			Start:    s.Origin.Add(time.Duration(i) * s.Bucket),
+			End:      s.Origin.Add(time.Duration(j) * s.Bucket),
+			Snippets: snips,
+			Score:    peak,
+		})
+		i = j
+	}
+	return bursts
+}
+
+// StoryBursts analyses one integrated story.
+func StoryBursts(is *event.IntegratedStory, cfg Config) []Burst {
+	cfg = cfg.withDefaults()
+	if is.Len() < cfg.MinSnippets {
+		return nil
+	}
+	times := make([]time.Time, 0, is.Len())
+	for _, sn := range is.Snippets() {
+		times = append(times, sn.Timestamp)
+	}
+	return Bursts(BuildSeries(times, cfg.Bucket), cfg)
+}
+
+// Trend is one trending story: its activity in the query window compared
+// to its historical baseline.
+type Trend struct {
+	Story    *event.IntegratedStory
+	Recent   int     // snippets inside the window
+	Baseline float64 // mean snippets per window-width bucket before it
+	Score    float64 // burstiness of the window vs the baseline
+}
+
+// Trending ranks integrated stories by activity inside [now−window, now]
+// relative to each story's own prior rate. New stories (no history) score
+// by raw recent volume. Stories with no recent activity are excluded.
+func Trending(stories []*event.IntegratedStory, now time.Time, window time.Duration, cfg Config) []Trend {
+	cfg = cfg.withDefaults()
+	from := now.Add(-window)
+	var out []Trend
+	for _, is := range stories {
+		if is.Len() < cfg.MinSnippets {
+			continue
+		}
+		recent := 0
+		var history []time.Time
+		for _, sn := range is.Snippets() {
+			switch {
+			case sn.Timestamp.After(from) && !sn.Timestamp.After(now):
+				recent++
+			case !sn.Timestamp.After(from):
+				history = append(history, sn.Timestamp)
+			}
+		}
+		if recent == 0 {
+			continue
+		}
+		tr := Trend{Story: is, Recent: recent}
+		if len(history) == 0 {
+			tr.Score = float64(recent) // brand new story: raw volume
+		} else {
+			span := from.Sub(history[0])
+			buckets := float64(span) / float64(window)
+			if buckets < 1 {
+				buckets = 1
+			}
+			tr.Baseline = float64(len(history)) / buckets
+			tr.Score = float64(recent) / (tr.Baseline + 1)
+		}
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Story.ID < out[j].Story.ID
+	})
+	return out
+}

@@ -1,0 +1,144 @@
+package trend
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/event"
+)
+
+func ts(d int, h int) time.Time {
+	return time.Date(2014, 7, d, h, 0, 0, 0, time.UTC)
+}
+
+func TestBuildSeries(t *testing.T) {
+	times := []time.Time{ts(1, 3), ts(1, 20), ts(2, 1), ts(5, 0)}
+	s := BuildSeries(times, 24*time.Hour)
+	if len(s.Counts) != 5 {
+		t.Fatalf("buckets = %d, want 5", len(s.Counts))
+	}
+	if s.Counts[0] != 2 || s.Counts[1] != 1 || s.Counts[4] != 1 {
+		t.Fatalf("counts = %v", s.Counts)
+	}
+	if s.At(ts(1, 12)) != 0 || s.At(ts(5, 1)) != 4 {
+		t.Fatal("At wrong")
+	}
+	if s.At(ts(1, 0).Add(-48*time.Hour)) != -1 {
+		t.Fatal("At before origin should be -1")
+	}
+	// Degenerate inputs.
+	if got := BuildSeries(nil, time.Hour); len(got.Counts) != 0 {
+		t.Fatal("empty series not empty")
+	}
+}
+
+func TestBurstsDetectsSpike(t *testing.T) {
+	// Quiet background of 1/day with a 3-day spike of 10/day.
+	var times []time.Time
+	for d := 1; d <= 20; d++ {
+		times = append(times, ts(d, 0))
+		if d >= 8 && d <= 10 {
+			for k := 0; k < 9; k++ {
+				times = append(times, ts(d, 1+k))
+			}
+		}
+	}
+	s := BuildSeries(times, 24*time.Hour)
+	bursts := Bursts(s, DefaultConfig())
+	if len(bursts) != 1 {
+		t.Fatalf("bursts = %+v", bursts)
+	}
+	b := bursts[0]
+	if !b.Start.Equal(ts(8, 0)) || !b.End.Equal(ts(11, 0)) {
+		t.Fatalf("burst window %v..%v", b.Start, b.End)
+	}
+	if b.Snippets != 30 || b.Score <= 2 {
+		t.Fatalf("burst = %+v", b)
+	}
+}
+
+func TestBurstsUniformActivityYieldsNone(t *testing.T) {
+	var times []time.Time
+	for d := 1; d <= 10; d++ {
+		times = append(times, ts(d, 0), ts(d, 12))
+	}
+	if got := Bursts(BuildSeries(times, 24*time.Hour), DefaultConfig()); len(got) != 0 {
+		t.Fatalf("uniform series produced bursts: %+v", got)
+	}
+	if got := Bursts(&Series{}, DefaultConfig()); got != nil {
+		t.Fatal("empty series produced bursts")
+	}
+}
+
+func mkIntegrated(id event.IntegratedID, times []time.Time) *event.IntegratedStory {
+	st := event.NewStory(event.StoryID(id), "src")
+	for i, tm := range times {
+		sn := &event.Snippet{
+			ID: event.SnippetID(uint64(id)*1000 + uint64(i)), Source: "src", Timestamp: tm,
+			Entities: []event.Entity{"E"},
+		}
+		st.Add(sn)
+	}
+	return event.NewIntegratedStory(id, []*event.Story{st})
+}
+
+func TestStoryBursts(t *testing.T) {
+	var times []time.Time
+	for d := 1; d <= 15; d++ {
+		times = append(times, ts(d, 0))
+	}
+	for k := 0; k < 12; k++ {
+		times = append(times, ts(7, 1+k))
+	}
+	is := mkIntegrated(1, times)
+	bursts := StoryBursts(is, DefaultConfig())
+	if len(bursts) != 1 {
+		t.Fatalf("bursts = %+v", bursts)
+	}
+	// Tiny stories are skipped.
+	small := mkIntegrated(2, []time.Time{ts(1, 0), ts(2, 0)})
+	if got := StoryBursts(small, DefaultConfig()); got != nil {
+		t.Fatal("tiny story analysed")
+	}
+}
+
+func TestTrendingRanksRecentlyActiveStories(t *testing.T) {
+	now := ts(20, 0)
+	// Story A: steady history, quiet now.
+	var aTimes []time.Time
+	for d := 1; d <= 18; d++ {
+		aTimes = append(aTimes, ts(d, 0))
+	}
+	// Story B: modest history, exploding in the last 2 days.
+	bTimes := []time.Time{ts(2, 0), ts(6, 0), ts(10, 0)}
+	for k := 0; k < 15; k++ {
+		bTimes = append(bTimes, ts(19, k), ts(20, 0))
+	}
+	// Story C: brand new, active now.
+	var cTimes []time.Time
+	for k := 0; k < 6; k++ {
+		cTimes = append(cTimes, ts(19, 2*k))
+	}
+	stories := []*event.IntegratedStory{
+		mkIntegrated(1, aTimes),
+		mkIntegrated(2, bTimes),
+		mkIntegrated(3, cTimes),
+	}
+	trends := Trending(stories, now, 48*time.Hour, DefaultConfig())
+	if len(trends) < 2 {
+		t.Fatalf("trends = %+v", trends)
+	}
+	if trends[0].Story.ID != 2 {
+		t.Fatalf("top trend = story %d, want 2 (the burster)", trends[0].Story.ID)
+	}
+	// The quiet steady story is either absent or ranked last.
+	for i, tr := range trends {
+		if tr.Story.ID == 1 && i == 0 {
+			t.Fatal("steady story ranked first")
+		}
+	}
+	// No recent activity at a far-future now: nothing trends.
+	if got := Trending(stories, ts(28, 0).AddDate(1, 0, 0), 48*time.Hour, DefaultConfig()); len(got) != 0 {
+		t.Fatalf("far-future trending = %d", len(got))
+	}
+}

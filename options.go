@@ -1,0 +1,120 @@
+package storypivot
+
+import (
+	"time"
+
+	"repro/internal/extract"
+	"repro/internal/kb"
+	"repro/internal/storage"
+	"repro/internal/stream"
+)
+
+// config collects everything New needs; Options mutate it.
+type config struct {
+	stream     stream.Options
+	gazetteer  *extract.Gazetteer
+	kb         *kb.KB
+	bigrams    bool
+	storageDir string
+	storageOpt storage.Options
+}
+
+// Option configures a Pipeline.
+type Option func(*config)
+
+// WithMode selects the identification execution mode (Figure 2):
+// ModeTemporal (default) or ModeComplete.
+func WithMode(m Mode) Option {
+	return func(c *config) { c.stream.Identify.Mode = m }
+}
+
+// WithWindow sets ω, the sliding-window half-width for temporal
+// identification.
+func WithWindow(w time.Duration) Option {
+	return func(c *config) { c.stream.Identify.Window = w }
+}
+
+// WithAttachThreshold sets the minimum similarity for a snippet to join an
+// existing story.
+func WithAttachThreshold(t float64) Option {
+	return func(c *config) { c.stream.Identify.AttachThreshold = t }
+}
+
+// WithRepairEvery sets how often (in processed snippets) the split/merge
+// repair pass runs; 0 disables incremental repair.
+func WithRepairEvery(n int) Option {
+	return func(c *config) { c.stream.Identify.RepairEvery = n }
+}
+
+// WithSketchIndex enables MinHash/LSH candidate retrieval in story
+// identification (paper §2.4 sketches).
+func WithSketchIndex(on bool) Option {
+	return func(c *config) { c.stream.Identify.UseSketchIndex = on }
+}
+
+// WithSketchFilter enables the MinHash pre-filter in story alignment.
+func WithSketchFilter(on bool) Option {
+	return func(c *config) { c.stream.Align.UseSketchFilter = on }
+}
+
+// WithAlignThreshold sets the minimum story-level similarity for
+// cross-source alignment.
+func WithAlignThreshold(t float64) Option {
+	return func(c *config) { c.stream.Align.MatchThreshold = t }
+}
+
+// WithAlignSlack sets the temporal tolerance of the alignment candidate
+// filter.
+func WithAlignSlack(d time.Duration) Option {
+	return func(c *config) { c.stream.Align.Slack = d }
+}
+
+// WithRefinement runs story refinement (paper Figure 1d) after every
+// alignment, propagating cross-source corrections back into the
+// per-source story sets.
+func WithRefinement(on bool) Option {
+	return func(c *config) { c.stream.RefineOnAlign = on }
+}
+
+// WithAutoAlign re-aligns automatically every n ingested snippets
+// (0 = align lazily on demand, the default).
+func WithAutoAlign(n int) Option {
+	return func(c *config) { c.stream.AutoAlignEvery = n }
+}
+
+// WithGazetteer replaces the entity gazetteer used by document extraction.
+func WithGazetteer(g *Gazetteer) Option {
+	return func(c *config) { c.gazetteer = g }
+}
+
+// WithBigrams additionally emits adjacent-token bigrams as description
+// terms during extraction; phrase matches ("shot_down") discriminate
+// stories better than their unigrams at the cost of a larger vocabulary.
+func WithBigrams(on bool) Option {
+	return func(c *config) { c.bigrams = on }
+}
+
+// WithStorage persists every ingested snippet to a crash-safe event store
+// in dir; on reopening a pipeline over the same directory the snippets are
+// replayed through identification so state survives restarts.
+func WithStorage(dir string) Option {
+	return func(c *config) { c.storageDir = dir }
+}
+
+// WithStorageSync selects the store's durability policy (see storage
+// docs): 0 = OS-buffered (default), 1 = fsync every append, 2 = batched.
+func WithStorageSync(policy int) Option {
+	return func(c *config) { c.storageOpt.Sync = storage.SyncPolicy(policy) }
+}
+
+// WithDedup sizes the per-source duplicate-delivery filter (0 disables).
+func WithDedup(capacity int) Option {
+	return func(c *config) { c.stream.DedupCapacity = capacity }
+}
+
+func defaultsConfig() *config {
+	return &config{
+		stream:    stream.DefaultOptions(),
+		gazetteer: extract.DefaultGazetteer(),
+	}
+}

@@ -1,0 +1,257 @@
+package storypivot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/extract"
+	"repro/internal/storage"
+	"repro/internal/stream"
+)
+
+// Pipeline is the end-to-end StoryPivot system: extraction → (optional)
+// persistence → story identification → story alignment → refinement.
+// A Pipeline is safe for concurrent use.
+type Pipeline struct {
+	engine         *stream.Engine
+	extractor      *extract.Extractor
+	kb             *KnowledgeBase
+	checkpointPath string
+
+	mu     sync.Mutex
+	store  *storage.Store
+	closed bool
+}
+
+// ErrClosed reports use of a closed pipeline.
+var ErrClosed = errors.New("storypivot: pipeline is closed")
+
+// New creates a pipeline. With WithStorage, previously persisted snippets
+// are replayed through identification before New returns.
+func New(opts ...Option) (*Pipeline, error) {
+	cfg := defaultsConfig()
+	for _, o := range opts {
+		o(cfg)
+	}
+	if err := cfg.stream.Identify.Validate(); err != nil {
+		return nil, fmt.Errorf("storypivot: %w", err)
+	}
+	if err := cfg.stream.Align.Validate(); err != nil {
+		return nil, fmt.Errorf("storypivot: %w", err)
+	}
+	p := &Pipeline{
+		engine:    stream.NewEngine(cfg.stream),
+		extractor: extract.NewExtractor(cfg.gazetteer),
+		kb:        cfg.kb,
+	}
+	p.extractor.Bigrams = cfg.bigrams
+	if cfg.storageDir != "" {
+		st, err := storage.Open(cfg.storageDir, cfg.storageOpt)
+		if err != nil {
+			return nil, fmt.Errorf("storypivot: opening store: %w", err)
+		}
+		p.store = st
+		p.checkpointPath = filepath.Join(cfg.storageDir, "checkpoint.json")
+		all := st.All()
+
+		// Fast path: a valid checkpoint rebuilds identification state in
+		// O(n) map inserts. Any inconsistency (stale, corrupt, missing)
+		// falls back to full replay — the checkpoint is an optimisation,
+		// never a source of truth.
+		if engine, ok := p.tryRestore(cfg.stream, all); ok {
+			p.engine = engine
+		} else {
+			for _, sn := range all {
+				if _, err := p.engine.Ingest(sn); err != nil && !errors.Is(err, stream.ErrDuplicate) {
+					st.Close()
+					return nil, fmt.Errorf("storypivot: replaying snippet %d: %w", sn.ID, err)
+				}
+			}
+		}
+		maxID := SnippetID(0)
+		for _, sn := range all {
+			if sn.ID > maxID {
+				maxID = sn.ID
+			}
+		}
+		p.extractor.SetNextID(uint64(maxID))
+	}
+	return p, nil
+}
+
+// tryRestore attempts the checkpoint fast path; any failure selects the
+// replay path.
+func (p *Pipeline) tryRestore(opts stream.Options, snippets []*Snippet) (*stream.Engine, bool) {
+	if p.checkpointPath == "" || len(snippets) == 0 {
+		return nil, false
+	}
+	f, err := os.Open(p.checkpointPath)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	cp, err := stream.ReadCheckpoint(f)
+	if err != nil {
+		return nil, false
+	}
+	engine, err := stream.RestoreEngine(opts, snippets, cp)
+	if err != nil {
+		return nil, false
+	}
+	return engine, true
+}
+
+// WriteCheckpoint persists the current identification state next to the
+// event store, making the next New over the same directory an O(n)
+// restore instead of a full replay. It is called automatically by Close;
+// long-running processes may call it periodically. Without WithStorage it
+// is a no-op.
+func (p *Pipeline) WriteCheckpoint() error {
+	p.mu.Lock()
+	path := p.checkpointPath
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if path == "" {
+		return nil
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := p.engine.Checkpoint().Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// AddDocument extracts snippets from a raw document and ingests them.
+// It returns the extracted snippets (with assigned IDs and stories).
+func (p *Pipeline) AddDocument(doc *Document) ([]*Snippet, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.mu.Unlock()
+	snippets, err := p.extractor.Extract(doc)
+	if err != nil {
+		return nil, err
+	}
+	for _, sn := range snippets {
+		if err := p.Ingest(sn); err != nil {
+			return snippets, err
+		}
+	}
+	return snippets, nil
+}
+
+// Ingest feeds one pre-extracted snippet into the pipeline (persisting it
+// first when storage is enabled).
+func (p *Pipeline) Ingest(sn *Snippet) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	st := p.store
+	p.mu.Unlock()
+	if st != nil {
+		if err := st.Append(sn); err != nil {
+			return err
+		}
+	}
+	_, err := p.engine.Ingest(sn)
+	return err
+}
+
+// IngestAll ingests a batch, skipping snippets that fail, and returns the
+// number accepted.
+func (p *Pipeline) IngestAll(snippets []*Snippet) int {
+	n := 0
+	for _, sn := range snippets {
+		if err := p.Ingest(sn); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Sources returns the data sources seen so far, sorted.
+func (p *Pipeline) Sources() []SourceID { return p.engine.Sources() }
+
+// RemoveSource detaches a source and all its stories from the live result
+// (persisted snippets remain in the store).
+func (p *Pipeline) RemoveSource(src SourceID) bool { return p.engine.RemoveSource(src) }
+
+// Stories returns the current per-source stories of src ("Stories per
+// Source" module, paper Figure 5).
+func (p *Pipeline) Stories(src SourceID) []*Story { return p.engine.Stories(src) }
+
+// Align forces a re-alignment and returns the fresh result.
+func (p *Pipeline) Align() *Result { return &Result{inner: p.engine.Align()} }
+
+// Result returns the current alignment result, aligning lazily if
+// anything changed since the last call.
+func (p *Pipeline) Result() *Result { return &Result{inner: p.engine.Result()} }
+
+// IntegratedStories returns all current integrated stories ("Snippets per
+// Story" module, paper Figure 6).
+func (p *Pipeline) IntegratedStories() []*IntegratedStory { return p.Result().Integrated() }
+
+// StoryOf returns the per-source story a snippet currently belongs to
+// (0 if unknown).
+func (p *Pipeline) StoryOf(src SourceID, id SnippetID) StoryID {
+	ident := p.engine.Identifier(src)
+	if ident == nil {
+		return 0
+	}
+	return ident.StoryOf(id)
+}
+
+// Snippet returns a persisted snippet by ID (requires WithStorage).
+func (p *Pipeline) Snippet(id SnippetID) *Snippet {
+	p.mu.Lock()
+	st := p.store
+	p.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	return st.Get(id)
+}
+
+// Close releases the pipeline's resources, writing a checkpoint and
+// flushing the store when persistence is enabled.
+func (p *Pipeline) Close() error {
+	if err := p.WriteCheckpoint(); err != nil && !errors.Is(err, ErrClosed) {
+		// Checkpointing is best-effort: a failed write only costs the
+		// next open a replay, so it must not block shutdown.
+		_ = err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	p.closed = true
+	if p.store != nil {
+		return p.store.Close()
+	}
+	return nil
+}
+
+// Engine exposes the underlying stream engine for advanced integrations
+// (statistics module, benchmarks).
+func (p *Pipeline) Engine() *stream.Engine { return p.engine }

@@ -1,0 +1,154 @@
+package storypivot
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/text"
+)
+
+// Query helpers implement the demo's exploration interactions (paper
+// §4.2: "queries will consist of enquiries about specified real-world
+// events or entities").
+
+// StoriesByEntity returns the integrated stories mentioning the entity,
+// ordered by how prominently they mention it (descending mention count).
+func (p *Pipeline) StoriesByEntity(e Entity) []*IntegratedStory {
+	type scored struct {
+		is    *IntegratedStory
+		count int
+	}
+	var hits []scored
+	for _, is := range p.Result().Integrated() {
+		if c := is.EntityFreq()[e]; c > 0 {
+			hits = append(hits, scored{is, c})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].count != hits[j].count {
+			return hits[i].count > hits[j].count
+		}
+		return hits[i].is.ID < hits[j].is.ID
+	})
+	out := make([]*IntegratedStory, len(hits))
+	for i, h := range hits {
+		out[i] = h.is
+	}
+	return out
+}
+
+// Search returns integrated stories whose description centroid matches the
+// free-text query (tokenised, stopword-filtered, stemmed), ranked by the
+// summed centroid weight of the matched terms.
+func (p *Pipeline) Search(query string) []*IntegratedStory {
+	toks := text.Pipeline(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	type scored struct {
+		is *IntegratedStory
+		w  float64
+	}
+	var hits []scored
+	for _, is := range p.Result().Integrated() {
+		centroid := is.Centroid()
+		var w float64
+		for _, tok := range toks {
+			w += centroid[tok]
+		}
+		if w > 0 {
+			hits = append(hits, scored{is, w})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].w != hits[j].w {
+			return hits[i].w > hits[j].w
+		}
+		return hits[i].is.ID < hits[j].is.ID
+	})
+	out := make([]*IntegratedStory, len(hits))
+	for i, h := range hits {
+		out[i] = h.is
+	}
+	return out
+}
+
+// Timeline returns the chronological snippet sequence for an entity across
+// all integrated stories — the "casual reader" view (paper §3: "investi-
+// gating the timeline of a story").
+func (p *Pipeline) Timeline(e Entity) []*Snippet {
+	var out []*Snippet
+	for _, is := range p.Result().Integrated() {
+		for _, sn := range is.Snippets() {
+			if sn.HasEntity(e) {
+				out = append(out, sn)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Timestamp.Equal(out[j].Timestamp) {
+			return out[i].Timestamp.Before(out[j].Timestamp)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Perspectives summarises how each source covers an integrated story: the
+// per-source snippet counts and top description terms, powering the
+// "contrast source bias" use case (paper §3, Expert Scientist).
+func Perspectives(is *IntegratedStory) map[SourceID]Perspective {
+	out := make(map[SourceID]Perspective)
+	for _, m := range is.Members {
+		p := out[m.Source]
+		p.Snippets += m.Len()
+		if p.topTerms == nil {
+			p.topTerms = map[string]float64{}
+		}
+		for tok, w := range m.Centroid {
+			p.topTerms[tok] += w
+		}
+		out[m.Source] = p
+	}
+	for src, p := range out {
+		type tw struct {
+			tok string
+			w   float64
+		}
+		all := make([]tw, 0, len(p.topTerms))
+		for tok, w := range p.topTerms {
+			all = append(all, tw{tok, w})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].w != all[j].w {
+				return all[i].w > all[j].w
+			}
+			return all[i].tok < all[j].tok
+		})
+		n := 5
+		if len(all) < n {
+			n = len(all)
+		}
+		terms := make([]string, n)
+		for i := 0; i < n; i++ {
+			terms[i] = all[i].tok
+		}
+		p.TopTerms = terms
+		p.topTerms = nil
+		out[src] = p
+	}
+	return out
+}
+
+// Perspective is one source's view of an integrated story.
+type Perspective struct {
+	Snippets int
+	TopTerms []string
+
+	topTerms map[string]float64 // scratch during aggregation
+}
+
+// String renders the perspective compactly.
+func (p Perspective) String() string {
+	return strings.Join(p.TopTerms, ", ")
+}

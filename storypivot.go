@@ -1,0 +1,132 @@
+// Package storypivot is the public API of StoryPivot, a framework for
+// detecting evolving stories in multi-source event datasets, reproducing
+// "StoryPivot: Comparing and Contrasting Story Evolution" (SIGMOD 2015).
+//
+// StoryPivot decomposes story detection into two phases:
+//
+//   - story identification groups the information snippets of each data
+//     source into per-source stories, incrementally, using either a
+//     sliding temporal window (default) or complete-history matching;
+//
+//   - story alignment integrates stories across sources into integrated
+//     stories, classifies snippets as aligning or enriching, and can
+//     refine per-source results with cross-source evidence.
+//
+// The entry point is the Pipeline:
+//
+//	p, _ := storypivot.New()
+//	defer p.Close()
+//	p.AddDocument(&storypivot.Document{
+//		Source:    "nyt",
+//		Title:     "Jetliner Explodes over Ukraine",
+//		Body:      "A Malaysian airplane with 298 people aboard crashed...",
+//		Published: time.Date(2014, 7, 17, 0, 0, 0, 0, time.UTC),
+//	})
+//	for _, st := range p.IntegratedStories() {
+//		fmt.Println(st)
+//	}
+package storypivot
+
+import (
+	"repro/internal/align"
+	"repro/internal/event"
+	"repro/internal/extract"
+	"repro/internal/identify"
+)
+
+// Core data-model types, re-exported so that users never import internal
+// packages.
+type (
+	// Snippet is an information snippet: the elemental unit of processing.
+	Snippet = event.Snippet
+	// Term is one weighted description term of a snippet.
+	Term = event.Term
+	// Entity is a canonical entity identifier.
+	Entity = event.Entity
+	// SourceID identifies a data source.
+	SourceID = event.SourceID
+	// SnippetID identifies a snippet.
+	SnippetID = event.SnippetID
+	// StoryID identifies a per-source story.
+	StoryID = event.StoryID
+	// IntegratedID identifies a cross-source integrated story.
+	IntegratedID = event.IntegratedID
+	// Story is a per-source story produced by story identification.
+	Story = event.Story
+	// IntegratedStory is a cross-source story produced by alignment.
+	IntegratedStory = event.IntegratedStory
+	// SnippetRole classifies a snippet as aligning or enriching.
+	SnippetRole = event.SnippetRole
+	// Document is a raw input document for the extraction pipeline.
+	Document = extract.Document
+	// Gazetteer maps surface forms to entities for extraction.
+	Gazetteer = extract.Gazetteer
+	// Match is one cross-source story alignment edge.
+	Match = align.Match
+	// Correction is one refinement decision.
+	Correction = align.Correction
+	// Mode selects the identification execution mode.
+	Mode = identify.Mode
+)
+
+// Identification modes (paper Figure 2).
+const (
+	// ModeTemporal is sliding-window story identification (default).
+	ModeTemporal = identify.ModeTemporal
+	// ModeComplete is whole-history story identification (baseline).
+	ModeComplete = identify.ModeComplete
+)
+
+// Snippet role values.
+const (
+	RoleUnknown   = event.RoleUnknown
+	RoleAligning  = event.RoleAligning
+	RoleEnriching = event.RoleEnriching
+)
+
+// NewGazetteer creates an empty entity gazetteer.
+func NewGazetteer() *Gazetteer { return extract.NewGazetteer() }
+
+// DefaultGazetteer returns a gazetteer seeded with the paper's running
+// example entities (Ukraine crisis, MH17, Google/Yelp).
+func DefaultGazetteer() *Gazetteer { return extract.DefaultGazetteer() }
+
+// Result is the outcome of story alignment: the integrated story set and
+// the match edges that produced it.
+type Result struct {
+	inner *align.Result
+}
+
+// Integrated returns all integrated stories (including single-source
+// singletons) in deterministic order.
+func (r *Result) Integrated() []*IntegratedStory {
+	if r == nil || r.inner == nil {
+		return nil
+	}
+	return r.inner.Integrated
+}
+
+// MultiSource returns only the integrated stories spanning >= 2 sources.
+func (r *Result) MultiSource() []*IntegratedStory {
+	if r == nil || r.inner == nil {
+		return nil
+	}
+	return r.inner.MultiSource()
+}
+
+// Matches returns the story-pair alignment edges sorted by score.
+func (r *Result) Matches() []Match {
+	if r == nil || r.inner == nil {
+		return nil
+	}
+	return r.inner.Matches
+}
+
+// IntegratedOf returns the integrated story containing the given
+// per-source story, or nil.
+func (r *Result) IntegratedOf(id StoryID) *IntegratedStory {
+	if r == nil || r.inner == nil {
+		return nil
+	}
+	return r.inner.IntegratedOf(id)
+}
