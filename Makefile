@@ -1,0 +1,40 @@
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: all build vet test race fuzz bench ci clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector. The concurrency
+# tests (internal/stream/concurrent_test.go, internal/obs,
+# internal/identify/determinism_test.go) are written to put real
+# contention on the engine, registry, and parallel runner, so this is
+# the tier that catches lock-discipline regressions.
+race:
+	$(GO) test -race ./...
+
+# fuzz runs each fuzz target for FUZZTIME (they also run as plain unit
+# tests over their seed corpora during `make test`).
+fuzz:
+	$(GO) test ./internal/event/ -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/event/ -run '^$$' -fuzz FuzzDecodeCorrupt -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/text/ -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/text/ -run '^$$' -fuzz FuzzSentences -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+ci:
+	./scripts/ci.sh
+
+clean:
+	$(GO) clean ./...

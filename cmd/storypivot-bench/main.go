@@ -18,16 +18,24 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("storypivot-bench: ")
 	var (
-		only  = flag.String("only", "", "comma-separated experiment ids (e1..e10); empty = all")
-		quick = flag.Bool("quick", false, "reduced corpus sizes")
+		only        = flag.String("only", "", "comma-separated experiment ids (e1..e10); empty = all")
+		quick       = flag.Bool("quick", false, "reduced corpus sizes")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while experiments run")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		errc := obs.ServeDebug(*metricsAddr)
+		go func() { log.Fatal(<-errc) }()
+		log.Printf("metrics on http://%s/metrics", *metricsAddr)
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -22,6 +22,7 @@ import (
 
 	storypivot "repro"
 	"repro/internal/curated"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -29,12 +30,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("storypivot-server: ")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		refine  = flag.Bool("refine", true, "run refinement after alignment")
-		useCur  = flag.Bool("curated", false, "preload the full curated 2014 corpus instead of the MH17 mini-example")
-		useComp = flag.Bool("complete", false, "use complete-history identification (suits sparse curated archives)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		metricsAddr = flag.String("metrics-addr", "", "optional extra listen address for /metrics, /debug/vars, and /debug/pprof (they are always also served on -addr)")
+		refine      = flag.Bool("refine", true, "run refinement after alignment")
+		useCur      = flag.Bool("curated", false, "preload the full curated 2014 corpus instead of the MH17 mini-example")
+		useComp     = flag.Bool("complete", false, "use complete-history identification (suits sparse curated archives)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		errc := obs.ServeDebug(*metricsAddr)
+		go func() { log.Fatal(<-errc) }()
+		log.Printf("metrics on http://%s/metrics", displayAddr(*metricsAddr))
+	}
 
 	opts := []storypivot.Option{
 		storypivot.WithRefinement(*refine),
@@ -66,12 +74,16 @@ func main() {
 	if err := s.SelectAll(); err != nil {
 		log.Fatal(err)
 	}
-	display := *addr
-	if strings.HasPrefix(display, ":") {
-		display = "localhost" + display
-	}
+	display := displayAddr(*addr)
 	log.Printf("listening on %s (open http://%s/)", *addr, display)
 	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+}
+
+func displayAddr(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "localhost" + addr
+	}
+	return addr
 }
 
 func day(d int) time.Time { return time.Date(2014, 7, d, 0, 0, 0, 0, time.UTC) }

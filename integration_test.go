@@ -131,7 +131,7 @@ func TestRestartIdentityWithoutRefinement(t *testing.T) {
 }
 
 // TestCorruptCheckpointFallsBackToReplay injects a broken checkpoint; New
-// must silently replay instead.
+// must replay instead (and, per recovery_test.go, surface a warning).
 func TestCorruptCheckpointFallsBackToReplay(t *testing.T) {
 	dir := t.TempDir()
 	corpus := datagen.Generate(experiments.CorpusScale(600, 3, 9))

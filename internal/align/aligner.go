@@ -230,6 +230,15 @@ func (a *Aligner) Upsert(st *event.Story) {
 	if st == nil || st.Len() == 0 {
 		return
 	}
+	span := metUpsertLat.Start()
+	defer span.End()
+	startComparisons, startMatches := a.stats.Comparisons, a.stats.Matches
+	startSkipped := a.stats.SketchSkipped
+	defer func() {
+		metComparisons.Add(uint64(a.stats.Comparisons - startComparisons))
+		metMatches.Add(uint64(a.stats.Matches - startMatches))
+		metSketchSkipped.Add(uint64(a.stats.SketchSkipped - startSkipped))
+	}()
 	if _, known := a.stories[st.ID]; known {
 		a.removeInternal(st.ID)
 	} else {
@@ -514,6 +523,12 @@ func (a *Aligner) componentsSimilar(x, y *component) bool {
 // §2.3: stories that appear in only one source remain in the result).
 // Snippet roles are classified per component.
 func (a *Aligner) Result() *Result {
+	span := metResultLat.Start()
+	defer span.End()
+	startComparisons := a.stats.Comparisons
+	defer func() {
+		metComparisons.Add(uint64(a.stats.Comparisons - startComparisons))
+	}()
 	a.rescoreIfDrifted()
 	// Union-find over story IDs with per-root component aggregates.
 	parent := make(map[event.StoryID]event.StoryID, len(a.stories))

@@ -69,7 +69,11 @@ type Correction struct {
 // consistent. The alignment result is stale after refinement; the caller
 // re-runs alignment if it needs fresh integrated stories.
 func Refine(res *Result, movers map[event.SourceID]Mover, cfg RefineConfig) []Correction {
+	span := metRefineLat.Start()
+	defer span.End()
+	metRefineRuns.Inc()
 	var corrections []Correction
+	defer func() { metRefineMovesApplied.Add(uint64(len(corrections))) }()
 
 	// Plan all moves first, then apply: applying while scanning would make
 	// later scores depend on earlier moves within the same pass.

@@ -82,7 +82,10 @@ func decode(buf []byte) (*Snippet, []byte, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if ne > maxStringLen {
+	// Each entity occupies at least its 4-byte length prefix, so a count
+	// the remaining buffer cannot hold is corrupt. Checking before the
+	// make keeps a damaged prefix from forcing a giant allocation.
+	if ne > maxStringLen || int64(ne)*4 > int64(len(buf)) {
 		return nil, nil, ErrCorrupt
 	}
 	if ne > 0 {
@@ -100,7 +103,8 @@ func decode(buf []byte) (*Snippet, []byte, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if nt > maxStringLen {
+	// A term is at least a 4-byte length prefix plus an 8-byte weight.
+	if nt > maxStringLen || int64(nt)*12 > int64(len(buf)) {
 		return nil, nil, ErrCorrupt
 	}
 	if nt > 0 {

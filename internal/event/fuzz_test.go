@@ -1,0 +1,126 @@
+package event
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzCodecRoundTrip drives the snippet codec from both directions:
+//
+//  1. A snippet built from the fuzzed fields must survive
+//     Decode(Encode(s)) with every field intact.
+//  2. Decode over the raw fuzzed bytes must never panic, and any buffer
+//     it accepts must re-encode to the identical bytes (the encoding is
+//     canonical: one byte string per value).
+func FuzzCodecRoundTrip(f *testing.F) {
+	// Seeds mirror the codec_test fixtures: the MH17 running example and
+	// a few degenerate shapes.
+	fix := &Snippet{
+		ID: 42, Source: "nyt",
+		Timestamp: time.Date(2014, 7, 17, 16, 20, 0, 0, time.UTC),
+		Entities:  []Entity{"MAL", "RUS", "UKR"},
+		Terms:     []Term{{Token: "crash", Weight: 2.5}, {Token: "plane", Weight: 1}},
+		Text:      "A Malaysia Airlines Boeing 777 crashed near Donetsk.",
+		Document:  "http://nytimes.com/doc1.html",
+	}
+	f.Add(Encode(fix), uint64(42), "nyt", fix.Timestamp.UnixNano(), "MAL", "crash", 2.5, "text", "doc")
+	f.Add([]byte{}, uint64(0), "", int64(0), "", "", 0.0, "", "")
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}, uint64(1)<<63, "источник", int64(-1), "UKR", "pro-russia", math.Inf(1), "τ", "")
+
+	f.Fuzz(func(t *testing.T, raw []byte, id uint64, src string, ns int64,
+		entity, token string, weight float64, text, doc string) {
+
+		// Direction 1: structured round trip.
+		s := &Snippet{
+			ID:        SnippetID(id),
+			Source:    SourceID(src),
+			Timestamp: time.Unix(0, ns).UTC(),
+			Text:      text,
+			Document:  doc,
+		}
+		if entity != "" {
+			s.Entities = []Entity{Entity(entity), Entity(entity + "2")}
+		}
+		if token != "" {
+			s.Terms = []Term{{Token: token, Weight: weight}}
+		}
+		enc := Encode(s)
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		if got.ID != s.ID || got.Source != s.Source || got.Text != s.Text || got.Document != s.Document {
+			t.Fatalf("scalar fields corrupted: %+v != %+v", got, s)
+		}
+		if !got.Timestamp.Equal(s.Timestamp) {
+			t.Fatalf("timestamp: %v != %v", got.Timestamp, s.Timestamp)
+		}
+		if len(got.Entities) != len(s.Entities) || len(got.Terms) != len(s.Terms) {
+			t.Fatalf("slice lengths: %+v != %+v", got, s)
+		}
+		for i := range s.Entities {
+			if got.Entities[i] != s.Entities[i] {
+				t.Fatalf("entity %d: %q != %q", i, got.Entities[i], s.Entities[i])
+			}
+		}
+		for i := range s.Terms {
+			// Compare weights by bit pattern so NaN round trips count as
+			// equal.
+			if got.Terms[i].Token != s.Terms[i].Token ||
+				math.Float64bits(got.Terms[i].Weight) != math.Float64bits(s.Terms[i].Weight) {
+				t.Fatalf("term %d: %+v != %+v", i, got.Terms[i], s.Terms[i])
+			}
+		}
+		if !bytes.Equal(Encode(got), enc) {
+			t.Fatal("re-encoding decoded snippet diverges")
+		}
+
+		// Direction 2: arbitrary bytes. Decode must reject or accept,
+		// never panic; acceptance implies canonical re-encoding.
+		if s2, err := Decode(raw); err == nil {
+			if !bytes.Equal(Encode(s2), raw) {
+				t.Fatalf("accepted buffer is not canonical: % x", raw)
+			}
+		}
+	})
+}
+
+// FuzzDecodeCorrupt flips bytes in a valid encoding: decoding must
+// reject or accept without panicking, and truncations of a valid buffer
+// must never be accepted (the codec requires full consumption, so any
+// strict prefix is invalid).
+func FuzzDecodeCorrupt(f *testing.F) {
+	base := Encode(&Snippet{
+		ID: 7, Source: "wsj",
+		Timestamp: time.Date(2014, 7, 18, 0, 0, 0, 0, time.UTC),
+		Entities:  []Entity{"GOOG", "YELP"},
+		Terms:     []Term{{Token: "search", Weight: 1.5}},
+		Text:      "Google battles Yelp over search results.",
+	})
+	f.Add(0, byte(0xff), len(base))
+	f.Add(4, byte(0x01), 10)
+	f.Fuzz(func(t *testing.T, pos int, mask byte, cut int) {
+		buf := append([]byte(nil), base...)
+		if cut < 0 {
+			cut = 0
+		}
+		if cut > len(buf) {
+			cut = len(buf)
+		}
+		buf = buf[:cut]
+		mutated := pos >= 0 && pos < len(buf) && mask != 0
+		if mutated {
+			buf[pos] ^= mask
+		}
+		s, err := Decode(buf) // must not panic, whatever the damage
+		if !mutated && cut < len(base) && err == nil {
+			// A pure truncation leaves every length prefix intact, so some
+			// field read must run out of bytes. (A *mutated* buffer may
+			// legitimately decode — a shortened length prefix can make a
+			// truncated buffer self-consistent.)
+			t.Fatalf("strict prefix of %d/%d bytes decoded cleanly: %+v", cut, len(base), s)
+		}
+	})
+}

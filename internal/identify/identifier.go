@@ -98,6 +98,8 @@ func (id *Identifier) Process(s *event.Snippet) event.StoryID {
 	if s.Source != id.source {
 		panic(fmt.Sprintf("identify: snippet of source %q fed to identifier of %q", s.Source, id.source))
 	}
+	span := metProcessLat.Start()
+	startComparisons := id.stats.Comparisons
 	id.stats.Processed++
 	if id.cfg.UseEntityIDF {
 		for _, e := range s.Entities {
@@ -120,6 +122,7 @@ func (id *Identifier) Process(s *event.Snippet) event.StoryID {
 		id.stories[best].Add(s)
 		id.updateSketch(best, s)
 		id.stats.Attached++
+		metAttached.Inc()
 		target = best
 	} else {
 		st := event.NewStory(id.alloc.Next(), id.source)
@@ -128,9 +131,13 @@ func (id *Identifier) Process(s *event.Snippet) event.StoryID {
 		id.order = append(id.order, st.ID)
 		id.indexStory(st)
 		id.stats.Created++
+		metCreated.Inc()
 		target = st.ID
 	}
 	id.assign[s.ID] = target
+	metProcessed.Inc()
+	metComparisons.Add(uint64(id.stats.Comparisons - startComparisons))
+	span.End()
 
 	if id.cfg.RepairEvery > 0 {
 		if id.sinceRepair++; id.sinceRepair >= id.cfg.RepairEvery {

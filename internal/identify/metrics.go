@@ -1,0 +1,27 @@
+package identify
+
+import "repro/internal/obs"
+
+// Process/Repair instrumentation, aggregated across all sources (the
+// per-source split remains available through Identifier.Stats). The
+// counters are batched per call — one atomic add for a whole
+// candidate-scoring loop — so the observe cost stays off the
+// per-comparison hot path.
+var (
+	metProcessLat = obs.GetHistogram("storypivot_identify_process_seconds",
+		"per-snippet story-identification latency")
+	metRepairLat = obs.GetHistogram("storypivot_identify_repair_seconds",
+		"split/merge repair pass latency")
+	metProcessed = obs.GetCounter("storypivot_identify_processed_total",
+		"snippets routed through identification")
+	metComparisons = obs.GetCounter("storypivot_identify_comparisons_total",
+		"snippet-story similarity evaluations")
+	metCreated = obs.GetCounter("storypivot_identify_stories_created_total",
+		"stories created by identification")
+	metAttached = obs.GetCounter("storypivot_identify_attached_total",
+		"snippets attached to existing stories")
+	metSplits = obs.GetCounter("storypivot_identify_splits_total",
+		"stories created by split repair")
+	metMerges = obs.GetCounter("storypivot_identify_merges_total",
+		"story merges performed by repair")
+)

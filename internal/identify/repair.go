@@ -33,6 +33,13 @@ var splitWeights = similarity.Weights{Entity: 0.15, Description: 0.70, Temporal:
 // similarity clears MergeThreshold are merged, the larger story absorbing
 // the smaller.
 func (id *Identifier) Repair() {
+	span := metRepairLat.Start()
+	defer span.End()
+	startSplits, startMerges := id.stats.Splits, id.stats.Merges
+	defer func() {
+		metSplits.Add(uint64(id.stats.Splits - startSplits))
+		metMerges.Add(uint64(id.stats.Merges - startMerges))
+	}()
 	id.stats.RepairRuns++
 	id.repairSplits()
 	id.repairMerges()

@@ -1,0 +1,362 @@
+// Package obs is StoryPivot's runtime observability substrate: a
+// dependency-free metrics registry (atomic counters, gauges, and
+// lock-striped latency histograms with quantile estimation) plus the
+// Prometheus-text, expvar, and pprof exporters in export.go.
+//
+// The package exists so the statistics module's per-event numbers
+// (paper Figure 7) are available *online* — from a live server under
+// load — rather than only from offline internal/eval runs. Every hot
+// path of the pipeline increments these metrics unconditionally; the
+// instruments are single atomic operations (no locks, no allocation on
+// the observe path), so leaving them on costs nanoseconds whether or
+// not an exporter is attached.
+//
+// All metrics live in a Registry. Package-level constructors operate on
+// Default, which the exporters serve; tests that need isolation create
+// their own Registry.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named metrics. Metrics are registered once (usually
+// from package-level vars) and then updated lock-free; the registry
+// lock is only taken on registration and snapshot, never on the
+// observe path. A Registry is safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry that the pipeline's
+// instrumentation points register into and the exporters serve.
+var Default = NewRegistry()
+
+// Counter is a monotonically increasing uint64. The zero value is not
+// usable; obtain counters from a Registry.
+type Counter struct {
+	name string
+	help string
+	v    atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is an instantaneous int64 value.
+type Gauge struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram bucket layout: a fixed 1-2-5 exponential ladder over
+// latencies from 1µs to 10s. Durations are recorded in nanoseconds;
+// bounds are exported in seconds per Prometheus convention.
+var bucketBounds = []time.Duration{
+	1 * time.Microsecond, 2 * time.Microsecond, 5 * time.Microsecond,
+	10 * time.Microsecond, 20 * time.Microsecond, 50 * time.Microsecond,
+	100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second,
+}
+
+const numBuckets = 23 // len(bucketBounds) + 1 overflow bucket
+
+// histStripes must be a power of two; see stripeOf.
+const histStripes = 8
+
+// histStripe is one shard of a histogram. Each stripe sits on its own
+// cache lines (the padding separates adjacent stripes) so concurrent
+// observers that land on different stripes do not false-share.
+type histStripe struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	buckets [numBuckets]atomic.Uint64
+	_       [64]byte
+}
+
+// Histogram is a lock-striped latency histogram. Observe is wait-free:
+// it picks a stripe by hashing the observed duration (timing values
+// have high entropy in their low bits, so concurrent observers spread
+// across stripes without any shared state) and performs three atomic
+// adds. Snapshots aggregate the stripes.
+type Histogram struct {
+	name    string
+	help    string
+	stripes [histStripes]histStripe
+}
+
+// stripeOf maps a duration to a stripe with a Fibonacci multiplicative
+// hash of its nanosecond value.
+func stripeOf(d time.Duration) int {
+	return int((uint64(d) * 0x9E3779B97F4A7C15) >> 59 & (histStripes - 1))
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := &h.stripes[stripeOf(d)]
+	s.count.Add(1)
+	s.sum.Add(int64(d))
+	s.buckets[bucketIndex(d)].Add(1)
+}
+
+// bucketIndex returns the index of the first bucket whose bound is >= d
+// (the overflow bucket for anything beyond the ladder).
+func bucketIndex(d time.Duration) int {
+	// The ladder is tiny; a branch-predicted linear scan beats binary
+	// search for the common (small-latency) case.
+	for i, b := range bucketBounds {
+		if d <= b {
+			return i
+		}
+	}
+	return numBuckets - 1
+}
+
+// Time runs fn and records its duration.
+func (h *Histogram) Time(fn func()) {
+	start := time.Now()
+	fn()
+	h.Observe(time.Since(start))
+}
+
+// Start begins a span; call End on the returned Span to record it.
+func (h *Histogram) Start() Span { return Span{h: h, start: time.Now()} }
+
+// Span is an in-flight timed section of a pipeline stage.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// End records the elapsed time into the span's histogram and returns it.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.h != nil {
+		s.h.Observe(d)
+	}
+	return d
+}
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// HistSnapshot is an aggregated view of a histogram.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Buckets [numBuckets]uint64 // non-cumulative, aligned with bucketBounds
+}
+
+// Snapshot aggregates the stripes. Stripes are read without a global
+// lock, so a snapshot taken during concurrent observation is a
+// near-point-in-time view: each individual stripe is internally
+// consistent to within one in-flight observation.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var out HistSnapshot
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		out.Count += s.count.Load()
+		out.Sum += time.Duration(s.sum.Load())
+		for j := range s.buckets {
+			out.Buckets[j] += s.buckets[j].Load()
+		}
+	}
+	return out
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.stripes {
+		n += h.stripes[i].count.Load()
+	}
+	return n
+}
+
+// Quantile estimates the q-th quantile (0 < q < 1) from the bucket
+// counts with linear interpolation inside the target bucket. Estimates
+// from the same snapshot are monotone in q by construction. Returns 0
+// when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) >= rank {
+			lo, hi := bucketEdges(i)
+			// Interpolate by the rank's position inside this bucket.
+			frac := (rank - float64(prev)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+	}
+	return bucketBounds[len(bucketBounds)-1]
+}
+
+// bucketEdges returns the [lo, hi] duration range of bucket i. The
+// overflow bucket is clamped to twice the last bound so interpolation
+// stays finite.
+func bucketEdges(i int) (lo, hi time.Duration) {
+	if i == 0 {
+		return 0, bucketBounds[0]
+	}
+	if i >= len(bucketBounds) {
+		last := bucketBounds[len(bucketBounds)-1]
+		return last, 2 * last
+	}
+	return bucketBounds[i-1], bucketBounds[i]
+}
+
+// Mean returns the mean observation, or 0 when empty.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Registry accessors -------------------------------------------------------
+
+// Counter returns the named counter, creating it if needed. Help text
+// is recorded on first registration.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{name: name, help: help}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{name: name, help: help}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{name: name, help: help}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// GetCounter returns the named counter from Default.
+func GetCounter(name, help string) *Counter { return Default.Counter(name, help) }
+
+// GetGauge returns the named gauge from Default.
+func GetGauge(name, help string) *Gauge { return Default.Gauge(name, help) }
+
+// GetHistogram returns the named histogram from Default.
+func GetHistogram(name, help string) *Histogram { return Default.Histogram(name, help) }
+
+// sortedNames returns the keys of m, sorted, so exports are
+// deterministic.
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// secondsBound renders a bucket bound in seconds for the Prometheus
+// "le" label.
+func secondsBound(d time.Duration) float64 {
+	return float64(d) / float64(time.Second)
+}
+
+// isFinite guards against NaN leaking into exports (it cannot happen
+// with the fixed ladder, but the exporter must never emit "NaN").
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }

@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- concurrency invariants ------------------------------------------------
+
+func TestCounterParallelSum(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_parallel_total", "")
+	const workers, perWorker = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if i%2 == 0 {
+					c.Inc()
+				} else {
+					c.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("parallel increments lost: got %d want %d", got, workers*perWorker)
+	}
+}
+
+func TestGaugeParallel(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "")
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("balanced adds should net zero, got %d", got)
+	}
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Fatal("Set lost")
+	}
+}
+
+func TestHistogramParallelCountAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist_seconds", "")
+	const workers, perWorker = 12, 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Deterministic spread over several buckets and stripes.
+				h.Observe(time.Duration(1+(w*perWorker+i)%1000) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != workers*perWorker {
+		t.Fatalf("count: got %d want %d", snap.Count, workers*perWorker)
+	}
+	var bucketTotal uint64
+	for _, b := range snap.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != snap.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, snap.Count)
+	}
+	if snap.Sum <= 0 {
+		t.Fatalf("sum not accumulated: %v", snap.Sum)
+	}
+}
+
+func TestHistogramQuantilesMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_quant_seconds", "")
+	// A skewed distribution across many buckets, observed concurrently.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				d := time.Duration((i%97)*(w+1)) * time.Microsecond
+				h.Observe(d)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	qs := []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999}
+	prev := time.Duration(-1)
+	for _, q := range qs {
+		v := snap.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q=%g -> %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+	if p50, p99 := snap.Quantile(0.5), snap.Quantile(0.99); p50 > p99 {
+		t.Fatalf("p50 %v > p99 %v", p50, p99)
+	}
+}
+
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_edge_seconds", "")
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", got)
+	}
+	h.Observe(3 * time.Millisecond)
+	snap := h.Snapshot()
+	p50 := snap.Quantile(0.5)
+	// One sample in the (2ms, 5ms] bucket: the estimate must land there.
+	if p50 < 2*time.Millisecond || p50 > 5*time.Millisecond {
+		t.Fatalf("p50 %v outside observed bucket", p50)
+	}
+}
+
+func TestBucketIndexEdges(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{1 * time.Microsecond, 0},
+		{1*time.Microsecond + 1, 1},
+		{10 * time.Second, numBuckets - 2},
+		{time.Minute, numBuckets - 1}, // overflow bucket
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// Registration must be race-free get-or-create: all goroutines asking
+// for the same name must receive the same instance.
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	got := make([]*Counter, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = r.Counter("same_name_total", "")
+			got[w].Inc()
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if got[w] != got[0] {
+			t.Fatal("Counter get-or-create returned distinct instances")
+		}
+	}
+	if got[0].Value() != workers {
+		t.Fatalf("increments through aliases lost: %d", got[0].Value())
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_span_seconds", "")
+	sp := h.Start()
+	time.Sleep(2 * time.Millisecond)
+	d := sp.End()
+	if d < 2*time.Millisecond {
+		t.Fatalf("span measured %v", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("span not recorded: count=%d", h.Count())
+	}
+	// A zero-value span (no histogram attached) must not panic.
+	_ = Span{start: time.Now()}.End()
+}
+
+// --- exporters -------------------------------------------------------------
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sp_test_ingested_total", "snippets ingested").Add(7)
+	r.Gauge("sp_test_sources", "sources").Set(3)
+	h := r.Histogram("sp_test_latency_seconds", "latency")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE sp_test_ingested_total counter",
+		"sp_test_ingested_total 7",
+		"# TYPE sp_test_sources gauge",
+		"sp_test_sources 3",
+		"# TYPE sp_test_latency_seconds histogram",
+		`sp_test_latency_seconds_bucket{le="+Inf"} 100`,
+		"sp_test_latency_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+
+	// Cumulative buckets must be non-decreasing and end at count.
+	var prev uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "sp_test_latency_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative: %q after %d", line, prev)
+		}
+		prev = v
+	}
+	if prev != 100 {
+		t.Fatalf("final cumulative bucket %d != count 100", prev)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sp_handler_total", "").Inc()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "sp_handler_total 1") {
+		t.Fatalf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	GetCounter("sp_debugmux_total", "").Inc()
+	mux := DebugMux()
+
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("GET %s -> %d", path, rec.Code)
+		}
+	}
+
+	// /debug/vars must include the registry snapshot under "storypivot".
+	req := httptest.NewRequest("GET", "/debug/vars", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("expvar output not JSON: %v", err)
+	}
+	if _, ok := vars["storypivot"]; !ok {
+		t.Fatal("expvar missing storypivot key")
+	}
+	var sp map[string]json.RawMessage
+	if err := json.Unmarshal(vars["storypivot"], &sp); err != nil {
+		t.Fatalf("storypivot expvar not an object: %v", err)
+	}
+	if _, ok := sp["sp_debugmux_total"]; !ok {
+		t.Fatal("storypivot expvar missing registered counter")
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "")
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Duration(0)
+		for pb.Next() {
+			d += 137
+			h.Observe(d)
+		}
+	})
+}

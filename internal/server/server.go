@@ -12,6 +12,16 @@ import (
 	storypivot "repro"
 	"repro/internal/eval"
 	"repro/internal/event"
+	"repro/internal/obs"
+)
+
+// HTTP-layer instrumentation; the pipeline stages below report their
+// own metrics.
+var (
+	metHTTPRequests = obs.GetCounter("storypivot_http_requests_total",
+		"API requests served")
+	metHTTPLat = obs.GetHistogram("storypivot_http_request_seconds",
+		"API request latency")
 )
 
 // Server is the demonstration backend. It owns a set of available
@@ -146,9 +156,14 @@ func (s *Server) Pipeline() *storypivot.Pipeline {
 	return s.pipeline
 }
 
-// Handler returns the HTTP handler exposing the demo API and UI.
+// Handler returns the HTTP handler exposing the demo API and UI, plus
+// the observability surface: /metrics (Prometheus text format),
+// /debug/vars (expvar), and /debug/pprof.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	debug := obs.DebugMux()
+	mux.Handle("GET /metrics", debug)
+	mux.Handle("GET /debug/", debug)
 	mux.HandleFunc("GET /api/documents", s.handleDocuments)
 	mux.HandleFunc("POST /api/documents", s.handleAddDocument)
 	mux.HandleFunc("POST /api/documents/select", s.handleSelect)
@@ -164,7 +179,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/trending", s.handleTrending)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("GET /", s.handleIndex)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		span := metHTTPLat.Start()
+		metHTTPRequests.Inc()
+		mux.ServeHTTP(w, r)
+		span.End()
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -269,7 +289,11 @@ func (s *Server) handleStories(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleIntegrated(w http.ResponseWriter, _ *http.Request) {
 	start := time.Now()
 	res := s.Pipeline().Result()
+	// eval.Timer is not safe for concurrent use; take the server lock
+	// for the observation (the pipeline call above stays outside it).
+	s.mu.Lock()
 	s.alignT.Observe(time.Since(start))
+	s.mu.Unlock()
 	out := make([]IntegratedView, 0, len(res.Integrated()))
 	for _, is := range res.Integrated() {
 		out = append(out, integratedView(is, false))

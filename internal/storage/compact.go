@@ -81,6 +81,7 @@ func (s *Store) Compact() error {
 			return err
 		}
 	}
+	metCompactions.Inc()
 	return nil
 }
 

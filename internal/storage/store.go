@@ -56,7 +56,8 @@ type Store struct {
 	closed       bool
 	sinceSync    int
 	frameBuf     []byte
-	recoveryDrop int64 // bytes dropped from torn tails at open
+	recoveryDrop int64    // bytes dropped from torn tails at open
+	warnings     []string // partial-corruption findings from replay at open
 
 	// Indexes. byTime is kept sorted by (timestamp, ID); the common append
 	// pattern is mostly-chronological so insertion is near the end.
@@ -67,9 +68,15 @@ type Store struct {
 }
 
 // Open opens (creating if necessary) a store in dir, replaying all
-// segments to rebuild the indexes. Torn tails from a previous crash are
-// truncated; RecoveredDrop reports how many bytes were discarded.
+// segments to rebuild the indexes. Partial corruption does not fail the
+// open; it is surfaced instead: torn tails from a previous crash are
+// truncated (RecoveredDrop reports how many bytes were discarded),
+// well-framed records whose payload no longer decodes are skipped, and
+// every such finding is recorded in RecoveryWarnings and counted in the
+// obs registry.
 func Open(dir string, opts Options) (*Store, error) {
+	span := metOpenLat.Start()
+	defer span.End()
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -86,10 +93,18 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	for _, idx := range indices {
+		corrupt := 0
 		dropped, err := scanSegment(segmentPath(dir, idx), func(payload []byte) error {
+			metReplayed.Inc()
 			sn, derr := event.Decode(payload)
 			if derr != nil {
-				return fmt.Errorf("storage: segment %d: %w", idx, derr)
+				// The frame's CRC was intact but the payload is not a
+				// snippet: logical corruption (or a foreign writer).
+				// Dropping one record loses one snippet; failing the
+				// open loses the store. Skip, count, and report.
+				corrupt++
+				metReplayCorrupt.Inc()
+				return nil
 			}
 			// Replay is idempotent: a crash mid-compaction can leave the
 			// same record in two segments; the first occurrence wins.
@@ -101,6 +116,15 @@ func Open(dir string, opts Options) (*Store, error) {
 		})
 		if err != nil {
 			return nil, err
+		}
+		if corrupt > 0 {
+			s.warnings = append(s.warnings, fmt.Sprintf(
+				"segment %d: skipped %d well-framed records with undecodable payloads", idx, corrupt))
+		}
+		if dropped > 0 {
+			metReplayTornBytes.Add(uint64(dropped))
+			s.warnings = append(s.warnings, fmt.Sprintf(
+				"segment %d: truncated %d torn-tail bytes", idx, dropped))
 		}
 		s.recoveryDrop += dropped
 	}
@@ -127,12 +151,22 @@ func (s *Store) RecoveredDrop() int64 {
 	return s.recoveryDrop
 }
 
+// RecoveryWarnings returns a copy of the partial-corruption findings
+// from the replay at Open: torn tails truncated and undecodable records
+// skipped. An empty list means the log replayed clean.
+func (s *Store) RecoveryWarnings() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.warnings...)
+}
+
 // Append validates, persists, and indexes a snippet. The snippet must have
 // a unique ID; duplicate IDs are rejected.
 func (s *Store) Append(sn *event.Snippet) error {
 	if err := sn.Validate(); err != nil {
 		return err
 	}
+	span := metAppendLat.Start()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -150,11 +184,13 @@ func (s *Store) Append(sn *event.Snippet) error {
 		if err := s.active.sync(); err != nil {
 			return err
 		}
+		metSyncs.Inc()
 	case SyncBatch:
 		if s.sinceSync++; s.sinceSync >= s.opts.SyncEvery {
 			if err := s.active.sync(); err != nil {
 				return err
 			}
+			metSyncs.Inc()
 			s.sinceSync = 0
 		}
 	}
@@ -163,7 +199,10 @@ func (s *Store) Append(sn *event.Snippet) error {
 			return err
 		}
 	}
+	metAppends.Inc()
+	metAppendBytes.Add(uint64(len(s.frameBuf)))
 	s.indexLocked(sn.Clone())
+	span.End()
 	return nil
 }
 
@@ -179,6 +218,7 @@ func (s *Store) rotateLocked() error {
 		return err
 	}
 	s.active = seg
+	metRotations.Inc()
 	return nil
 }
 

@@ -120,5 +120,8 @@ func RestoreEngine(opts Options, snippets []*event.Snippet, cp *Checkpoint) (*En
 			}
 		}
 	}
+	metRestoreOK.Inc()
+	metSourcesGauge.Set(int64(len(e.identifiers)))
+	metDirtyGauge.Set(int64(len(e.dirty)))
 	return e, nil
 }

@@ -124,6 +124,7 @@ func (e *Engine) addSourceLocked(src event.SourceID) *identify.Identifier {
 	if e.opts.DedupCapacity > 0 {
 		e.dedup[src] = sketch.NewBloom(e.opts.DedupCapacity, 0.001)
 	}
+	metSourcesGauge.Set(int64(len(e.identifiers)))
 	return id
 }
 
@@ -146,6 +147,8 @@ func (e *Engine) RemoveSource(src event.SourceID) bool {
 	delete(e.identifiers, src)
 	delete(e.dedup, src)
 	e.result = nil
+	metSourcesGauge.Set(int64(len(e.identifiers)))
+	metDirtyGauge.Set(int64(len(e.dirty)))
 	return true
 }
 
@@ -167,14 +170,17 @@ func (e *Engine) Sources() []event.SourceID {
 // joined.
 func (e *Engine) Ingest(s *event.Snippet) (event.StoryID, error) {
 	if err := s.Validate(); err != nil {
+		metInvalid.Inc()
 		return 0, err
 	}
+	span := metIngestLat.Start()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	id := e.addSourceLocked(s.Source)
 	if bloom := e.dedup[s.Source]; bloom != nil {
 		key := fmt.Sprintf("%d", s.ID)
 		if bloom.Contains(key) {
+			metDuplicates.Inc()
 			return 0, fmt.Errorf("%w: snippet %d", ErrDuplicate, s.ID)
 		}
 		bloom.Add(key)
@@ -183,6 +189,8 @@ func (e *Engine) Ingest(s *event.Snippet) (event.StoryID, error) {
 	e.dirty[sid] = true
 	e.storyOwner[sid] = s.Source
 	e.ingested++
+	metIngested.Inc()
+	metDirtyGauge.Set(int64(len(e.dirty)))
 	for _, ent := range s.Entities {
 		e.entHLL.Add(string(ent))
 	}
@@ -192,6 +200,10 @@ func (e *Engine) Ingest(s *event.Snippet) (event.StoryID, error) {
 	if s.Timestamp.After(e.lastTS) {
 		e.lastTS = s.Timestamp
 	}
+	// The span stops here: auto-alignment below is measured by its own
+	// histogram, and folding a ms-scale align pass into the µs-scale
+	// ingest distribution would swamp its upper quantiles.
+	span.End()
 	if e.opts.AutoAlignEvery > 0 {
 		if e.sinceAlign++; e.sinceAlign >= e.opts.AutoAlignEvery {
 			e.alignLocked()
@@ -223,6 +235,10 @@ func (e *Engine) Align() *align.Result {
 }
 
 func (e *Engine) alignLocked() *align.Result {
+	span := metAlignLat.Start()
+	defer span.End()
+	metAlignRuns.Inc()
+	defer func() { metDirtyGauge.Set(int64(len(e.dirty))) }()
 	// Reconcile: identifier repair can retire story IDs (merge/split) at
 	// any time, so dirty bookkeeping is advisory; we resync the touched
 	// sources' full story sets, which is still far cheaper than global
@@ -261,6 +277,7 @@ func (e *Engine) alignLocked() *align.Result {
 			movers[src] = id
 		}
 		if corr := align.Refine(e.result, movers, e.opts.Refine); len(corr) > 0 {
+			metRefineMoves.Add(uint64(len(corr)))
 			// Moves changed story contents; refresh and re-align once.
 			for _, c := range corr {
 				e.dirty[c.From] = true

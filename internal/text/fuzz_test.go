@@ -1,0 +1,71 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize checks the tokenizer's contract over arbitrary input:
+// it never panics, every token is at least two bytes of letters, digits,
+// or intra-word hyphens, no token starts or ends with a hyphen, and
+// tokenization is idempotent — feeding the tokens back in (space-joined)
+// reproduces them exactly, which also pins down case-folding: a token is
+// already in the form the tokenizer would produce.
+func FuzzTokenize(f *testing.F) {
+	// Seeds from the paper's running example and the tricky shapes the
+	// unit tests cover.
+	f.Add("A Malaysia Airlines Boeing 777 with 298 people aboard exploded, crashed and burned.")
+	f.Add("pro-Russia separatists; the jet's crash — MH17!")
+	f.Add("Google Inc. rival Yelp Inc. says the search giant is promoting its own content")
+	f.Add("")
+	f.Add("a b c d")
+	f.Add("--x-- 'tis état-major café 'n' 123-456")
+	f.Add("\x00\xff\xfe broken utf8 \xc3\x28")
+	f.Add("ϒϒ ΣΣ İİ")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		tokens := Tokenize(s)
+		for _, tok := range tokens {
+			if len(tok) < 2 {
+				t.Fatalf("token %q shorter than 2 bytes", tok)
+			}
+			if strings.HasPrefix(tok, "-") || strings.HasSuffix(tok, "-") {
+				t.Fatalf("token %q has a leading/trailing hyphen", tok)
+			}
+			if strings.Contains(tok, "--") {
+				t.Fatalf("token %q contains consecutive hyphens", tok)
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '-' {
+					t.Fatalf("token %q contains separator rune %q", tok, r)
+				}
+			}
+		}
+		again := Tokenize(strings.Join(tokens, " "))
+		if len(again) != len(tokens) {
+			t.Fatalf("re-tokenizing changed count: %v -> %v", tokens, again)
+		}
+		for i := range tokens {
+			if again[i] != tokens[i] {
+				t.Fatalf("re-tokenizing changed token %d: %q -> %q", i, tokens[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzSentences checks the sentence splitter never panics, never drops
+// non-whitespace content, and never emits blank sentences.
+func FuzzSentences(f *testing.F) {
+	f.Add("One. Two! Three? Four")
+	f.Add("Mr. Smith went to Washington.")
+	f.Add("")
+	f.Add("...\n\n!?")
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, sent := range Sentences(s) {
+			if strings.TrimSpace(sent) == "" {
+				t.Fatalf("blank sentence from %q", s)
+			}
+		}
+	})
+}

@@ -8,8 +8,27 @@ import (
 	"sync"
 
 	"repro/internal/extract"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/stream"
+)
+
+// Pipeline-level instrumentation. The checkpoint-restore counters share
+// names with the stream package's registrations, so both resolve to the
+// same obs.Default metrics.
+var (
+	metDocuments = obs.GetCounter("storypivot_pipeline_documents_total",
+		"documents accepted by AddDocument")
+	metPipelineIngest = obs.GetHistogram("storypivot_pipeline_ingest_seconds",
+		"per-snippet latency through persistence and identification")
+	metCheckpointWrites = obs.GetCounter("storypivot_pipeline_checkpoint_writes_total",
+		"checkpoints written")
+	metCheckpointLat = obs.GetHistogram("storypivot_pipeline_checkpoint_seconds",
+		"checkpoint serialisation and rename latency")
+	metRestoreFallbacks = obs.GetCounter("storypivot_stream_checkpoint_restore_failures_total",
+		"checkpoint restores that failed and fell back to replay")
+	metReplayFallbackSnippets = obs.GetCounter("storypivot_pipeline_replayed_snippets_total",
+		"snippets replayed through identification at open")
 )
 
 // Pipeline is the end-to-end StoryPivot system: extraction → (optional)
@@ -20,6 +39,7 @@ type Pipeline struct {
 	extractor      *extract.Extractor
 	kb             *KnowledgeBase
 	checkpointPath string
+	warnings       []string // recovery findings from New (immutable after)
 
 	mu     sync.Mutex
 	store  *storage.Store
@@ -55,15 +75,26 @@ func New(opts ...Option) (*Pipeline, error) {
 		}
 		p.store = st
 		p.checkpointPath = filepath.Join(cfg.storageDir, "checkpoint.json")
+		p.warnings = append(p.warnings, st.RecoveryWarnings()...)
 		all := st.All()
 
 		// Fast path: a valid checkpoint rebuilds identification state in
 		// O(n) map inserts. Any inconsistency (stale, corrupt, missing)
 		// falls back to full replay — the checkpoint is an optimisation,
-		// never a source of truth.
-		if engine, ok := p.tryRestore(cfg.stream, all); ok {
+		// never a source of truth. A checkpoint that *exists* but fails
+		// to restore is surfaced: it usually means the store and the
+		// checkpoint diverged (partial corruption, manual edits), and
+		// silent replay would hide that signal.
+		engine, err := p.tryRestore(cfg.stream, all)
+		if err == nil {
 			p.engine = engine
 		} else {
+			if !errors.Is(err, errNoCheckpoint) {
+				metRestoreFallbacks.Inc()
+				p.warnings = append(p.warnings, fmt.Sprintf(
+					"checkpoint restore failed (%v); replaying %d snippets", err, len(all)))
+			}
+			metReplayFallbackSnippets.Add(uint64(len(all)))
 			for _, sn := range all {
 				if _, err := p.engine.Ingest(sn); err != nil && !errors.Is(err, stream.ErrDuplicate) {
 					st.Close()
@@ -82,26 +113,43 @@ func New(opts ...Option) (*Pipeline, error) {
 	return p, nil
 }
 
+// errNoCheckpoint reports the benign restore misses: no checkpoint file
+// was ever written, or there is nothing to restore against. These select
+// the replay path without a warning.
+var errNoCheckpoint = errors.New("storypivot: no usable checkpoint")
+
 // tryRestore attempts the checkpoint fast path; any failure selects the
-// replay path.
-func (p *Pipeline) tryRestore(opts stream.Options, snippets []*Snippet) (*stream.Engine, bool) {
+// replay path. Failures other than errNoCheckpoint indicate a
+// checkpoint that exists but could not be honoured.
+func (p *Pipeline) tryRestore(opts stream.Options, snippets []*Snippet) (*stream.Engine, error) {
 	if p.checkpointPath == "" || len(snippets) == 0 {
-		return nil, false
+		return nil, errNoCheckpoint
 	}
 	f, err := os.Open(p.checkpointPath)
 	if err != nil {
-		return nil, false
+		if os.IsNotExist(err) {
+			return nil, errNoCheckpoint
+		}
+		return nil, err
 	}
 	defer f.Close()
 	cp, err := stream.ReadCheckpoint(f)
 	if err != nil {
-		return nil, false
+		return nil, err
 	}
 	engine, err := stream.RestoreEngine(opts, snippets, cp)
 	if err != nil {
-		return nil, false
+		return nil, err
 	}
-	return engine, true
+	return engine, nil
+}
+
+// RecoveryWarnings returns the partial-corruption findings collected
+// while New opened the store and rebuilt state: torn segment tails,
+// undecodable records, and checkpoint restores that fell back to
+// replay. Empty means recovery was clean (or storage is disabled).
+func (p *Pipeline) RecoveryWarnings() []string {
+	return append([]string(nil), p.warnings...)
 }
 
 // WriteCheckpoint persists the current identification state next to the
@@ -120,6 +168,7 @@ func (p *Pipeline) WriteCheckpoint() error {
 	if path == "" {
 		return nil
 	}
+	span := metCheckpointLat.Start()
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -134,7 +183,12 @@ func (p *Pipeline) WriteCheckpoint() error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	metCheckpointWrites.Inc()
+	span.End()
+	return nil
 }
 
 // AddDocument extracts snippets from a raw document and ingests them.
@@ -155,6 +209,7 @@ func (p *Pipeline) AddDocument(doc *Document) ([]*Snippet, error) {
 			return snippets, err
 		}
 	}
+	metDocuments.Inc()
 	return snippets, nil
 }
 
@@ -168,12 +223,16 @@ func (p *Pipeline) Ingest(sn *Snippet) error {
 	}
 	st := p.store
 	p.mu.Unlock()
+	span := metPipelineIngest.Start()
 	if st != nil {
 		if err := st.Append(sn); err != nil {
 			return err
 		}
 	}
 	_, err := p.engine.Ingest(sn)
+	if err == nil {
+		span.End()
+	}
 	return err
 }
 

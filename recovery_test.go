@@ -1,0 +1,159 @@
+package storypivot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// TestRecoveryWarningsCleanOpen: a pipeline over a healthy store reports
+// nothing.
+func TestRecoveryWarningsCleanOpen(t *testing.T) {
+	dir := t.TempDir()
+	p, err := New(WithStorage(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.IngestAll(datagen.Generate(experiments.CorpusScale(200, 2, 5)).Snippets)
+	p.Close()
+
+	p2, err := New(WithStorage(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := p2.RecoveryWarnings(); len(got) != 0 {
+		t.Fatalf("clean reopen produced warnings: %v", got)
+	}
+}
+
+// TestRecoveryWarningsCorruptCheckpoint: a checkpoint that exists but
+// cannot be honoured must (a) fall back to replay with identical results,
+// (b) surface a warning, and (c) count the fallback in the obs registry.
+func TestRecoveryWarningsCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	corpus := datagen.Generate(experiments.CorpusScale(400, 3, 7))
+	p, err := New(WithStorage(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.IngestAll(corpus.Snippets)
+	want := len(p.Result().Integrated())
+	p.Close()
+
+	if err := os.WriteFile(filepath.Join(dir, "checkpoint.json"), []byte("{definitely not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	failsBefore := obs.GetCounter("storypivot_stream_checkpoint_restore_failures_total", "").Value()
+
+	p2, err := New(WithStorage(dir))
+	if err != nil {
+		t.Fatalf("corrupt checkpoint broke New: %v", err)
+	}
+	defer p2.Close()
+	if got := len(p2.Result().Integrated()); got != want {
+		t.Fatalf("replay fallback produced %d stories, want %d", got, want)
+	}
+	warns := p2.RecoveryWarnings()
+	if len(warns) != 1 || !strings.Contains(warns[0], "checkpoint restore failed") {
+		t.Fatalf("warnings = %v, want one checkpoint-restore finding", warns)
+	}
+	if got := obs.GetCounter("storypivot_stream_checkpoint_restore_failures_total", "").Value() - failsBefore; got != 1 {
+		t.Fatalf("restore-failure counter advanced by %d, want 1", got)
+	}
+}
+
+// TestRecoveryWarningsMissingCheckpoint: never having written a
+// checkpoint is the normal first-open state, not a failure — replay must
+// happen without a warning and without counting a restore failure.
+func TestRecoveryWarningsMissingCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	p, err := New(WithStorage(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.IngestAll(datagen.Generate(experiments.CorpusScale(150, 2, 3)).Snippets)
+	// Bypass Close (which writes a checkpoint): just close the store via
+	// a fresh open over the same dir after dropping the handle.
+	if err := p.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	failsBefore := obs.GetCounter("storypivot_stream_checkpoint_restore_failures_total", "").Value()
+
+	p2, err := New(WithStorage(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := p2.RecoveryWarnings(); len(got) != 0 {
+		t.Fatalf("missing checkpoint produced warnings: %v", got)
+	}
+	if got := obs.GetCounter("storypivot_stream_checkpoint_restore_failures_total", "").Value(); got != failsBefore {
+		t.Fatal("missing checkpoint counted as a restore failure")
+	}
+}
+
+// TestRecoveryWarningsTruncatedSegment: a torn store tail surfaces the
+// storage layer's finding through Pipeline.RecoveryWarnings, and the
+// pipeline keeps working over the intact prefix.
+func TestRecoveryWarningsTruncatedSegment(t *testing.T) {
+	dir := t.TempDir()
+	corpus := datagen.Generate(experiments.CorpusScale(300, 2, 11))
+	p, err := New(WithStorage(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.IngestAll(corpus.Snippets)
+	p.Close()
+
+	// Tear the final record of the newest segment mid-frame, and remove
+	// the checkpoint so the reopen replays the (now shorter) log rather
+	// than restoring counts that no longer match.
+	os.Remove(filepath.Join(dir, "checkpoint.json"))
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	last := segs[len(segs)-1]
+	st, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, st.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := New(WithStorage(dir))
+	if err != nil {
+		t.Fatalf("torn tail broke New: %v", err)
+	}
+	defer p2.Close()
+	warns := p2.RecoveryWarnings()
+	if len(warns) == 0 {
+		t.Fatal("torn segment tail produced no warnings")
+	}
+	found := false
+	for _, w := range warns {
+		if strings.Contains(w, "torn-tail") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("warnings = %v, want a torn-tail finding", warns)
+	}
+	// One snippet was lost to the tear; the survivors must still be
+	// queryable and ingestion must still work.
+	if got, want := p2.Engine().Ingested(), uint64(len(corpus.Snippets)-1); got != want {
+		t.Fatalf("Ingested = %d, want %d", got, want)
+	}
+	// The caller's view is a copy.
+	warns[0] = "mutated"
+	if got := p2.RecoveryWarnings(); got[0] == "mutated" {
+		t.Fatal("RecoveryWarnings aliases internal state")
+	}
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI gate: build, vet, unit tests, then the full suite under the race
+# detector. Fails on the first broken step. Run from the repo root (the
+# script cd's there itself so it also works from hooks).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> ci ok"
