@@ -21,6 +21,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/similarity"
 	"repro/internal/sketch"
+	"repro/internal/vocab"
 )
 
 // Config parameterises alignment. Use DefaultConfig as the base.
@@ -157,11 +158,13 @@ type Aligner struct {
 	buckets     map[int64][]event.StoryID
 
 	// entCount accumulates entity mention counts over all upserted
-	// stories; it backs the IDF entity weighting. entTotal is the count
-	// sum, for mean normalisation.
-	entCount map[event.Entity]int
-	entTotal int
-	storyCfg similarity.StoryConfig // cfg.Story plus the weighter
+	// stories, indexed by interned entity symbol; it backs the IDF entity
+	// weighting. entTotal is the count sum and entDistinct the number of
+	// entities with a nonzero count, for mean normalisation.
+	entCount    []int32
+	entTotal    int
+	entDistinct int
+	storyCfg    similarity.StoryConfig // cfg.Story plus the weighter
 
 	stats  Stats
 	nextID uint64
@@ -180,18 +183,21 @@ func NewAligner(cfg Config) *Aligner {
 		cands:       make(map[[2]event.StoryID]bool),
 		bucketWidth: bw,
 		buckets:     make(map[int64][]event.StoryID),
-		entCount:    make(map[event.Entity]int),
 	}
 	a.storyCfg = cfg.Story
 	if cfg.UseEntityIDF {
-		// Mean-normalised inverse-frequency weighting; see the identify
-		// package for rationale.
-		a.storyCfg.EntityWeight = func(e event.Entity) float64 {
+		// Mean-normalised inverse-frequency weighting over interned entity
+		// symbols; see the identify package for rationale.
+		a.storyCfg.EntityWeight = func(e uint32) float64 {
 			mean := 1.0
-			if n := len(a.entCount); n > 0 {
-				mean = float64(a.entTotal) / float64(n)
+			if a.entDistinct > 0 {
+				mean = float64(a.entTotal) / float64(a.entDistinct)
 			}
-			return 1 / (1 + logFloat(1+float64(a.entCount[e])/mean))
+			var c int32
+			if int(e) < len(a.entCount) {
+				c = a.entCount[e]
+			}
+			return 1 / (1 + logFloat(1+float64(c)/mean))
 		}
 	}
 	if cfg.UseSketchFilter {
@@ -210,6 +216,35 @@ func (a *Aligner) Stats() Stats { return a.stats }
 
 // Len returns the number of stories under alignment.
 func (a *Aligner) Len() int { return len(a.stories) }
+
+// noteEntity adjusts the IDF statistics by delta mentions of entity
+// symbol e (negative when a story is removed).
+func (a *Aligner) noteEntity(e uint32, delta int32) {
+	if int(e) >= len(a.entCount) {
+		if delta <= 0 {
+			return
+		}
+		if int(e) < cap(a.entCount) {
+			a.entCount = a.entCount[:int(e)+1]
+		} else {
+			grown := make([]int32, int(e)+1, (int(e)+1)*2)
+			copy(grown, a.entCount)
+			a.entCount = grown
+		}
+	}
+	before := a.entCount[e]
+	after := before + delta
+	if after < 0 {
+		after = 0
+	}
+	a.entCount[e] = after
+	a.entTotal += int(after - before)
+	if before == 0 && after > 0 {
+		a.entDistinct++
+	} else if before > 0 && after == 0 {
+		a.entDistinct--
+	}
+}
 
 func edgeKey(x, y event.StoryID) [2]event.StoryID {
 	if x > y {
@@ -245,9 +280,8 @@ func (a *Aligner) Upsert(st *event.Story) {
 		a.order = append(a.order, st.ID)
 	}
 	a.stories[st.ID] = st
-	for e, n := range st.EntityFreq {
-		a.entCount[e] += n
-		a.entTotal += n
+	for _, ec := range st.EntityFreq {
+		a.noteEntity(ec.ID, ec.N)
 	}
 	lo, hi := a.bucketRange(st)
 	for b := lo; b <= hi; b++ {
@@ -316,11 +350,8 @@ func (a *Aligner) Remove(id event.StoryID) {
 func (a *Aligner) removeInternal(id event.StoryID) {
 	st := a.stories[id]
 	if st != nil {
-		for e, n := range st.EntityFreq {
-			a.entTotal -= n
-			if a.entCount[e] -= n; a.entCount[e] <= 0 {
-				delete(a.entCount, e)
-			}
+		for _, ec := range st.EntityFreq {
+			a.noteEntity(ec.ID, -ec.N)
 		}
 	}
 	if st != nil {
@@ -448,37 +479,26 @@ func (a *Aligner) reciprocalEdges() map[[2]event.StoryID]float64 {
 // component aggregates the contents of an in-progress integrated story
 // during guarded merging.
 type component struct {
-	ents       map[event.Entity]int
-	centroid   map[string]float64
+	ents       []vocab.IDCount
+	centroid   []vocab.IDWeight
 	start, end time.Time
 	members    int // member stories, for the size-adaptive guard
 }
 
 func newComponent(st *event.Story) *component {
-	c := &component{
+	return &component{
 		members:  1,
-		ents:     make(map[event.Entity]int, len(st.EntityFreq)),
-		centroid: make(map[string]float64, len(st.Centroid)),
+		ents:     append([]vocab.IDCount(nil), st.EntityFreq...),
+		centroid: append([]vocab.IDWeight(nil), st.Centroid...),
 		start:    st.Start,
 		end:      st.End,
 	}
-	for e, n := range st.EntityFreq {
-		c.ents[e] = n
-	}
-	for t, w := range st.Centroid {
-		c.centroid[t] = w
-	}
-	return c
 }
 
 // absorb merges other into c.
 func (c *component) absorb(other *component) {
-	for e, n := range other.ents {
-		c.ents[e] += n
-	}
-	for t, w := range other.centroid {
-		c.centroid[t] += w
-	}
+	c.ents = vocab.AddCounts(c.ents, other.ents)
+	c.centroid = vocab.AddWeights(c.centroid, other.centroid)
 	if other.start.Before(c.start) {
 		c.start = other.start
 	}
@@ -496,8 +516,8 @@ func (c *component) absorb(other *component) {
 // snowballs at scale).
 func (a *Aligner) componentsSimilar(x, y *component) bool {
 	w := a.cfg.Story.Weights.Normalized()
-	sim := w.Entity * similarity.WeightedJaccardEntitySets(x.ents, y.ents, a.storyCfg.EntityWeight)
-	sim += w.Description * similarity.CosineTerms(x.centroid, y.centroid)
+	sim := w.Entity * similarity.WeightedJaccardIDSets(x.ents, y.ents, a.storyCfg.EntityWeight)
+	sim += w.Description * similarity.CosineIDs(x.centroid, y.centroid)
 	var gap time.Duration
 	switch {
 	case x.end.Before(y.start):
@@ -632,8 +652,8 @@ func minStoryID(sts []*event.Story) event.StoryID {
 
 func entityElems(st *event.Story) []string {
 	elems := make([]string, 0, len(st.EntityFreq))
-	for e := range st.EntityFreq {
-		elems = append(elems, string(e))
+	for _, ec := range st.EntityFreq {
+		elems = append(elems, vocab.Entities.String(ec.ID))
 	}
 	return elems
 }

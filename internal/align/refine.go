@@ -1,12 +1,12 @@
 package align
 
 import (
-	"math"
 	"sort"
 	"time"
 
 	"repro/internal/event"
 	"repro/internal/similarity"
+	"repro/internal/vocab"
 )
 
 // RefineConfig parameterises story refinement (paper Figure 1d): the
@@ -111,8 +111,8 @@ func Refine(res *Result, movers map[event.SourceID]Mover, cfg RefineConfig) []Co
 							continue
 						}
 						ref := nearestTime(cand, sn.Timestamp)
-						score := similarity.SnippetStory(sn, cand.EntityFreq, cand.Centroid,
-							cand.CentroidNorm(), ref, cfg.TemporalScale, cfg.Weights)
+						score := similarity.SnippetStoryIDs(sn, cand.EntityFreq, cand.Centroid,
+							cand.CentroidNorm(), ref, cfg.TemporalScale, cfg.Weights, nil)
 						if score > bestScore {
 							bestScore = score
 							best = plan{
@@ -163,30 +163,12 @@ func scoreWithoutSelf(sn *event.Snippet, home *event.Story, cfg RefineConfig) fl
 	if home.Len() <= 1 {
 		return 0 // alone in its story: any supported alternative wins
 	}
-	centroid := make(map[string]float64, len(home.Centroid))
-	for k, v := range home.Centroid {
-		centroid[k] = v
-	}
-	for _, t := range sn.Terms {
-		if centroid[t.Token] -= t.Weight; centroid[t.Token] <= 1e-12 {
-			delete(centroid, t.Token)
-		}
-	}
-	ents := make(map[event.Entity]int, len(home.EntityFreq))
-	for k, v := range home.EntityFreq {
-		ents[k] = v
-	}
-	for _, e := range sn.Entities {
-		if ents[e]--; ents[e] <= 0 {
-			delete(ents, e)
-		}
-	}
-	var norm float64
-	for _, w := range centroid {
-		norm += w * w
-	}
+	sn.EnsureInterned()
+	centroid := vocab.SubWeights(append([]vocab.IDWeight(nil), home.Centroid...), sn.TermIDs)
+	ents := vocab.DecCounts(append([]vocab.IDCount(nil), home.EntityFreq...), sn.EntityIDs)
 	ref := nearestOtherTime(home, sn)
-	return similarity.SnippetStory(sn, ents, centroid, sqrtf(norm), ref, cfg.TemporalScale, cfg.Weights)
+	return similarity.SnippetStoryIDs(sn, ents, centroid, vocab.WeightNorm(centroid), ref,
+		cfg.TemporalScale, cfg.Weights, nil)
 }
 
 // hasCrossSourceSupport reports whether the integrated story contains a
@@ -244,11 +226,4 @@ func nearestOtherTime(st *event.Story, sn *event.Snippet) time.Time {
 		}
 	}
 	return best
-}
-
-func sqrtf(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	return math.Sqrt(x)
 }

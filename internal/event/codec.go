@@ -131,6 +131,9 @@ func decode(buf []byte) (*Snippet, []byte, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Re-establish the interned ID vectors: symbols are process-local, so
+	// they are never part of the wire format.
+	s.Intern()
 	return s, buf, nil
 }
 

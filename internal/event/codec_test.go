@@ -23,6 +23,7 @@ func TestCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Decode: %v", err)
 	}
+	s.Intern() // decode interns; align the expected form
 	if !reflect.DeepEqual(got, s) {
 		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
 	}
@@ -100,6 +101,7 @@ func TestCodecQuick(t *testing.T) {
 		if err != nil {
 			return false
 		}
+		s.Intern() // decode interns; align the expected form
 		return reflect.DeepEqual(got, s)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

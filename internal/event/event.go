@@ -15,6 +15,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/vocab"
 )
 
 // SourceID identifies a data source (e.g. a newspaper, a blog).
@@ -58,6 +60,20 @@ type Snippet struct {
 	Text string
 	// Document is the URL or identifier of the originating document.
 	Document string
+
+	// TermIDs is the interned description vector: Terms mapped through
+	// the process-wide vocab table, sorted by symbol ID (not by token).
+	// The similarity kernels read only this form; Terms is the API-edge
+	// string form. Built by Normalize/EnsureInterned.
+	TermIDs []vocab.IDWeight
+	// EntityIDs mirrors Entities through the entity vocab table, sorted
+	// by symbol ID.
+	EntityIDs []uint32
+	// TermNorm caches the Euclidean norm of TermIDs, so the snippet side
+	// of every cosine is free at comparison time.
+	TermNorm float64
+
+	interned bool
 }
 
 // Validation errors returned by Snippet.Validate.
@@ -108,6 +124,56 @@ func (s *Snippet) Normalize() {
 		}
 		s.Terms = out
 	}
+	s.Intern()
+}
+
+// Intern (re)builds the snippet's interned ID vectors (TermIDs,
+// EntityIDs, TermNorm) from the string forms. It tolerates unnormalized
+// input: duplicate tokens are merged by summing weights, duplicate
+// entities deduplicated. Intern never modifies Entities or Terms.
+func (s *Snippet) Intern() {
+	s.EntityIDs = s.EntityIDs[:0]
+	for _, e := range s.Entities {
+		s.EntityIDs = append(s.EntityIDs, vocab.Entities.ID(string(e)))
+	}
+	if len(s.EntityIDs) > 1 {
+		sort.Slice(s.EntityIDs, func(i, j int) bool { return s.EntityIDs[i] < s.EntityIDs[j] })
+		out := s.EntityIDs[:1]
+		for _, id := range s.EntityIDs[1:] {
+			if id != out[len(out)-1] {
+				out = append(out, id)
+			}
+		}
+		s.EntityIDs = out
+	}
+	s.TermIDs = s.TermIDs[:0]
+	for _, t := range s.Terms {
+		s.TermIDs = append(s.TermIDs, vocab.IDWeight{ID: vocab.Terms.ID(t.Token), W: t.Weight})
+	}
+	if len(s.TermIDs) > 1 {
+		sort.Slice(s.TermIDs, func(i, j int) bool { return s.TermIDs[i].ID < s.TermIDs[j].ID })
+		out := s.TermIDs[:1]
+		for _, t := range s.TermIDs[1:] {
+			if t.ID == out[len(out)-1].ID {
+				out[len(out)-1].W += t.W
+			} else {
+				out = append(out, t)
+			}
+		}
+		s.TermIDs = out
+	}
+	s.TermNorm = vocab.WeightNorm(s.TermIDs)
+	s.interned = true
+}
+
+// EnsureInterned interns the snippet if it has not been yet. Every
+// pipeline entry point (Normalize, codec decode, Story.Add,
+// Identifier.Process) establishes the interned form, so downstream
+// read paths see this as a pure flag check.
+func (s *Snippet) EnsureInterned() {
+	if !s.interned {
+		s.Intern()
+	}
 }
 
 // HasEntity reports whether the (normalized) snippet mentions e.
@@ -121,6 +187,8 @@ func (s *Snippet) Clone() *Snippet {
 	c := *s
 	c.Entities = append([]Entity(nil), s.Entities...)
 	c.Terms = append([]Term(nil), s.Terms...)
+	c.EntityIDs = append([]uint32(nil), s.EntityIDs...)
+	c.TermIDs = append([]vocab.IDWeight(nil), s.TermIDs...)
 	return &c
 }
 

@@ -135,11 +135,12 @@ func TestStoryAddMaintainsOrderAndAggregates(t *testing.T) {
 			t.Fatal("snippets not chronological after out-of-order Add")
 		}
 	}
-	if st.EntityFreq["UKR"] != 3 || st.EntityFreq["MAL"] != 1 || st.EntityFreq["RUS"] != 1 {
-		t.Errorf("EntityFreq = %v", st.EntityFreq)
+	ef, cen := st.EntityFreqMap(), st.CentroidMap()
+	if ef["UKR"] != 3 || ef["MAL"] != 1 || ef["RUS"] != 1 {
+		t.Errorf("EntityFreq = %v", ef)
 	}
-	if st.Centroid["crash"] != 3 || st.Centroid["sanctions"] != 1 {
-		t.Errorf("Centroid = %v", st.Centroid)
+	if cen["crash"] != 3 || cen["sanctions"] != 1 {
+		t.Errorf("Centroid = %v", cen)
 	}
 	if !st.Start.Equal(ts(17)) || !st.End.Equal(ts(20)) {
 		t.Errorf("extent = %s..%s, want 17..20", st.Start, st.End)
@@ -170,13 +171,14 @@ func TestStoryRemove(t *testing.T) {
 	if st.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", st.Len())
 	}
-	if _, ok := st.EntityFreq["MAL"]; ok {
+	ef, cen := st.EntityFreqMap(), st.CentroidMap()
+	if _, ok := ef["MAL"]; ok {
 		t.Error("MAL frequency not cleaned up")
 	}
-	if st.EntityFreq["UKR"] != 1 {
-		t.Errorf("UKR freq = %d, want 1", st.EntityFreq["UKR"])
+	if ef["UKR"] != 1 {
+		t.Errorf("UKR freq = %d, want 1", ef["UKR"])
 	}
-	if _, ok := st.Centroid["crash"]; ok {
+	if _, ok := cen["crash"]; ok {
 		t.Error("crash term not cleaned up")
 	}
 	if !st.Start.Equal(ts(20)) || !st.End.Equal(ts(20)) {
@@ -256,6 +258,27 @@ func TestTopEntitiesAndTerms(t *testing.T) {
 	// crash and plane tie at 3; alphabetical tiebreak puts crash first.
 	if terms[0].Token != "crash" || terms[1].Token != "plane" || terms[2].Token != "shot" {
 		t.Errorf("TopTerms order = %v", terms)
+	}
+}
+
+// TestStoryGenAdvances pins the mutation-counter contract: a remove+add
+// pair that leaves the length unchanged must still advance Gen, since
+// content-keyed caches (the identification window aggregates) rely on it.
+func TestStoryGenAdvances(t *testing.T) {
+	st := NewStory(1, "nyt")
+	st.Add(snip(1, "nyt", 17, []Entity{"A"}, Term{"x", 1}))
+	st.Add(snip(2, "nyt", 18, []Entity{"B"}, Term{"y", 1}))
+	g := st.Gen()
+	st.Remove(1)
+	st.Add(snip(3, "nyt", 17, []Entity{"C"}, Term{"z", 1}))
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+	if st.Gen() == g {
+		t.Fatal("Gen unchanged across same-length remove+add")
+	}
+	if st.Snapshot().Gen() != st.Gen() {
+		t.Fatal("Snapshot does not carry Gen")
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/vocab"
 )
 
 // SnippetRole classifies how a snippet contributes to an integrated story
@@ -107,8 +109,8 @@ func (is *IntegratedStory) Extent() (start, end time.Time) {
 func (is *IntegratedStory) EntityFreq() map[Entity]int {
 	out := make(map[Entity]int)
 	for _, m := range is.Members {
-		for e, c := range m.EntityFreq {
-			out[e] += c
+		for _, ec := range m.EntityFreq {
+			out[Entity(vocab.Entities.String(ec.ID))] += int(ec.N)
 		}
 	}
 	return out
@@ -118,8 +120,8 @@ func (is *IntegratedStory) EntityFreq() map[Entity]int {
 func (is *IntegratedStory) Centroid() map[string]float64 {
 	out := make(map[string]float64)
 	for _, m := range is.Members {
-		for tok, w := range m.Centroid {
-			out[tok] += w
+		for _, tw := range m.Centroid {
+			out[vocab.Terms.String(tw.ID)] += tw.W
 		}
 	}
 	return out

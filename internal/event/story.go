@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"repro/internal/vocab"
 )
 
 // Story is a per-source story: a chronologically ordered set of snippets
@@ -12,6 +14,11 @@ import (
 // story (paper §2.2). A Story maintains incremental aggregates — entity
 // frequencies and a description-term centroid — so that matching a new
 // snippet against the story is O(|snippet|) rather than O(|story|).
+//
+// The aggregates are flat sorted sparse vectors over the process-wide
+// vocab symbol tables (see internal/vocab): the similarity kernels
+// merge-walk them with zero allocation per comparison. The string-keyed
+// map forms survive only at API edges, via EntityFreqMap/CentroidMap.
 type Story struct {
 	ID     StoryID
 	Source SourceID
@@ -19,18 +26,26 @@ type Story struct {
 	// Snippets in chronological order (ByTimestamp order).
 	Snippets []*Snippet
 
-	// EntityFreq counts, for every entity, in how many snippets of the
-	// story it appears. This powers the "Story Information" panels of the
-	// demo UI (Figures 4–6) and entity-based similarity.
-	EntityFreq map[Entity]int
+	// EntityFreq counts, for every entity (by vocab symbol, ascending),
+	// in how many snippets of the story it appears. This powers the
+	// "Story Information" panels of the demo UI (Figures 4–6) and
+	// entity-based similarity.
+	EntityFreq []vocab.IDCount
 
-	// Centroid is the running sum of the snippets' term vectors. Cosine
-	// similarity against the centroid approximates average linkage.
-	Centroid map[string]float64
+	// Centroid is the running sum of the snippets' term vectors, sorted
+	// by vocab symbol. Cosine similarity against the centroid
+	// approximates average linkage.
+	Centroid []vocab.IDWeight
 
 	// centroidNorm caches the Euclidean norm of Centroid; negative means
 	// stale.
 	centroidNorm float64
+
+	// gen counts mutations (Add/Remove). Caches keyed on story content —
+	// the identification window-aggregate cache in particular — key on
+	// Gen(), which unlike Len() cannot alias a same-length remove+add
+	// (refinement Move) with an unchanged story.
+	gen uint64
 
 	Start, End time.Time
 }
@@ -40,14 +55,17 @@ func NewStory(id StoryID, src SourceID) *Story {
 	return &Story{
 		ID:           id,
 		Source:       src,
-		EntityFreq:   make(map[Entity]int),
-		Centroid:     make(map[string]float64),
 		centroidNorm: -1,
 	}
 }
 
 // Len returns the number of snippets in the story.
 func (st *Story) Len() int { return len(st.Snippets) }
+
+// Gen returns the story's mutation counter: it advances on every Add and
+// Remove, so equal Gen values imply unchanged content (within one
+// process run).
+func (st *Story) Gen() uint64 { return st.gen }
 
 // Add inserts a snippet into the story, keeping chronological order and
 // updating the aggregates. Add panics if the snippet's source differs from
@@ -57,6 +75,7 @@ func (st *Story) Add(s *Snippet) {
 	if s.Source != st.Source {
 		panic(fmt.Sprintf("event: snippet source %q added to story of source %q", s.Source, st.Source))
 	}
+	s.EnsureInterned()
 	// Insert keeping chronological order; the common case is appending at
 	// the end, so probe that first.
 	n := len(st.Snippets)
@@ -71,13 +90,10 @@ func (st *Story) Add(s *Snippet) {
 		copy(st.Snippets[i+1:], st.Snippets[i:])
 		st.Snippets[i] = s
 	}
-	for _, e := range s.Entities {
-		st.EntityFreq[e]++
-	}
-	for _, t := range s.Terms {
-		st.Centroid[t.Token] += t.Weight
-	}
+	st.EntityFreq = vocab.IncCounts(st.EntityFreq, s.EntityIDs)
+	st.Centroid = vocab.AddWeights(st.Centroid, s.TermIDs)
 	st.centroidNorm = -1
+	st.gen++
 	if st.Start.IsZero() || s.Timestamp.Before(st.Start) {
 		st.Start = s.Timestamp
 	}
@@ -101,17 +117,10 @@ func (st *Story) Remove(id SnippetID) bool {
 	}
 	s := st.Snippets[idx]
 	st.Snippets = append(st.Snippets[:idx], st.Snippets[idx+1:]...)
-	for _, e := range s.Entities {
-		if st.EntityFreq[e]--; st.EntityFreq[e] <= 0 {
-			delete(st.EntityFreq, e)
-		}
-	}
-	for _, t := range s.Terms {
-		if st.Centroid[t.Token] -= t.Weight; st.Centroid[t.Token] <= 1e-12 {
-			delete(st.Centroid, t.Token)
-		}
-	}
+	st.EntityFreq = vocab.DecCounts(st.EntityFreq, s.EntityIDs)
+	st.Centroid = vocab.SubWeights(st.Centroid, s.TermIDs)
 	st.centroidNorm = -1
+	st.gen++
 	st.recomputeExtent()
 	return true
 }
@@ -135,11 +144,32 @@ func (st *Story) CentroidNorm() float64 {
 		return st.centroidNorm
 	}
 	var sum float64
-	for _, w := range st.Centroid {
-		sum += w * w
+	for _, e := range st.Centroid {
+		sum += e.W * e.W
 	}
 	st.centroidNorm = math.Sqrt(sum)
 	return st.centroidNorm
+}
+
+// EntityFreqMap returns the entity frequencies keyed by entity string —
+// the API-edge form used by display, export, and the knowledge-base
+// context lookups. Allocates; do not call on a similarity hot path.
+func (st *Story) EntityFreqMap() map[Entity]int {
+	out := make(map[Entity]int, len(st.EntityFreq))
+	for _, ec := range st.EntityFreq {
+		out[Entity(vocab.Entities.String(ec.ID))] = int(ec.N)
+	}
+	return out
+}
+
+// CentroidMap returns the term centroid keyed by token string — the
+// API-edge form. Allocates; do not call on a similarity hot path.
+func (st *Story) CentroidMap() map[string]float64 {
+	out := make(map[string]float64, len(st.Centroid))
+	for _, tw := range st.Centroid {
+		out[vocab.Terms.String(tw.ID)] = tw.W
+	}
+	return out
 }
 
 // WindowSnippets returns the story's snippets whose timestamps fall in
@@ -158,55 +188,68 @@ func (st *Story) WindowSnippets(from, to time.Time) []*Snippet {
 	return st.Snippets[lo:hi]
 }
 
-// WindowedCentroid computes the term centroid and entity frequencies over
-// only the snippets inside [from, to]. Temporal story identification uses
-// this to compare a new snippet against the story "as it currently is"
-// rather than its entire history (paper §2.2, Figure 2b).
-func (st *Story) WindowedCentroid(from, to time.Time) (centroid map[string]float64, entities map[Entity]int) {
-	centroid = make(map[string]float64)
-	entities = make(map[Entity]int)
+// WindowedCentroidIDs computes the flat term centroid and entity
+// frequencies over only the snippets inside [from, to]. Temporal story
+// identification uses this to compare a new snippet against the story
+// "as it currently is" rather than its entire history (paper §2.2,
+// Figure 2b).
+func (st *Story) WindowedCentroidIDs(from, to time.Time) (centroid []vocab.IDWeight, entities []vocab.IDCount) {
+	return st.AppendWindowedCentroidIDs(from, to, nil, nil)
+}
+
+// AppendWindowedCentroidIDs is WindowedCentroidIDs accumulating into the
+// given buffers (emptied, capacity reused). The temporal identifier's
+// aggregate cache rebuilds windows on every bucket advance, so reusing
+// the previous window's backing arrays keeps the steady-state rebuild
+// allocation-free.
+func (st *Story) AppendWindowedCentroidIDs(from, to time.Time, cen []vocab.IDWeight, ents []vocab.IDCount) ([]vocab.IDWeight, []vocab.IDCount) {
 	for _, s := range st.WindowSnippets(from, to) {
-		for _, t := range s.Terms {
-			centroid[t.Token] += t.Weight
-		}
-		for _, e := range s.Entities {
-			entities[e]++
-		}
+		cen = vocab.AddWeights(cen, s.TermIDs)
+		ents = vocab.IncCounts(ents, s.EntityIDs)
+	}
+	return cen, ents
+}
+
+// WindowedCentroid is WindowedCentroidIDs in the string-keyed API-edge
+// form.
+func (st *Story) WindowedCentroid(from, to time.Time) (centroid map[string]float64, entities map[Entity]int) {
+	cen, ents := st.WindowedCentroidIDs(from, to)
+	centroid = make(map[string]float64, len(cen))
+	for _, tw := range cen {
+		centroid[vocab.Terms.String(tw.ID)] = tw.W
+	}
+	entities = make(map[Entity]int, len(ents))
+	for _, ec := range ents {
+		entities[Entity(vocab.Entities.String(ec.ID))] = int(ec.N)
 	}
 	return centroid, entities
 }
 
 // Snapshot returns a copy of the story that is safe to read while the
-// original keeps changing: the snippet list and aggregate maps are
+// original keeps changing: the snippet list and aggregate vectors are
 // copied, the snippet pointers are shared (snippets are immutable once
 // ingested). Alignment results are built from snapshots so that readers
 // of a published result never race with ongoing ingestion.
 func (st *Story) Snapshot() *Story {
-	cp := &Story{
+	return &Story{
 		ID:           st.ID,
 		Source:       st.Source,
 		Snippets:     append([]*Snippet(nil), st.Snippets...),
-		EntityFreq:   make(map[Entity]int, len(st.EntityFreq)),
-		Centroid:     make(map[string]float64, len(st.Centroid)),
+		EntityFreq:   append([]vocab.IDCount(nil), st.EntityFreq...),
+		Centroid:     append([]vocab.IDWeight(nil), st.Centroid...),
 		centroidNorm: st.centroidNorm,
+		gen:          st.gen,
 		Start:        st.Start,
 		End:          st.End,
 	}
-	for e, n := range st.EntityFreq {
-		cp.EntityFreq[e] = n
-	}
-	for tok, w := range st.Centroid {
-		cp.Centroid[tok] = w
-	}
-	return cp
 }
 
 // TopEntities returns up to k entities sorted by descending frequency
 // (ties broken alphabetically), as displayed in the demo's story panels.
 func (st *Story) TopEntities(k int) []EntityCount {
 	out := make([]EntityCount, 0, len(st.EntityFreq))
-	for e, c := range st.EntityFreq {
-		out = append(out, EntityCount{Entity: e, Count: c})
+	for _, ec := range st.EntityFreq {
+		out = append(out, EntityCount{Entity: Entity(vocab.Entities.String(ec.ID)), Count: int(ec.N)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -224,8 +267,8 @@ func (st *Story) TopEntities(k int) []EntityCount {
 // weight (ties broken alphabetically).
 func (st *Story) TopTerms(k int) []TermWeight {
 	out := make([]TermWeight, 0, len(st.Centroid))
-	for tok, w := range st.Centroid {
-		out = append(out, TermWeight{Token: tok, Weight: w})
+	for _, tw := range st.Centroid {
+		out = append(out, TermWeight{Token: vocab.Terms.String(tw.ID), Weight: tw.W})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Weight != out[j].Weight {

@@ -2,12 +2,12 @@ package identify
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/event"
 	"repro/internal/similarity"
 	"repro/internal/sketch"
+	"repro/internal/vocab"
 )
 
 // Identifier performs incremental story identification for a single data
@@ -39,13 +39,35 @@ type Identifier struct {
 	// saves in comparison count).
 	winCache map[event.StoryID]*windowAggregate
 
-	// entCount tracks how many processed snippets mention each entity;
-	// it backs the IDF-style entity weighting (popular entities carry
-	// little story-discriminating signal on real news streams). entTotal
-	// is the sum of all counts, so the weighter can normalise by the mean
-	// and stay neutral on corpora with near-uniform entity usage.
-	entCount map[event.Entity]int
-	entTotal int
+	// entCount tracks how many processed snippets mention each entity,
+	// indexed by interned entity symbol; it backs the IDF-style entity
+	// weighting (popular entities carry little story-discriminating signal
+	// on real news streams). entTotal is the sum of all counts and
+	// entDistinct the number of entities seen at least once, so the
+	// weighter can normalise by the mean and stay neutral on corpora with
+	// near-uniform entity usage.
+	entCount    []int32
+	entTotal    int
+	entDistinct int
+
+	// ew is the entity weighter handed to the similarity kernels, bound
+	// once at construction: rebuilding the method value per score call
+	// would put one allocation on every comparison.
+	ew similarity.IDWeighter
+
+	// candScratch is the reusable backing array for candidates(), so the
+	// per-snippet candidate scan does not allocate in steady state.
+	candScratch []*event.Story
+
+	// ufScratch is the reusable union-find parent buffer of the repair
+	// pass's connectivity check (see components).
+	ufScratch []int
+
+	// sigScratch and lshScratch are the sketch-index per-event buffers:
+	// the probe signature and the LSH candidate list are rebuilt in place
+	// for every snippet instead of allocated.
+	sigScratch sketch.Signature
+	lshScratch []uint64
 
 	sinceRepair int
 	stats       Stats
@@ -64,7 +86,9 @@ func New(source event.SourceID, cfg Config, alloc *IDAlloc) *Identifier {
 		stories:  make(map[event.StoryID]*event.Story),
 		assign:   make(map[event.SnippetID]event.StoryID),
 		winCache: make(map[event.StoryID]*windowAggregate),
-		entCount: make(map[event.Entity]int),
+	}
+	if cfg.UseEntityIDF {
+		id.ew = id.entityWeightID
 	}
 	if cfg.UseSketchIndex {
 		bands, rows := cfg.SketchBands, cfg.SketchRows
@@ -77,6 +101,7 @@ func New(source event.SourceID, cfg Config, alloc *IDAlloc) *Identifier {
 		id.hasher = sketch.NewMinHasher(bands*rows, 0x5350)
 		id.lsh = sketch.NewLSH(bands, rows)
 		id.sigs = make(map[event.StoryID]sketch.Signature)
+		id.sigScratch = make(sketch.Signature, bands*rows)
 	}
 	return id
 }
@@ -98,13 +123,13 @@ func (id *Identifier) Process(s *event.Snippet) event.StoryID {
 	if s.Source != id.source {
 		panic(fmt.Sprintf("identify: snippet of source %q fed to identifier of %q", s.Source, id.source))
 	}
+	s.EnsureInterned()
 	span := metProcessLat.Start()
 	startComparisons := id.stats.Comparisons
 	id.stats.Processed++
 	if id.cfg.UseEntityIDF {
-		for _, e := range s.Entities {
-			id.entCount[e]++
-			id.entTotal++
+		for _, e := range s.EntityIDs {
+			id.noteEntity(e)
 		}
 	}
 
@@ -151,10 +176,14 @@ func (id *Identifier) Process(s *event.Snippet) event.StoryID {
 // candidates returns the stories worth scoring for snippet s, per the
 // configured mode (Figure 2) and sketch-index setting.
 func (id *Identifier) candidates(s *event.Snippet) []*event.Story {
-	var out []*event.Story
+	out := id.candScratch[:0]
+	defer func() { id.candScratch = out[:0] }()
 	if id.cfg.UseSketchIndex {
-		sig := id.hasher.Sign(snippetElems(s))
-		for _, key := range id.lsh.Query(sig, ^uint64(0)) {
+		sig := id.sigScratch
+		sketch.ResetSignature(sig)
+		id.foldSnippetElems(sig, s)
+		id.lshScratch = id.lsh.QueryAppend(sig, ^uint64(0), id.lshScratch[:0])
+		for _, key := range id.lshScratch {
 			st, ok := id.stories[event.StoryID(key)]
 			if !ok {
 				continue
@@ -164,8 +193,13 @@ func (id *Identifier) candidates(s *event.Snippet) []*event.Story {
 			}
 			out = append(out, st)
 		}
-		// Deterministic scoring order.
-		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		// Deterministic scoring order. Insertion sort: candidate lists are
+		// small and sort.Slice's reflection machinery allocates per call.
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
 		return out
 	}
 	for _, sid := range id.order {
@@ -188,36 +222,57 @@ func (id *Identifier) inWindow(st *event.Story, t time.Time) bool {
 
 // windowAggregate is a cached windowed story summary. Queries quantise
 // the snippet timestamp to buckets of ω/2; a cache entry is valid while
-// the query falls in the same bucket and the story is unchanged, so the
-// near-chronological stream amortises the window-centroid construction
-// across many scores.
+// the query falls in the same bucket and the story's mutation counter is
+// unchanged, so the near-chronological stream amortises the
+// window-centroid construction across many scores. Keying on Gen()
+// rather than Len() matters during refinement: a remove+add pair leaves
+// the length identical while changing the content, which a length-keyed
+// cache would serve stale.
 type windowAggregate struct {
-	bucket   int64 // quantised query time
-	version  int   // story length when built
-	centroid map[string]float64
-	ents     map[event.Entity]int
+	bucket   int64  // quantised query time
+	gen      uint64 // story Gen() when built
+	centroid []vocab.IDWeight
+	ents     []vocab.IDCount
 	norm     float64
 }
 
-// entityWeight is the IDF-style weighter over the source's entity-mention
-// counts, normalised by the mean count: w(e) = 1 / (1 + ln(1 + c(e)/mean)).
-// On near-uniform corpora every weight is ≈ 1/(1+ln 2) and the weighted
-// Jaccard reduces to the unweighted one; only genuinely skewed entities
-// are down-weighted.
-func (id *Identifier) entityWeight(e event.Entity) float64 {
-	mean := 1.0
-	if n := len(id.entCount); n > 0 {
-		mean = float64(id.entTotal) / float64(n)
+// noteEntity records one mention of entity symbol e for the IDF
+// statistics, growing the count table on first sight of a new symbol.
+func (id *Identifier) noteEntity(e uint32) {
+	if int(e) >= len(id.entCount) {
+		if int(e) < cap(id.entCount) {
+			id.entCount = id.entCount[:int(e)+1]
+		} else {
+			grown := make([]int32, int(e)+1, (int(e)+1)*2)
+			copy(grown, id.entCount)
+			id.entCount = grown
+		}
 	}
-	return 1 / (1 + logf(1+float64(id.entCount[e])/mean))
+	if id.entCount[e] == 0 {
+		id.entDistinct++
+	}
+	id.entCount[e]++
+	id.entTotal++
 }
 
-func (id *Identifier) weighter() similarity.EntityWeighter {
-	if !id.cfg.UseEntityIDF {
-		return nil
+// entityWeightID is the IDF-style weighter over the source's
+// entity-mention counts, normalised by the mean count:
+// w(e) = 1 / (1 + ln(1 + c(e)/mean)). On near-uniform corpora every
+// weight is ≈ 1/(1+ln 2) and the weighted Jaccard reduces to the
+// unweighted one; only genuinely skewed entities are down-weighted.
+func (id *Identifier) entityWeightID(e uint32) float64 {
+	mean := 1.0
+	if id.entDistinct > 0 {
+		mean = float64(id.entTotal) / float64(id.entDistinct)
 	}
-	return id.entityWeight
+	var c int32
+	if int(e) < len(id.entCount) {
+		c = id.entCount[e]
+	}
+	return 1 / (1 + logf(1+float64(c)/mean))
 }
+
+func (id *Identifier) weighter() similarity.IDWeighter { return id.ew }
 
 // score computes the snippet-story similarity. In temporal mode the story
 // is summarised by only the snippets inside the window, so the comparison
@@ -231,12 +286,12 @@ func (id *Identifier) score(s *event.Snippet, st *event.Story) float64 {
 			return 0
 		}
 		ref := nearestTimestamp(st, s.Timestamp)
-		return similarity.SnippetStoryW(s, agg.ents, agg.centroid, agg.norm, ref,
-			id.cfg.TemporalScale, id.cfg.Weights, id.weighter())
+		return similarity.SnippetStoryIDs(s, agg.ents, agg.centroid, agg.norm, ref,
+			id.cfg.TemporalScale, id.cfg.Weights, id.ew)
 	default: // ModeComplete
 		ref := nearestTimestamp(st, s.Timestamp)
-		return similarity.SnippetStoryW(s, st.EntityFreq, st.Centroid, st.CentroidNorm(), ref,
-			id.cfg.TemporalScale, id.cfg.Weights, id.weighter())
+		return similarity.SnippetStoryIDs(s, st.EntityFreq, st.Centroid, st.CentroidNorm(), ref,
+			id.cfg.TemporalScale, id.cfg.Weights, id.ew)
 	}
 }
 
@@ -250,37 +305,50 @@ func (id *Identifier) windowAggregateFor(t time.Time, st *event.Story) *windowAg
 		half = time.Nanosecond
 	}
 	bucket := t.UnixNano() / int64(half)
-	if agg := id.winCache[st.ID]; agg != nil && agg.bucket == bucket && agg.version == st.Len() {
+	agg := id.winCache[st.ID]
+	if agg != nil && agg.bucket == bucket && agg.gen == st.Gen() {
+		if len(agg.centroid) == 0 && len(agg.ents) == 0 {
+			return nil // cached empty window
+		}
 		return agg
+	}
+	if agg == nil {
+		agg = &windowAggregate{}
+		id.winCache[st.ID] = agg
 	}
 	mid := time.Unix(0, bucket*int64(half)+int64(half)/2).UTC()
 	pad := id.cfg.Window + id.cfg.Window/4
-	centroid, ents := st.WindowedCentroid(mid.Add(-pad), mid.Add(pad))
-	if len(centroid) == 0 && len(ents) == 0 {
+	// Rebuild into the stale aggregate's buffers: bucket advances are the
+	// common case on a near-chronological stream, and reusing the arrays
+	// makes the rebuild allocation-free in steady state.
+	agg.centroid, agg.ents = st.AppendWindowedCentroidIDs(mid.Add(-pad), mid.Add(pad), agg.centroid[:0], agg.ents[:0])
+	agg.bucket = bucket
+	agg.gen = st.Gen()
+	agg.norm = vocab.WeightNorm(agg.centroid)
+	if len(agg.centroid) == 0 && len(agg.ents) == 0 {
 		return nil
 	}
-	var cnorm float64
-	for _, w := range centroid {
-		cnorm += w * w
-	}
-	agg := &windowAggregate{
-		bucket:   bucket,
-		version:  st.Len(),
-		centroid: centroid,
-		ents:     ents,
-		norm:     sqrt(cnorm),
-	}
-	id.winCache[st.ID] = agg
 	return agg
 }
 
 // nearestTimestamp returns the story snippet timestamp closest to t.
+// Manual binary search: this sits inside the per-candidate scoring loop
+// and must not allocate a search closure.
 func nearestTimestamp(st *event.Story, t time.Time) time.Time {
 	n := len(st.Snippets)
 	if n == 0 {
 		return t
 	}
-	i := sort.Search(n, func(i int) bool { return !st.Snippets[i].Timestamp.Before(t) })
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if st.Snippets[mid].Timestamp.Before(t) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo
 	switch {
 	case i == 0:
 		return st.Snippets[0].Timestamp
@@ -363,44 +431,53 @@ func (id *Identifier) Move(snID event.SnippetID, to event.StoryID) bool {
 // highly overlapping between a story and its snippets — rather than the
 // description vocabulary, whose union grows with story length and would
 // drive the snippet-vs-story Jaccard (and hence LSH recall) toward zero.
-// Entity-free snippets fall back to description tokens so they still
-// sketch to something.
-func snippetElems(s *event.Snippet) []string {
+// foldSnippetElems folds s's sketch elements into sig and reports whether
+// the signature changed. Entity-free snippets fall back to description
+// tokens so they still sketch to something. Elements are hashed in place
+// (sketch.HashElem) rather than materialised as tagged strings — this runs
+// per event on the sketch-index path and must not allocate.
+func (id *Identifier) foldSnippetElems(sig sketch.Signature, s *event.Snippet) bool {
+	changed := false
 	if len(s.Entities) > 0 {
-		elems := make([]string, len(s.Entities))
-		for i, e := range s.Entities {
-			elems[i] = "e:" + string(e)
+		for _, e := range s.Entities {
+			if id.hasher.UpdateHash(sig, sketch.HashElem('e', string(e))) {
+				changed = true
+			}
 		}
-		return elems
+		return changed
 	}
-	elems := make([]string, len(s.Terms))
-	for i, t := range s.Terms {
-		elems[i] = "t:" + t.Token
+	for _, t := range s.Terms {
+		if id.hasher.UpdateHash(sig, sketch.HashElem('t', t.Token)) {
+			changed = true
+		}
 	}
-	return elems
+	return changed
 }
 
-func storyElems(st *event.Story) []string {
+// foldStoryElems folds the story's aggregate elements into sig.
+func (id *Identifier) foldStoryElems(sig sketch.Signature, st *event.Story) {
 	if len(st.EntityFreq) > 0 {
-		elems := make([]string, 0, len(st.EntityFreq))
-		for e := range st.EntityFreq {
-			elems = append(elems, "e:"+string(e))
+		for _, ec := range st.EntityFreq {
+			id.hasher.UpdateHash(sig, sketch.HashElem('e', vocab.Entities.String(ec.ID)))
 		}
-		return elems
+		return
 	}
-	elems := make([]string, 0, len(st.Centroid))
-	for tok := range st.Centroid {
-		elems = append(elems, "t:"+tok)
+	for _, tw := range st.Centroid {
+		id.hasher.UpdateHash(sig, sketch.HashElem('t', vocab.Terms.String(tw.ID)))
 	}
-	return elems
 }
 
 func (id *Identifier) indexStory(st *event.Story) {
 	if id.lsh == nil {
 		return
 	}
-	sig := id.hasher.Sign(storyElems(st))
-	id.sigs[st.ID] = sig
+	sig := id.sigs[st.ID]
+	if sig == nil {
+		sig = make(sketch.Signature, id.hasher.Length())
+		id.sigs[st.ID] = sig
+	}
+	sketch.ResetSignature(sig)
+	id.foldStoryElems(sig, st)
 	id.lsh.Add(uint64(st.ID), sig)
 }
 
@@ -414,9 +491,13 @@ func (id *Identifier) updateSketch(sid event.StoryID, s *event.Snippet) {
 		return
 	}
 	// MinHash is a running minimum: folding the new snippet's elements in
-	// is equivalent to re-signing the union.
-	id.hasher.Update(sig, snippetElems(s))
-	id.lsh.Add(uint64(sid), sig)
+	// is equivalent to re-signing the union. When the fold leaves the
+	// signature unchanged — the common case once a story's element set has
+	// converged — the index's buckets are still exact and re-adding would
+	// only churn them.
+	if id.foldSnippetElems(sig, s) {
+		id.lsh.Add(uint64(sid), sig)
+	}
 }
 
 func (id *Identifier) reindexStory(st *event.Story) {

@@ -67,17 +67,18 @@ func checkInvariants(t *testing.T, seed int64, cfg Config) bool {
 					centroid[tm.Token] += tm.Weight
 				}
 			}
-			if len(entFreq) != len(st.EntityFreq) {
+			gotFreq, gotCen := st.EntityFreqMap(), st.CentroidMap()
+			if len(entFreq) != len(gotFreq) {
 				t.Logf("seed %d: story %d entity aggregate drift", seed, st.ID)
 				return false
 			}
 			for e, c := range entFreq {
-				if st.EntityFreq[e] != c {
+				if gotFreq[e] != c {
 					return false
 				}
 			}
 			for tok, w := range centroid {
-				if d := st.Centroid[tok] - w; d > 1e-9 || d < -1e-9 {
+				if d := gotCen[tok] - w; d > 1e-9 || d < -1e-9 {
 					t.Logf("seed %d: story %d centroid drift on %s", seed, st.ID, tok)
 					return false
 				}

@@ -86,51 +86,64 @@ func (id *Identifier) repairSplits() {
 	}
 }
 
+// ufFind is union-find lookup with path halving over a parent slice.
+func ufFind(parent []int, x int) int {
+	for parent[x] != x {
+		parent[x] = parent[parent[x]]
+		x = parent[x]
+	}
+	return x
+}
+
 // components builds the windowed similarity graph over the story's
-// snippets and returns its connected components.
+// snippets and returns its connected components, or nil when the story is
+// fully connected. Repair runs this for every sufficiently large story on
+// every pass, and almost all stories are NOT split — so the common path
+// must not allocate: the union-find scratch lives on the identifier and
+// the per-component slices are only built once a split is certain.
 func (id *Identifier) components(st *event.Story) [][]*event.Snippet {
 	n := st.Len()
-	parent := make([]int, n)
+	if cap(id.ufScratch) < n {
+		id.ufScratch = make([]int, n)
+	}
+	parent := id.ufScratch[:n]
 	for i := range parent {
 		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(a, b int) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
-		}
 	}
 	sns := st.Snippets // chronological
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n && j <= i+neighborSpan; j++ {
 			if similarity.Snippets(sns[i], sns[j], id.cfg.TemporalScale, splitWeights) >= id.cfg.SplitThreshold {
-				union(i, j)
+				if ra, rb := ufFind(parent, i), ufFind(parent, j); ra != rb {
+					parent[ra] = rb
+				}
 			}
 		}
 	}
-	groups := make(map[int][]*event.Snippet)
+	roots := 0
+	for i := range parent {
+		if ufFind(parent, i) == i {
+			roots++
+		}
+	}
+	if roots < 2 {
+		return nil
+	}
+	groups := make(map[int][]*event.Snippet, roots)
 	for i, sn := range sns {
-		r := find(i)
+		r := ufFind(parent, i)
 		groups[r] = append(groups[r], sn)
 	}
 	out := make([][]*event.Snippet, 0, len(groups))
 	// Deterministic order: by first snippet ID.
-	roots := make([]int, 0, len(groups))
+	order := make([]int, 0, len(groups))
 	for r := range groups {
-		roots = append(roots, r)
+		order = append(order, r)
 	}
-	sort.Slice(roots, func(i, j int) bool {
-		return groups[roots[i]][0].ID < groups[roots[j]][0].ID
+	sort.Slice(order, func(i, j int) bool {
+		return groups[order[i]][0].ID < groups[order[j]][0].ID
 	})
-	for _, r := range roots {
+	for _, r := range order {
 		out = append(out, groups[r])
 	}
 	return out

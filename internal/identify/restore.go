@@ -45,13 +45,12 @@ func Restore(source event.SourceID, cfg Config, alloc *IDAlloc,
 			id.stories[sid] = st
 			id.order = append(id.order, sid)
 		}
-		st.Add(sn)
+		st.Add(sn) // interns sn as a side effect
 		id.assign[sn.ID] = sid
 		id.stats.Processed++
 		if cfg.UseEntityIDF {
-			for _, e := range sn.Entities {
-				id.entCount[e]++
-				id.entTotal++
+			for _, e := range sn.EntityIDs {
+				id.noteEntity(e)
 			}
 		}
 		if sid > maxStory {

@@ -6,6 +6,7 @@
 package server
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/event"
@@ -114,11 +115,22 @@ func integratedView(is *event.IntegratedStory, detail bool) IntegratedView {
 	for _, s := range is.Sources() {
 		v.Sources = append(v.Sources, string(s))
 	}
-	ef := is.EntityFreq()
 	// Top entities by count.
-	tmp := event.NewStory(0, "aggregate")
-	tmp.EntityFreq = ef
-	for _, ec := range tmp.TopEntities(10) {
+	ef := is.EntityFreq()
+	top := make([]event.EntityCount, 0, len(ef))
+	for e, c := range ef {
+		top = append(top, event.EntityCount{Entity: e, Count: c})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].Count != top[j].Count {
+			return top[i].Count > top[j].Count
+		}
+		return top[i].Entity < top[j].Entity
+	})
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	for _, ec := range top {
 		v.Entities = append(v.Entities, EntityCountView{string(ec.Entity), ec.Count})
 	}
 	if detail {

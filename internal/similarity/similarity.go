@@ -340,31 +340,9 @@ func SnippetStoryW(s *event.Snippet, entities map[event.Entity]int,
 // As in SnippetStory, components with no evidence on either side are
 // dropped and the weights renormalised.
 func Snippets(a, b *event.Snippet, scale time.Duration, w Weights) float64 {
-	we := adaptive(w,
-		len(a.Entities) > 0 && len(b.Entities) > 0,
-		len(a.Terms) > 0 && len(b.Terms) > 0)
-	// Entity Jaccard over two sorted slices.
-	inter, i, j := 0, 0, 0
-	for i < len(a.Entities) && j < len(b.Entities) {
-		switch {
-		case a.Entities[i] == b.Entities[j]:
-			inter++
-			i++
-			j++
-		case a.Entities[i] < b.Entities[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	var je float64
-	if union := len(a.Entities) + len(b.Entities) - inter; union > 0 {
-		je = float64(inter) / float64(union)
-	}
-	sim := we.Entity * je
-	sim += we.Description * cosineSortedTerms(a.Terms, b.Terms)
-	sim += we.Temporal * TemporalDecay(a.Timestamp, b.Timestamp, scale)
-	return sim
+	a.EnsureInterned()
+	b.EnsureInterned()
+	return SnippetsIDs(a, b, scale, w)
 }
 
 // cosineSortedTerms computes cosine similarity over two token-sorted term

@@ -169,8 +169,8 @@ func TestSnippetStoryScore(t *testing.T) {
 
 	w := DefaultWeights()
 	scale := 3 * 24 * time.Hour
-	sm := SnippetStory(matching, st.EntityFreq, st.Centroid, st.CentroidNorm(), day(18), scale, w)
-	su := SnippetStory(unrelated, st.EntityFreq, st.Centroid, st.CentroidNorm(), day(18), scale, w)
+	sm := SnippetStoryIDs(matching, st.EntityFreq, st.Centroid, st.CentroidNorm(), day(18), scale, w, nil)
+	su := SnippetStoryIDs(unrelated, st.EntityFreq, st.Centroid, st.CentroidNorm(), day(18), scale, w, nil)
 	if !(sm > su) {
 		t.Fatalf("matching snippet (%g) must outscore unrelated (%g)", sm, su)
 	}
@@ -373,13 +373,13 @@ func TestAdaptiveWeighting(t *testing.T) {
 	noEnt := &event.Snippet{ID: 2, Source: "s", Timestamp: day(10),
 		Terms: []event.Term{{Token: "x", Weight: 1}}}
 	noEnt.Normalize()
-	got := SnippetStory(noEnt, st.EntityFreq, st.Centroid, st.CentroidNorm(), day(10), scale, w)
+	got := SnippetStoryIDs(noEnt, st.EntityFreq, st.Centroid, st.CentroidNorm(), day(10), scale, w, nil)
 	if got < 0.95 {
 		t.Fatalf("entity-less perfect match scored %g", got)
 	}
 	// Snippet with no terms either: only temporal remains.
 	bare := &event.Snippet{ID: 3, Source: "s", Timestamp: day(10)}
-	got = SnippetStory(bare, st.EntityFreq, st.Centroid, st.CentroidNorm(), day(10), scale, w)
+	got = SnippetStoryIDs(bare, st.EntityFreq, st.Centroid, st.CentroidNorm(), day(10), scale, w, nil)
 	if math.Abs(got-1) > 1e-9 {
 		t.Fatalf("temporal-only match scored %g", got)
 	}

@@ -21,8 +21,8 @@ type StoryConfig struct {
 	// description component (0..1).
 	EvolutionWeight float64
 	// EntityWeight optionally weights entities in the Jaccard component
-	// (nil = uniform).
-	EntityWeight EntityWeighter
+	// (nil = uniform), keyed by interned entity symbol.
+	EntityWeight IDWeighter
 }
 
 // DefaultStoryConfig returns the configuration used by the demo system.
@@ -46,13 +46,13 @@ func Stories(a, b *event.Story, cfg StoryConfig) float64 {
 	}
 	w := cfg.Weights.Normalized()
 
-	content := CosineTermsNorm(a.Centroid, b.Centroid, b.CentroidNorm())
+	content := CosineIDsNorm(a.Centroid, a.CentroidNorm(), b.Centroid, b.CentroidNorm())
 	if cfg.EvolutionBuckets > 1 && cfg.EvolutionWeight > 0 {
 		evo := evolutionSimilarity(a, b, cfg.EvolutionBuckets)
 		content = (1-cfg.EvolutionWeight)*content + cfg.EvolutionWeight*evo
 	}
 
-	sim := w.Entity * WeightedJaccardEntitySets(a.EntityFreq, b.EntityFreq, cfg.EntityWeight)
+	sim := w.Entity * WeightedJaccardIDSets(a.EntityFreq, b.EntityFreq, cfg.EntityWeight)
 	sim += w.Description * content
 	sim += w.Temporal * GapDecay(extentGap(a, b), cfg.GapScale)
 	return sim

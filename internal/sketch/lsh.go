@@ -21,6 +21,11 @@ type LSH struct {
 	mu      sync.RWMutex
 	buckets []map[uint64][]uint64 // per band: band-hash -> item keys
 	sigs    map[uint64]Signature  // item key -> current signature
+	// free recycles emptied bucket slices. Incremental signature updates
+	// re-add an item with fresh band hashes on every event, draining one
+	// set of buckets and filling another; without recycling, each re-add
+	// allocates bands-many single-element slices.
+	free [][]uint64
 }
 
 // NewLSH creates an index for signatures of length bands*rows.
@@ -51,14 +56,28 @@ func (l *LSH) Add(key uint64, sig Signature) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, ok := l.sigs[key]; ok {
+	var own Signature
+	if old, ok := l.sigs[key]; ok {
 		l.removeLocked(key)
+		// Re-adds refresh a story's signature on every snippet; reuse the
+		// previous copy's backing array instead of cloning each time.
+		if len(old) == len(sig) {
+			copy(old, sig)
+			own = old
+		}
 	}
-	own := sig.Clone()
+	if own == nil {
+		own = sig.Clone()
+	}
 	l.sigs[key] = own
 	for band := 0; band < l.bands; band++ {
 		h := hashBand(own, band*l.rows, (band+1)*l.rows)
-		l.buckets[band][h] = append(l.buckets[band][h], key)
+		bucket := l.buckets[band][h]
+		if bucket == nil && len(l.free) > 0 {
+			bucket = l.free[len(l.free)-1]
+			l.free = l.free[:len(l.free)-1]
+		}
+		l.buckets[band][h] = append(bucket, key)
 	}
 	return nil
 }
@@ -88,6 +107,7 @@ func (l *LSH) removeLocked(key uint64) {
 		}
 		if len(bucket) == 0 {
 			delete(l.buckets[band], h)
+			l.free = append(l.free, bucket[:0])
 		} else {
 			l.buckets[band][h] = bucket
 		}
@@ -99,20 +119,33 @@ func (l *LSH) removeLocked(key uint64) {
 // given signature, excluding excludeKey (pass ^uint64(0) to exclude
 // nothing). The result order is unspecified but duplicate-free.
 func (l *LSH) Query(sig Signature, excludeKey uint64) []uint64 {
+	return l.QueryAppend(sig, excludeKey, nil)
+}
+
+// QueryAppend is Query appending into out (capacity reused), for callers
+// that query per event and want an allocation-free steady state.
+// Deduplication is a linear scan of the appended region: candidate sets
+// are small (a few keys per colliding band), where a scan beats a map.
+func (l *LSH) QueryAppend(sig Signature, excludeKey uint64, out []uint64) []uint64 {
 	if len(sig) != l.bands*l.rows {
-		return nil
+		return out
 	}
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	seen := make(map[uint64]bool)
-	var out []uint64
+	base := len(out)
 	for band := 0; band < l.bands; band++ {
 		h := hashBand(sig, band*l.rows, (band+1)*l.rows)
+	next:
 		for _, k := range l.buckets[band][h] {
-			if k != excludeKey && !seen[k] {
-				seen[k] = true
-				out = append(out, k)
+			if k == excludeKey {
+				continue
 			}
+			for _, prev := range out[base:] {
+				if prev == k {
+					continue next
+				}
+			}
+			out = append(out, k)
 		}
 	}
 	return out

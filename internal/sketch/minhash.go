@@ -9,9 +9,7 @@
 package sketch
 
 import (
-	"encoding/binary"
 	"errors"
-	"hash/fnv"
 	"math"
 )
 
@@ -108,6 +106,31 @@ func (m *MinHasher) Update(sig Signature, elems []string) {
 	}
 }
 
+// UpdateHash folds one pre-hashed element (see HashElem) into sig and
+// reports whether any position changed. A running minimum converges as a
+// set grows, so callers maintaining an index can skip re-bucketing when
+// an update leaves the signature untouched — the common case for mature
+// stories.
+func (m *MinHasher) UpdateHash(sig Signature, h uint64) bool {
+	changed := false
+	for i := range sig {
+		v := m.a[i]*h + m.b[i]
+		if v < sig[i] {
+			sig[i] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ResetSignature fills sig with the empty-set signature (all-max), for
+// reuse with UpdateHash/SignInto.
+func ResetSignature(sig Signature) {
+	for i := range sig {
+		sig[i] = math.MaxUint64
+	}
+}
+
 // Merge combines two signatures element-wise (the signature of the union
 // of the underlying sets). dst and src must have equal length.
 func Merge(dst, src Signature) {
@@ -139,19 +162,50 @@ func (s Signature) Clone() Signature { return append(Signature(nil), s...) }
 // ErrSignatureLength is returned when signatures of mismatched length meet.
 var ErrSignatureLength = errors.New("sketch: signature length mismatch")
 
+// FNV-64a, inlined: the stdlib hash.Hash64 costs one object plus one
+// []byte conversion per element, which dominated the sketch-index
+// allocation profile. The values are identical to hash/fnv's.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 func fnv64(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return h.Sum64()
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
 }
 
-// hashBand hashes one band of a signature to a bucket key.
-func hashBand(sig Signature, start, end int) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	for i := start; i < end; i++ {
-		binary.LittleEndian.PutUint64(buf[:], sig[i])
-		h.Write(buf[:])
+// HashElem returns the FNV-64a hash of the element "<kind>:<s>" without
+// materialising the tagged string. Callers that maintain signatures
+// incrementally use it with UpdateHash to sketch straight from their own
+// representation (e.g. interned vocabulary IDs) with zero garbage.
+func HashElem(kind byte, s string) uint64 {
+	h := uint64(fnvOffset64)
+	h ^= uint64(kind)
+	h *= fnvPrime64
+	h ^= uint64(':')
+	h *= fnvPrime64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
 	}
-	return h.Sum64()
+	return h
+}
+
+// hashBand hashes one band of a signature to a bucket key (little-endian
+// byte order, matching the previous encoding/binary implementation).
+func hashBand(sig Signature, start, end int) uint64 {
+	h := uint64(fnvOffset64)
+	for i := start; i < end; i++ {
+		v := sig[i]
+		for b := 0; b < 64; b += 8 {
+			h ^= uint64(byte(v >> b))
+			h *= fnvPrime64
+		}
+	}
+	return h
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/align"
 	"repro/internal/event"
 	"repro/internal/similarity"
+	"repro/internal/vocab"
 )
 
 // Profile is one source's reporting profile.
@@ -115,8 +116,8 @@ func Build(res *align.Result, cfg Config) []Profile {
 			if multi {
 				a.multi[is.ID] = true
 			}
-			for e := range m.EntityFreq {
-				a.entities[e] = true
+			for _, ec := range m.EntityFreq {
+				a.entities[event.Entity(vocab.Entities.String(ec.ID))] = true
 			}
 			for _, sn := range m.Snippets {
 				if is.Roles[sn.ID] == event.RoleEnriching {

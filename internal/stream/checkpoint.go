@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"repro/internal/event"
 	"repro/internal/identify"
@@ -41,9 +42,17 @@ var ErrCheckpointStale = errors.New("stream: checkpoint stale")
 func (e *Engine) Checkpoint() *Checkpoint {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	cp := &Checkpoint{Version: checkpointVersion, Sources: make(map[event.SourceID]SourceCheckpoint, len(e.identifiers))}
-	for src, id := range e.identifiers {
-		cp.Sources[src] = SourceCheckpoint{Assign: id.Assignments()}
+	e.regMu.RLock()
+	shards := make(map[event.SourceID]*shard, len(e.shards))
+	for src, sh := range e.shards {
+		shards[src] = sh
+	}
+	e.regMu.RUnlock()
+	cp := &Checkpoint{Version: checkpointVersion, Sources: make(map[event.SourceID]SourceCheckpoint, len(shards))}
+	for src, sh := range shards {
+		sh.mu.Lock()
+		cp.Sources[src] = SourceCheckpoint{Assign: sh.id.Assignments()}
+		sh.mu.Unlock()
 	}
 	return cp
 }
@@ -95,14 +104,14 @@ func RestoreEngine(opts Options, snippets []*event.Snippet, cp *Checkpoint) (*En
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCheckpointStale, err)
 		}
-		e.identifiers[src] = id
+		sh := &shard{id: id}
 		if opts.DedupCapacity > 0 {
-			bloom := sketch.NewBloom(opts.DedupCapacity, 0.001)
+			sh.dedup = sketch.NewBloom(opts.DedupCapacity, 0.001)
 			for _, sn := range bySource[src] {
-				bloom.Add(fmt.Sprintf("%d", sn.ID))
+				sh.dedup.Add(strconv.FormatUint(uint64(sn.ID), 10))
 			}
-			e.dedup[src] = bloom
 		}
+		e.shards[src] = sh
 		for _, st := range id.Stories() {
 			e.dirty[st.ID] = true
 			e.storyOwner[st.ID] = src
@@ -121,7 +130,7 @@ func RestoreEngine(opts Options, snippets []*event.Snippet, cp *Checkpoint) (*En
 		}
 	}
 	metRestoreOK.Inc()
-	metSourcesGauge.Set(int64(len(e.identifiers)))
+	metSourcesGauge.Set(int64(len(e.shards)))
 	metDirtyGauge.Set(int64(len(e.dirty)))
 	return e, nil
 }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -60,19 +61,44 @@ var (
 	ErrDuplicate = errors.New("stream: duplicate snippet delivery")
 )
 
-// Engine is the live StoryPivot pipeline. It is safe for concurrent use;
-// internally a single mutex serialises state changes (ingest latency is
-// micro-seconds, so a finer scheme is not warranted — the paper's 10M
-// corpus processes in minutes through this path).
+// shard is one source's slice of the engine: the identifier and the
+// duplicate-delivery filter, guarded by their own mutex so sources ingest
+// in parallel. Identification is per-source by construction (paper §2.2),
+// which makes the source the natural sharding key: two snippets of
+// different sources share no identifier state at all.
+type shard struct {
+	mu    sync.Mutex
+	id    *identify.Identifier
+	dedup *sketch.Bloom
+	// gone is set (under mu) when RemoveSource detaches the shard; an
+	// Ingest that raced the removal re-resolves the registry instead of
+	// processing into a dead identifier.
+	gone bool
+}
+
+// Engine is the live StoryPivot pipeline. It is safe for concurrent use.
+// Ingestion is sharded per source: each source's identifier and dedup
+// filter sit behind a per-shard mutex, so a multi-source feed ingests on
+// all cores; only the narrow shared section (aligner, dirty set, dataset
+// statistics) is serialised behind the engine mutex. Lock order, for any
+// path that holds more than one: mu → regMu → shard.mu.
 type Engine struct {
 	opts Options
 
-	mu          sync.Mutex
-	alloc       identify.IDAlloc
-	identifiers map[event.SourceID]*identify.Identifier
-	dedup       map[event.SourceID]*sketch.Bloom
-	aligner     *align.Aligner
-	dirty       map[event.StoryID]bool
+	// regMu guards the shard registry. The common Ingest path takes only
+	// the read lock; the write lock is held for source add/remove.
+	regMu  sync.RWMutex
+	shards map[event.SourceID]*shard
+
+	// alloc hands out globally unique story IDs; it is internally atomic
+	// and shared by all shards without locking.
+	alloc identify.IDAlloc
+
+	// mu guards the shared section: aligner, dirty bookkeeping, the cached
+	// result, and dataset statistics.
+	mu      sync.Mutex
+	aligner *align.Aligner
+	dirty   map[event.StoryID]bool
 	// storyOwner tracks which source produced a story so removals can
 	// clean the aligner.
 	storyOwner map[event.StoryID]event.SourceID
@@ -96,13 +122,12 @@ func NewEngine(opts Options) *Engine {
 		panic(err) // precision 12 is statically valid
 	}
 	return &Engine{
-		opts:        opts,
-		identifiers: make(map[event.SourceID]*identify.Identifier),
-		dedup:       make(map[event.SourceID]*sketch.Bloom),
-		aligner:     align.NewAligner(opts.Align),
-		dirty:       make(map[event.StoryID]bool),
-		storyOwner:  make(map[event.StoryID]event.SourceID),
-		entHLL:      hll,
+		opts:       opts,
+		shards:     make(map[event.SourceID]*shard),
+		aligner:    align.NewAligner(opts.Align),
+		dirty:      make(map[event.StoryID]bool),
+		storyOwner: make(map[event.StoryID]event.SourceID),
+		entHLL:     hll,
 	}
 }
 
@@ -110,22 +135,35 @@ func NewEngine(opts Options) *Engine {
 // Snippets for unregistered sources are auto-registered by Ingest, so
 // explicit AddSource is only needed to pre-create empty sources.
 func (e *Engine) AddSource(src event.SourceID) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.addSourceLocked(src)
+	e.shard(src)
 }
 
-func (e *Engine) addSourceLocked(src event.SourceID) *identify.Identifier {
-	if id, ok := e.identifiers[src]; ok {
-		return id
+// lookupShard returns the source's shard or nil, taking only the registry
+// read lock.
+func (e *Engine) lookupShard(src event.SourceID) *shard {
+	e.regMu.RLock()
+	sh := e.shards[src]
+	e.regMu.RUnlock()
+	return sh
+}
+
+// shard returns the source's shard, creating it on first sight.
+func (e *Engine) shard(src event.SourceID) *shard {
+	if sh := e.lookupShard(src); sh != nil {
+		return sh
 	}
-	id := identify.New(src, e.opts.Identify, &e.alloc)
-	e.identifiers[src] = id
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	if sh := e.shards[src]; sh != nil {
+		return sh
+	}
+	sh := &shard{id: identify.New(src, e.opts.Identify, &e.alloc)}
 	if e.opts.DedupCapacity > 0 {
-		e.dedup[src] = sketch.NewBloom(e.opts.DedupCapacity, 0.001)
+		sh.dedup = sketch.NewBloom(e.opts.DedupCapacity, 0.001)
 	}
-	metSourcesGauge.Set(int64(len(e.identifiers)))
-	return id
+	e.shards[src] = sh
+	metSourcesGauge.Set(int64(len(e.shards)))
+	return sh
 }
 
 // RemoveSource detaches a source: its stories leave the aligner and the
@@ -135,31 +173,38 @@ func (e *Engine) addSourceLocked(src event.SourceID) *identify.Identifier {
 func (e *Engine) RemoveSource(src event.SourceID) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	id, ok := e.identifiers[src]
-	if !ok {
+	e.regMu.Lock()
+	sh := e.shards[src]
+	if sh == nil {
+		e.regMu.Unlock()
 		return false
 	}
-	for _, st := range id.Stories() {
-		e.aligner.Remove(st.ID)
-		delete(e.dirty, st.ID)
-		delete(e.storyOwner, st.ID)
+	delete(e.shards, src)
+	metSourcesGauge.Set(int64(len(e.shards)))
+	e.regMu.Unlock()
+	sh.mu.Lock()
+	sh.gone = true
+	sh.mu.Unlock()
+	for sid, owner := range e.storyOwner {
+		if owner == src {
+			e.aligner.Remove(sid)
+			delete(e.dirty, sid)
+			delete(e.storyOwner, sid)
+		}
 	}
-	delete(e.identifiers, src)
-	delete(e.dedup, src)
 	e.result = nil
-	metSourcesGauge.Set(int64(len(e.identifiers)))
 	metDirtyGauge.Set(int64(len(e.dirty)))
 	return true
 }
 
 // Sources returns the registered sources, sorted.
 func (e *Engine) Sources() []event.SourceID {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]event.SourceID, 0, len(e.identifiers))
-	for src := range e.identifiers {
+	e.regMu.RLock()
+	out := make([]event.SourceID, 0, len(e.shards))
+	for src := range e.shards {
 		out = append(out, src)
 	}
+	e.regMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -168,24 +213,39 @@ func (e *Engine) Sources() []event.SourceID {
 // touched story dirty for the next alignment. Unknown sources are
 // registered on first sight. Returns the per-source story the snippet
 // joined.
+//
+// Ingest for different sources runs in parallel: identification — the
+// expensive part — happens under the source's shard lock only; the engine
+// mutex is taken afterwards just for the dirty-set and statistics updates.
 func (e *Engine) Ingest(s *event.Snippet) (event.StoryID, error) {
 	if err := s.Validate(); err != nil {
 		metInvalid.Inc()
 		return 0, err
 	}
 	span := metIngestLat.Start()
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	id := e.addSourceLocked(s.Source)
-	if bloom := e.dedup[s.Source]; bloom != nil {
-		key := fmt.Sprintf("%d", s.ID)
-		if bloom.Contains(key) {
+	sh := e.shard(s.Source)
+	sh.mu.Lock()
+	for sh.gone {
+		// Raced with RemoveSource after the registry lookup: the shard we
+		// hold is detached, so re-resolve (auto-registering a fresh one).
+		sh.mu.Unlock()
+		sh = e.shard(s.Source)
+		sh.mu.Lock()
+	}
+	if sh.dedup != nil {
+		key := strconv.FormatUint(uint64(s.ID), 10)
+		if sh.dedup.Contains(key) {
+			sh.mu.Unlock()
 			metDuplicates.Inc()
 			return 0, fmt.Errorf("%w: snippet %d", ErrDuplicate, s.ID)
 		}
-		bloom.Add(key)
+		sh.dedup.Add(key)
 	}
-	sid := id.Process(s)
+	sid := sh.id.Process(s)
+	sh.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.dirty[sid] = true
 	e.storyOwner[sid] = s.Source
 	e.ingested++
@@ -225,6 +285,58 @@ func (e *Engine) IngestAll(snippets []*event.Snippet) int {
 	return n
 }
 
+// snapshotStories returns consistent snapshots of one source's live
+// stories, taken under the shard lock.
+func (e *Engine) snapshotStories(src event.SourceID) []*event.Story {
+	sh := e.lookupShard(src)
+	if sh == nil {
+		return nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.gone {
+		return nil
+	}
+	live := sh.id.Stories()
+	out := make([]*event.Story, len(live))
+	for i, st := range live {
+		out[i] = st.Snapshot()
+	}
+	return out
+}
+
+// snapshotStory returns a snapshot of one story, or nil if it no longer
+// exists.
+func (e *Engine) snapshotStory(src event.SourceID, sid event.StoryID) *event.Story {
+	sh := e.lookupShard(src)
+	if sh == nil {
+		return nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.gone {
+		return nil
+	}
+	st := sh.id.Story(sid)
+	if st == nil {
+		return nil
+	}
+	return st.Snapshot()
+}
+
+// lockedMover applies refinement moves under the shard lock, so refine
+// passes stay correct while other sources keep ingesting.
+type lockedMover struct{ sh *shard }
+
+func (m lockedMover) Move(snID event.SnippetID, to event.StoryID) bool {
+	m.sh.mu.Lock()
+	defer m.sh.mu.Unlock()
+	if m.sh.gone {
+		return false
+	}
+	return m.sh.id.Move(snID, to)
+}
+
 // Align re-aligns the dirty stories and returns the fresh integrated
 // result. Repair inside identifiers may have split/merged stories since
 // the last call; stories that vanished are removed from the aligner.
@@ -242,7 +354,10 @@ func (e *Engine) alignLocked() *align.Result {
 	// Reconcile: identifier repair can retire story IDs (merge/split) at
 	// any time, so dirty bookkeeping is advisory; we resync the touched
 	// sources' full story sets, which is still far cheaper than global
-	// recomputation when few sources changed.
+	// recomputation when few sources changed. The aligner holds story
+	// *snapshots*, never live stories: concurrent shards keep mutating
+	// their stories while alignment runs, and the aligner must see a
+	// frozen, internally consistent view.
 	touchedSources := make(map[event.SourceID]bool)
 	for sid := range e.dirty {
 		if src, ok := e.storyOwner[sid]; ok {
@@ -250,12 +365,19 @@ func (e *Engine) alignLocked() *align.Result {
 		}
 	}
 	for src := range touchedSources {
-		id := e.identifiers[src]
-		if id == nil {
+		stories := e.snapshotStories(src)
+		if stories == nil {
+			// Source raced away (or was removed): drop its leftovers.
+			for sid, owner := range e.storyOwner {
+				if owner == src {
+					e.aligner.Remove(sid)
+					delete(e.storyOwner, sid)
+				}
+			}
 			continue
 		}
 		live := make(map[event.StoryID]bool)
-		for _, st := range id.Stories() {
+		for _, st := range stories {
 			live[st.ID] = true
 			e.aligner.Upsert(st)
 			e.storyOwner[st.ID] = src
@@ -272,10 +394,12 @@ func (e *Engine) alignLocked() *align.Result {
 	e.result = e.aligner.Result()
 
 	if e.opts.RefineOnAlign {
-		movers := make(map[event.SourceID]align.Mover, len(e.identifiers))
-		for src, id := range e.identifiers {
-			movers[src] = id
+		e.regMu.RLock()
+		movers := make(map[event.SourceID]align.Mover, len(e.shards))
+		for src, sh := range e.shards {
+			movers[src] = lockedMover{sh}
 		}
+		e.regMu.RUnlock()
 		if corr := align.Refine(e.result, movers, e.opts.Refine); len(corr) > 0 {
 			metRefineMoves.Add(uint64(len(corr)))
 			// Moves changed story contents; refresh and re-align once.
@@ -285,13 +409,11 @@ func (e *Engine) alignLocked() *align.Result {
 			}
 			for sid := range e.dirty {
 				if src, ok := e.storyOwner[sid]; ok {
-					if id := e.identifiers[src]; id != nil {
-						if st := id.Story(sid); st != nil {
-							e.aligner.Upsert(st)
-						} else {
-							e.aligner.Remove(sid)
-							delete(e.storyOwner, sid)
-						}
+					if st := e.snapshotStory(src, sid); st != nil {
+						e.aligner.Upsert(st)
+					} else {
+						e.aligner.Remove(sid)
+						delete(e.storyOwner, sid)
 					}
 				}
 			}
@@ -316,26 +438,18 @@ func (e *Engine) Result() *align.Result {
 // Stories returns the current per-source stories of one source, as
 // snapshots that stay consistent while ingestion continues.
 func (e *Engine) Stories(src event.SourceID) []*event.Story {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	id := e.identifiers[src]
-	if id == nil {
-		return nil
-	}
-	live := id.Stories()
-	out := make([]*event.Story, len(live))
-	for i, st := range live {
-		out[i] = st.Snapshot()
-	}
-	return out
+	return e.snapshotStories(src)
 }
 
 // Identifier exposes a source's identifier (primarily for the statistics
-// module and tests).
+// module and tests). Callers must not invoke it concurrently with
+// ingestion for the same source.
 func (e *Engine) Identifier(src event.SourceID) *identify.Identifier {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.identifiers[src]
+	sh := e.lookupShard(src)
+	if sh == nil {
+		return nil
+	}
+	return sh.id
 }
 
 // Ingested returns the number of accepted snippets.

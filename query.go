@@ -105,7 +105,7 @@ func Perspectives(is *IntegratedStory) map[SourceID]Perspective {
 		if p.topTerms == nil {
 			p.topTerms = map[string]float64{}
 		}
-		for tok, w := range m.Centroid {
+		for tok, w := range m.CentroidMap() {
 			p.topTerms[tok] += w
 		}
 		out[m.Source] = p

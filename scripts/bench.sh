@@ -1,0 +1,55 @@
+#!/bin/sh
+# bench.sh — run the Figure-7 identification benchmarks (E1: complete vs
+# temporal vs temporal+sketch) with allocation reporting and write the
+# results to BENCH_identify.json for regression tracking.
+#
+# Usage:
+#   scripts/bench.sh            # full run (benchtime from go defaults)
+#   scripts/bench.sh --smoke    # 1 iteration per benchmark (CI gate: the
+#                               # point is "still runs and reports", not
+#                               # stable numbers)
+#
+# Output: BENCH_identify.json in the repo root — one object per benchmark
+# with ns/op, B/op, allocs/op, and comparisons/op.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME=""
+OUT="BENCH_identify.json"
+if [ "${1:-}" = "--smoke" ]; then
+    BENCHTIME="-benchtime=1x"
+    OUT="BENCH_identify.smoke.json"
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+# shellcheck disable=SC2086  # BENCHTIME is deliberately word-split
+go test -run '^$' -bench 'BenchmarkE1_PerformanceVsEvents(Complete|Temporal|TemporalSketch)$' \
+    -benchmem $BENCHTIME . | tee "$TMP"
+
+# Parse "BenchmarkName-N  iters  123 ns/op  45 B/op  6 allocs/op  7 comparisons/op ..."
+# into JSON. Metrics appear as value/unit pairs after the iteration count.
+awk '
+/^BenchmarkE1_PerformanceVsEvents/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = bytes = allocs = cmps = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")          ns = $i
+        if ($(i + 1) == "B/op")           bytes = $i
+        if ($(i + 1) == "allocs/op")      allocs = $i
+        if ($(i + 1) == "comparisons/op") cmps = $i
+    }
+    rows[++n] = sprintf("  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"comparisons_per_op\": %s}", name, ns, bytes, allocs, cmps)
+}
+END {
+    print "["
+    for (i = 1; i <= n; i++) print rows[i] (i < n ? "," : "")
+    print "]"
+}
+' "$TMP" > "$OUT"
+
+echo "==> wrote $OUT"
+cat "$OUT"

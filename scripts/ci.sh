@@ -1,7 +1,9 @@
 #!/bin/sh
-# CI gate: build, vet, unit tests, then the full suite under the race
-# detector. Fails on the first broken step. Run from the repo root (the
-# script cd's there itself so it also works from hooks).
+# CI gate: build, vet, unit tests, the full suite under the race
+# detector, then a one-iteration smoke run of the Figure-7 benchmarks
+# (catches benchmark bit-rot; the numbers themselves are not gated).
+# Fails on the first broken step. Run from the repo root (the script
+# cd's there itself so it also works from hooks).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,5 +19,8 @@ go test ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> bench smoke (scripts/bench.sh --smoke)"
+./scripts/bench.sh --smoke
 
 echo "==> ci ok"
