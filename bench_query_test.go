@@ -1,0 +1,103 @@
+package storypivot
+
+// Query-serving benchmarks: the indexed path (internal/index) against
+// the legacy full-scan oracle on the same warm pipeline, at the E1
+// corpus scale. Each benchmark self-times every operation and reports
+// p50/p99 next to the usual ns/op; scripts/bench.sh turns the section
+// into BENCH_query.json (QPS + tail latency, indexed vs scan).
+//
+// Run with:
+//
+//	go test -run '^$' -bench 'BenchmarkQuery' -benchmem
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+var queryBench struct {
+	sync.Once
+	p        *Pipeline
+	entities []Entity
+	queries  []string
+}
+
+// queryBenchSetup builds one warm pipeline shared by every query
+// benchmark: E1-scale corpus ingested, aligned, and published to the
+// index. The panel skips the deliberate miss/empty probes of the
+// differential tests — benchmarks measure hit-bearing queries.
+func queryBenchSetup(b *testing.B) *Pipeline {
+	b.Helper()
+	queryBench.Do(func() {
+		c := corpusFor(b, 8000, 10, 1)
+		p, err := New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.IngestAll(c.Snippets)
+		p.Result()
+		queryBench.p = p
+		queryBench.entities = panelEntities(c, 6)[1:] // drop the planted miss
+		queryBench.queries = panelQueries(c, 8)[2:]   // drop miss and empty
+	})
+	return queryBench.p
+}
+
+// benchQuery times each operation individually so tail latency is
+// visible: ns/op hides the p99, which is what a demo front-end blocked
+// behind a full scan actually feels.
+func benchQuery(b *testing.B, run func(i int)) {
+	samples := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		run(i)
+		samples = append(samples, time.Since(t0))
+	}
+	b.StopTimer()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pct := func(q float64) float64 {
+		k := int(q * float64(len(samples)-1))
+		return float64(samples[k].Nanoseconds()) / 1e3
+	}
+	b.ReportMetric(pct(0.50), "p50_us")
+	b.ReportMetric(pct(0.99), "p99_us")
+}
+
+func BenchmarkQuerySearchIndexed(b *testing.B) {
+	p := queryBenchSetup(b)
+	qs := queryBench.queries
+	benchQuery(b, func(i int) { p.SearchN(qs[i%len(qs)], 0, 50) })
+}
+
+func BenchmarkQuerySearchScan(b *testing.B) {
+	p := queryBenchSetup(b)
+	qs := queryBench.queries
+	benchQuery(b, func(i int) { pageOf(p.scanSearch(qs[i%len(qs)]), 0, 50) })
+}
+
+func BenchmarkQueryEntityIndexed(b *testing.B) {
+	p := queryBenchSetup(b)
+	es := queryBench.entities
+	benchQuery(b, func(i int) { p.StoriesByEntityN(es[i%len(es)], 0, 50) })
+}
+
+func BenchmarkQueryEntityScan(b *testing.B) {
+	p := queryBenchSetup(b)
+	es := queryBench.entities
+	benchQuery(b, func(i int) { pageOf(p.scanStoriesByEntity(es[i%len(es)]), 0, 50) })
+}
+
+func BenchmarkQueryTimelineIndexed(b *testing.B) {
+	p := queryBenchSetup(b)
+	es := queryBench.entities
+	benchQuery(b, func(i int) { p.TimelineN(es[i%len(es)], 0, 50) })
+}
+
+func BenchmarkQueryTimelineScan(b *testing.B) {
+	p := queryBenchSetup(b)
+	es := queryBench.entities
+	benchQuery(b, func(i int) { pageOf(p.scanTimeline(es[i%len(es)]), 0, 50) })
+}

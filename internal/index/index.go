@@ -1,0 +1,375 @@
+// Package index is StoryPivot's incremental query-serving index: an
+// inverted view over the current alignment result that answers the
+// demo's exploration queries — free-text search, stories-by-entity, and
+// per-entity timelines (paper §4.2) — without scanning every integrated
+// story and without materialising map-form centroids per query.
+//
+// Three structures are maintained:
+//
+//   - entity postings: entity symbol → {story, mentionCount} list,
+//     backing StoriesByEntity ranking;
+//   - term postings: term symbol → {story, centroidWeight} list,
+//     backing ranked free-text Search;
+//   - timeline segments: entity symbol → time-bucketed chronological
+//     snippet runs, backing Timeline without walking unrelated stories.
+//
+// The index is updated by delta, never rebuilt: Publish diffs each fresh
+// alignment result against the entry table keyed on Story.Gen (the
+// mutation counter introduced for the windowed-aggregate cache). A story
+// whose generation is unchanged costs an O(1) position update; a changed
+// story tombstones its old postings in O(1) — the entry's generation
+// moves past them — and appends new ones. Stale postings are skipped by
+// readers and physically removed by the compactor once they exceed a
+// fraction of the live set.
+//
+// Reads run under an RWMutex read lock and never block each other;
+// Publish and sweeps take the write lock. Queries therefore never
+// contend with ingest shards — ingestion only touches the index when an
+// alignment pass publishes.
+package index
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/event"
+)
+
+// Writer is the narrow mutation interface through which the stream
+// engine feeds the index: every freshly computed alignment result —
+// whether triggered by ingest, auto-alignment, refinement moves, or
+// source removal — is published exactly once. *Index implements it.
+type Writer interface {
+	Publish(res *align.Result)
+}
+
+// Options configures an Index. The zero value selects defaults.
+type Options struct {
+	// TimelineBucket is the width of the timeline time partitions
+	// (default 72h).
+	TimelineBucket time.Duration
+	// SweepMinStale is the minimum number of tombstoned postings before
+	// a sweep is considered (default 64).
+	SweepMinStale int
+	// SweepRatio triggers a sweep when stale postings exceed this
+	// fraction of live postings (default 0.25).
+	SweepRatio float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TimelineBucket <= 0 {
+		o.TimelineBucket = defaultTimelineBucket
+	}
+	if o.SweepMinStale <= 0 {
+		o.SweepMinStale = 64
+	}
+	if o.SweepRatio <= 0 {
+		o.SweepRatio = 0.25
+	}
+	return o
+}
+
+// storyEntry is the per-story index record. The generation is the
+// liveness oracle for every posting of the story; pos locates the
+// integrated story the member currently belongs to (positions are
+// reassigned wholesale on every publish, so they are never stale).
+type storyEntry struct {
+	gen   uint64
+	pos   int32
+	npost int32 // postings written for this (story, gen): entity + term + timeline
+}
+
+// Index is the incrementally maintained read index. It is safe for
+// concurrent use: any number of readers proceed in parallel; Publish
+// and Sweep serialise behind the write lock.
+type Index struct {
+	opts        Options
+	bucketWidth time.Duration
+
+	mu         sync.RWMutex
+	stories    map[event.StoryID]*storyEntry
+	ents       map[uint32][]cpost
+	terms      map[uint32][]wpost
+	timelines  map[uint32]*timeline
+	integrated []*event.IntegratedStory
+
+	// livePosts/stalePosts track posting population for sweep pacing.
+	livePosts  int
+	stalePosts int
+
+	// dirtySegs collects timeline segments appended to during the
+	// in-progress publish; finishTimelines drains it.
+	dirtySegs []*tlSegment
+
+	epoch uint64
+
+	// Compactor lifecycle.
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
+}
+
+// New creates an empty index.
+func New(opts Options) *Index {
+	opts = opts.withDefaults()
+	return &Index{
+		opts:        opts,
+		bucketWidth: opts.TimelineBucket,
+		stories:     make(map[event.StoryID]*storyEntry),
+		ents:        make(map[uint32][]cpost),
+		terms:       make(map[uint32][]wpost),
+		timelines:   make(map[uint32]*timeline),
+		stopCh:      make(chan struct{}),
+	}
+}
+
+// Publish applies one alignment result to the index as a delta. Member
+// stories are diffed against the entry table by Story.Gen: unchanged
+// generations only refresh their integrated-story position; changed or
+// new stories rebuild their postings from the flat vocab vectors
+// (EntityFreq, Centroid, snippet EntityIDs); stories absent from the
+// result are tombstoned. Implements Writer.
+func (x *Index) Publish(res *align.Result) {
+	if res == nil {
+		return
+	}
+	span := metPublishLat.Start()
+	defer span.End()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.epoch++
+	metPublishes.Inc()
+
+	seen := make(map[event.StoryID]struct{}, len(x.stories))
+	var updated, skipped uint64
+	for pos, is := range res.Integrated {
+		for _, m := range is.Members {
+			seen[m.ID] = struct{}{}
+			e := x.stories[m.ID]
+			switch {
+			case e != nil && e.gen == m.Gen():
+				e.pos = int32(pos)
+				skipped++
+			case e != nil:
+				// Changed: the generation bump below invalidates every
+				// posting written for the old generation.
+				x.stalePosts += int(e.npost)
+				x.livePosts -= int(e.npost)
+				e.gen = m.Gen()
+				e.pos = int32(pos)
+				e.npost = x.addPostings(m)
+				updated++
+			default:
+				x.stories[m.ID] = &storyEntry{
+					gen:   m.Gen(),
+					pos:   int32(pos),
+					npost: x.addPostings(m),
+				}
+				updated++
+			}
+		}
+	}
+	var removed uint64
+	for id, e := range x.stories {
+		if _, ok := seen[id]; !ok {
+			x.stalePosts += int(e.npost)
+			x.livePosts -= int(e.npost)
+			delete(x.stories, id)
+			removed++
+		}
+	}
+	x.integrated = res.Integrated
+	x.finishTimelines()
+	if x.shouldSweepLocked() {
+		x.sweepLocked()
+	}
+
+	metStoriesUpdated.Add(updated)
+	metStoriesSkipped.Add(skipped)
+	metStoriesRemoved.Add(removed)
+	metStoriesGauge.Set(int64(len(x.stories)))
+	metLiveGauge.Set(int64(x.livePosts))
+	metStaleGauge.Set(int64(x.stalePosts))
+}
+
+// addPostings writes the story's postings under the given entry
+// generation and returns how many were written. Reads only the flat
+// interned vectors — never the map-form aggregates.
+func (x *Index) addPostings(st *event.Story) int32 {
+	gen := st.Gen()
+	n := 0
+	for _, ec := range st.EntityFreq {
+		x.ents[ec.ID] = append(x.ents[ec.ID], cpost{story: st.ID, gen: gen, n: ec.N})
+		n++
+	}
+	for _, tw := range st.Centroid {
+		x.terms[tw.ID] = append(x.terms[tw.ID], wpost{story: st.ID, gen: gen, w: tw.W})
+		n++
+	}
+	n += x.addTimelinePosts(st, gen)
+	x.livePosts += n
+	return int32(n)
+}
+
+// live reports whether a posting written for (story, gen) is still
+// current. Callers hold at least the read lock.
+func (x *Index) live(story event.StoryID, gen uint64) (*storyEntry, bool) {
+	e := x.stories[story]
+	if e == nil || e.gen != gen {
+		return nil, false
+	}
+	return e, true
+}
+
+// Epoch returns the number of publishes applied so far (diagnostics and
+// tests).
+func (x *Index) Epoch() uint64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.epoch
+}
+
+// Stats is a point-in-time size snapshot of the index.
+type Stats struct {
+	Stories       int
+	LivePostings  int
+	StalePostings int
+	Integrated    int
+}
+
+// Stats returns current population counters.
+func (x *Index) Stats() Stats {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return Stats{
+		Stories:       len(x.stories),
+		LivePostings:  x.livePosts,
+		StalePostings: x.stalePosts,
+		Integrated:    len(x.integrated),
+	}
+}
+
+func (x *Index) shouldSweepLocked() bool {
+	return x.stalePosts >= x.opts.SweepMinStale &&
+		float64(x.stalePosts) >= x.opts.SweepRatio*float64(x.livePosts)
+}
+
+// Sweep forces a full tombstone sweep regardless of thresholds.
+func (x *Index) Sweep() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.sweepLocked()
+}
+
+// SweepIfStale sweeps only when the stale fraction crossed the
+// configured thresholds; the background compactor calls this.
+func (x *Index) SweepIfStale() bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if !x.shouldSweepLocked() {
+		return false
+	}
+	x.sweepLocked()
+	return true
+}
+
+// sweepLocked compacts every posting list and timeline segment in
+// place, dropping postings whose (story, gen) is no longer live.
+func (x *Index) sweepLocked() {
+	span := metSweepLat.Start()
+	defer span.End()
+	metSweeps.Inc()
+	var swept uint64
+	for id, list := range x.ents {
+		w := 0
+		for _, p := range list {
+			if _, ok := x.live(p.story, p.gen); ok {
+				list[w] = p
+				w++
+			}
+		}
+		swept += uint64(len(list) - w)
+		if w == 0 {
+			delete(x.ents, id)
+		} else {
+			x.ents[id] = list[:w]
+		}
+	}
+	for id, list := range x.terms {
+		w := 0
+		for _, p := range list {
+			if _, ok := x.live(p.story, p.gen); ok {
+				list[w] = p
+				w++
+			}
+		}
+		swept += uint64(len(list) - w)
+		if w == 0 {
+			delete(x.terms, id)
+		} else {
+			x.terms[id] = list[:w]
+		}
+	}
+	for eid, tl := range x.timelines {
+		keys := tl.keys[:0]
+		for _, key := range tl.keys {
+			seg := tl.buckets[key]
+			w := 0
+			for _, p := range seg.posts {
+				if _, ok := x.live(p.story, p.gen); ok {
+					seg.posts[w] = p
+					w++
+				}
+			}
+			swept += uint64(len(seg.posts) - w)
+			if w == 0 {
+				delete(tl.buckets, key)
+			} else {
+				seg.posts = seg.posts[:w]
+				keys = append(keys, key)
+			}
+		}
+		tl.keys = keys
+		if len(tl.keys) == 0 {
+			delete(x.timelines, eid)
+		}
+	}
+	x.stalePosts = 0
+	metSweptPostings.Add(swept)
+	metStaleGauge.Set(0)
+	metLiveGauge.Set(int64(x.livePosts))
+}
+
+// StartCompactor launches the background tombstone compactor: a
+// goroutine that periodically sweeps stale postings once they cross the
+// configured thresholds. Stop it with Close. Calling StartCompactor
+// more than once is a bug.
+func (x *Index) StartCompactor(interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	x.done = make(chan struct{})
+	go func() {
+		defer close(x.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-x.stopCh:
+				return
+			case <-t.C:
+				x.SweepIfStale()
+			}
+		}
+	}()
+}
+
+// Close stops the background compactor (if started). The index remains
+// queryable after Close.
+func (x *Index) Close() {
+	x.stopOnce.Do(func() { close(x.stopCh) })
+	if x.done != nil {
+		<-x.done
+	}
+}

@@ -1,0 +1,228 @@
+package index_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/index"
+	"repro/internal/stream"
+)
+
+// harness builds a two-source engine feeding an index through the
+// result-sink hook, with deterministic topical snippets.
+type harness struct {
+	t      *testing.T
+	eng    *stream.Engine
+	idx    *index.Index
+	nextID event.SnippetID
+	base   time.Time
+}
+
+func newHarness(t *testing.T, opts index.Options) *harness {
+	h := &harness{
+		t:      t,
+		eng:    stream.NewEngine(stream.DefaultOptions()),
+		idx:    index.New(opts),
+		nextID: 1,
+		base:   time.Date(2014, 7, 17, 0, 0, 0, 0, time.UTC),
+	}
+	h.eng.SetResultSink(h.idx)
+	return h
+}
+
+// add ingests one snippet with the given topical signature at an
+// hour-offset timestamp.
+func (h *harness) add(src event.SourceID, hour int, ents []event.Entity, toks ...string) {
+	h.t.Helper()
+	sn := &event.Snippet{
+		ID:        h.nextID,
+		Source:    src,
+		Timestamp: h.base.Add(time.Duration(hour) * time.Hour),
+		Entities:  append([]event.Entity(nil), ents...),
+	}
+	for _, tok := range toks {
+		sn.Terms = append(sn.Terms, event.Term{Token: tok, Weight: 1})
+	}
+	h.nextID++
+	sn.Normalize()
+	if _, err := h.eng.Ingest(sn); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+var (
+	crashEnts  = []event.Entity{"MAL", "UKR"}
+	soccerEnts = []event.Entity{"FIFA", "GER"}
+)
+
+func (h *harness) seed() {
+	for i := 0; i < 4; i++ {
+		h.add("nyt", i, crashEnts, "crash", "plane")
+		h.add("wsj", i, crashEnts, "crash", "missile")
+		h.add("nyt", i, soccerEnts, "final", "goal")
+	}
+}
+
+// TestPublishDelta verifies the Gen-diff protocol: republishing an
+// unchanged result costs no postings, mutating one story tombstones
+// exactly its old postings, and removing a source tombstones its
+// stories.
+func TestPublishDelta(t *testing.T) {
+	h := newHarness(t, index.Options{})
+	h.seed()
+	h.eng.Result() // publish
+	s0 := h.idx.Stats()
+	if s0.Stories == 0 || s0.LivePostings == 0 || s0.Integrated == 0 {
+		t.Fatalf("empty index after publish: %+v", s0)
+	}
+	if s0.StalePostings != 0 {
+		t.Fatalf("fresh index already stale: %+v", s0)
+	}
+	epoch := h.idx.Epoch()
+
+	// Re-align with nothing changed: every story has an unchanged Gen,
+	// so the publish is a pure position refresh.
+	h.eng.Align()
+	if got := h.idx.Epoch(); got != epoch+1 {
+		t.Fatalf("epoch = %d, want %d", got, epoch+1)
+	}
+	if s := h.idx.Stats(); s != s0 {
+		t.Fatalf("no-op publish changed stats: %+v -> %+v", s0, s)
+	}
+
+	// Mutate one story: its entry's generation moves on, tombstoning the
+	// old postings; the rest of the corpus is untouched.
+	h.add("nyt", 5, crashEnts, "crash", "wreckage")
+	h.eng.Result()
+	s1 := h.idx.Stats()
+	if s1.StalePostings == 0 {
+		t.Fatalf("mutation produced no tombstones: %+v", s1)
+	}
+	if s1.Stories != s0.Stories {
+		t.Fatalf("stories = %d, want %d", s1.Stories, s0.Stories)
+	}
+
+	// Remove a source: its stories leave the entry table entirely.
+	if !h.eng.RemoveSource("wsj") {
+		t.Fatal("RemoveSource found nothing")
+	}
+	h.eng.Result()
+	s2 := h.idx.Stats()
+	if s2.Stories >= s1.Stories {
+		t.Fatalf("stories after removal = %d, want < %d", s2.Stories, s1.Stories)
+	}
+	if s2.StalePostings <= s1.StalePostings {
+		t.Fatalf("removal produced no tombstones: %+v -> %+v", s1, s2)
+	}
+
+	// A manual sweep drops every tombstone; queries still work.
+	h.idx.Sweep()
+	if s := h.idx.Stats(); s.StalePostings != 0 {
+		t.Fatalf("stale after sweep: %+v", s)
+	}
+	if got, total := h.idx.StoriesByEntity("MAL", 0, -1); total == 0 || len(got) != total {
+		t.Fatalf("post-sweep query broken: %d hits, total %d", len(got), total)
+	}
+	if got, total := h.idx.Timeline("UKR", 0, -1); total == 0 || len(got) != total {
+		t.Fatalf("post-sweep timeline broken: %d hits, total %d", len(got), total)
+	}
+	// Publishing nil is a no-op.
+	before := h.idx.Epoch()
+	h.idx.Publish(nil)
+	if h.idx.Epoch() != before {
+		t.Fatal("Publish(nil) bumped the epoch")
+	}
+}
+
+// TestAutoSweep verifies Publish itself sweeps once the stale fraction
+// crosses the configured thresholds.
+func TestAutoSweep(t *testing.T) {
+	h := newHarness(t, index.Options{SweepMinStale: 1, SweepRatio: 0.01})
+	h.seed()
+	h.eng.Result()
+	// Mutate and republish: the publish sees stale >= thresholds and
+	// sweeps inline.
+	h.add("nyt", 5, crashEnts, "crash", "debris")
+	h.eng.Result()
+	if s := h.idx.Stats(); s.StalePostings != 0 {
+		t.Fatalf("auto-sweep did not run: %+v", s)
+	}
+}
+
+// TestCompactor verifies the background compactor sweeps without an
+// explicit call, and that Close is safe and idempotent.
+func TestCompactor(t *testing.T) {
+	h := newHarness(t, index.Options{SweepMinStale: 1, SweepRatio: 0.01, TimelineBucket: time.Hour})
+	h.idx.StartCompactor(5 * time.Millisecond)
+	h.seed()
+	h.eng.Result()
+	// Create tombstones without triggering the inline sweep: mutate,
+	// then publish through a result whose sweep check races the ticker.
+	// (Inline sweeping may beat the compactor; either way stale must hit
+	// zero, and the compactor path is exercised across iterations.)
+	h.add("wsj", 6, soccerEnts, "final", "trophy")
+	h.eng.Result()
+	deadline := time.Now().Add(2 * time.Second)
+	for h.idx.Stats().StalePostings != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("compactor never swept: %+v", h.idx.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.idx.Close()
+	h.idx.Close() // idempotent
+	if _, total := h.idx.StoriesByEntity("FIFA", 0, -1); total == 0 {
+		t.Fatal("index unreadable after Close")
+	}
+}
+
+// TestPaginationBounds exercises the paging edge cases of all three
+// queries directly against the index.
+func TestPaginationBounds(t *testing.T) {
+	h := newHarness(t, index.Options{})
+	h.seed()
+	h.eng.Result()
+
+	full, total := h.idx.Timeline("MAL", 0, -1)
+	if total == 0 || len(full) != total {
+		t.Fatalf("timeline: %d of %d", len(full), total)
+	}
+	for _, tc := range []struct {
+		name           string
+		offset, limit  int
+		wantLen, wantT int
+	}{
+		{"window", 1, 2, 2, total},
+		{"zero-limit", 0, 0, 0, total},
+		{"beyond-end", total + 5, 3, 0, total},
+		{"clamped-tail", total - 1, 10, 1, total},
+		{"negative-offset", -3, 2, 2, total},
+	} {
+		got, gotT := h.idx.Timeline("MAL", tc.offset, tc.limit)
+		if len(got) != tc.wantLen || gotT != tc.wantT {
+			t.Errorf("timeline %s: %d items total %d, want %d/%d",
+				tc.name, len(got), gotT, tc.wantLen, tc.wantT)
+		}
+	}
+	// Ranked queries: the paged window is the same slice of the full
+	// ranking.
+	fullHits, ht := h.idx.StoriesByEntity("MAL", 0, -1)
+	if ht == 0 {
+		t.Fatal("no entity hits")
+	}
+	page, _ := h.idx.StoriesByEntity("MAL", 0, 1)
+	if len(page) != 1 || page[0] != fullHits[0] {
+		t.Fatalf("top-1 page != head of full ranking")
+	}
+	// Misses and empty queries.
+	if got, total := h.idx.StoriesByEntity("NOPE", 0, -1); len(got) != 0 || total != 0 {
+		t.Fatalf("miss: %d/%d", len(got), total)
+	}
+	if got, total := h.idx.Search("", 0, -1); got != nil || total != 0 {
+		t.Fatalf("empty query: %v/%d", got, total)
+	}
+	if got, total := h.idx.Search("crash", 0, 0); len(got) != 0 || total == 0 {
+		t.Fatalf("zero-limit search: %d/%d", len(got), total)
+	}
+}

@@ -1,0 +1,35 @@
+package index
+
+import "repro/internal/obs"
+
+// Instrumentation points of the query-serving index. The gauges reflect
+// the most recently active index, which in a serving process is the
+// only one.
+var (
+	metPublishes = obs.GetCounter("storypivot_index_publishes_total",
+		"alignment results applied to the index")
+	metStoriesUpdated = obs.GetCounter("storypivot_index_stories_updated_total",
+		"member stories whose postings were (re)built at publish")
+	metStoriesSkipped = obs.GetCounter("storypivot_index_stories_skipped_total",
+		"member stories skipped at publish because their generation was unchanged")
+	metStoriesRemoved = obs.GetCounter("storypivot_index_stories_removed_total",
+		"stories tombstoned because they left the alignment result")
+	metSweeps = obs.GetCounter("storypivot_index_sweeps_total",
+		"tombstone sweep passes executed by the compactor")
+	metSweptPostings = obs.GetCounter("storypivot_index_swept_postings_total",
+		"stale postings physically removed by sweeps")
+	metQueries = obs.GetCounter("storypivot_index_queries_total",
+		"queries answered from the index")
+	metStoriesGauge = obs.GetGauge("storypivot_index_stories",
+		"stories currently indexed")
+	metLiveGauge = obs.GetGauge("storypivot_index_live_postings",
+		"live postings across entity, term, and timeline lists")
+	metStaleGauge = obs.GetGauge("storypivot_index_stale_postings",
+		"tombstoned postings awaiting the next sweep")
+	metPublishLat = obs.GetHistogram("storypivot_index_publish_seconds",
+		"latency of applying one alignment result delta to the index")
+	metQueryLat = obs.GetHistogram("storypivot_index_query_seconds",
+		"index query evaluation latency")
+	metSweepLat = obs.GetHistogram("storypivot_index_sweep_seconds",
+		"tombstone sweep pass latency")
+)

@@ -1,0 +1,164 @@
+package index
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/event"
+)
+
+// Posting layout. Every posting carries the generation of the story it
+// was written for; a posting is live iff the story's index entry still
+// exists and records the same generation. Mutating a story therefore
+// tombstones all of its old postings in O(1) — the entry's generation
+// moves on — and the stale entries are physically removed later by the
+// compactor (see sweepLocked). Readers only ever skip them.
+
+// cpost is one entity posting: the story mentions the entity in n
+// snippets.
+type cpost struct {
+	story event.StoryID
+	gen   uint64
+	n     int32
+}
+
+// wpost is one term posting: the story's centroid carries weight w for
+// the term.
+type wpost struct {
+	story event.StoryID
+	gen   uint64
+	w     float64
+}
+
+// hit is one scored integrated story during query ranking. pos indexes
+// the published integrated slice; integrated IDs ascend with position,
+// so ordering by pos equals ordering by IntegratedID.
+type hit struct {
+	pos   int32
+	score float64
+}
+
+// accum is the per-query scratch: a dense score accumulator over
+// integrated-story positions plus the list of touched positions (so
+// reset cost is proportional to the result, not the corpus) and a
+// reusable hits buffer. Pooled so steady-state queries do not allocate.
+type accum struct {
+	score   []float64
+	touched []int32
+	hits    []hit
+}
+
+var accumPool = sync.Pool{New: func() any { return new(accum) }}
+
+func getAccum(n int) *accum {
+	a := accumPool.Get().(*accum)
+	if cap(a.score) < n {
+		a.score = make([]float64, n)
+	}
+	a.score = a.score[:n]
+	return a
+}
+
+func putAccum(a *accum) {
+	for _, pos := range a.touched {
+		a.score[pos] = 0
+	}
+	a.touched = a.touched[:0]
+	a.hits = a.hits[:0]
+	accumPool.Put(a)
+}
+
+// add accumulates delta into position pos, tracking first touches.
+func (a *accum) add(pos int32, delta float64) {
+	if a.score[pos] == 0 {
+		a.touched = append(a.touched, pos)
+	}
+	a.score[pos] += delta
+}
+
+// collectHits materialises the touched positions with positive scores
+// into the hits buffer.
+func (a *accum) collectHits() []hit {
+	for _, pos := range a.touched {
+		if s := a.score[pos]; s > 0 {
+			a.hits = append(a.hits, hit{pos: pos, score: s})
+		}
+	}
+	return a.hits
+}
+
+// better reports whether x ranks strictly before y: higher score first,
+// ties by ascending position (== ascending IntegratedID, matching the
+// legacy scan path's tie-break).
+func better(x, y hit) bool {
+	if x.score != y.score {
+		return x.score > y.score
+	}
+	return x.pos < y.pos
+}
+
+// rankHits orders hits so that the first min(k, len) entries are the
+// best, in rank order. k < 0 (or k >= len) sorts everything; otherwise a
+// bounded min-heap keeps selection O(n log k) — the top-k path of paged
+// queries, where k = offset+limit is usually far below the hit count.
+func rankHits(hits []hit, k int) []hit {
+	if k < 0 || k >= len(hits) {
+		sort.Slice(hits, func(i, j int) bool { return better(hits[i], hits[j]) })
+		return hits
+	}
+	if k == 0 {
+		return hits[:0]
+	}
+	// hits[:k] is a min-heap rooted at the worst kept hit.
+	heap := hits[:k]
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(heap, i)
+	}
+	for _, h := range hits[k:] {
+		if better(h, heap[0]) {
+			heap[0] = h
+			siftDown(heap, 0)
+		}
+	}
+	sort.Slice(heap, func(i, j int) bool { return better(heap[i], heap[j]) })
+	return heap
+}
+
+// siftDown restores the min-heap property (worst hit at the root) from
+// index i.
+func siftDown(h []hit, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(h) && better(h[worst], h[l]) {
+			worst = l
+		}
+		if r < len(h) && better(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// pageBounds clamps [offset, offset+limit) to n items. limit < 0 means
+// "everything after offset".
+func pageBounds(n, offset, limit int) (lo, hi int) {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > n {
+		offset = n
+	}
+	if limit < 0 {
+		return offset, n
+	}
+	hi = offset + limit
+	if hi > n {
+		hi = n
+	}
+	return offset, hi
+}

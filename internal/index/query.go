@@ -1,0 +1,136 @@
+package index
+
+import (
+	"repro/internal/event"
+	"repro/internal/text"
+	"repro/internal/vocab"
+)
+
+// Query evaluation. All queries run under the read lock, rank with the
+// per-query pooled accumulator, and return a page [offset, offset+limit)
+// of the ranked hits plus the total hit count. limit < 0 returns
+// everything from offset on. Ranking and tie-breaking reproduce the
+// legacy scan path exactly: Search orders by summed centroid weight of
+// the matched terms, StoriesByEntity by total mention count, both with
+// ties broken by ascending integrated ID; Timeline is chronological
+// with ties broken by snippet ID.
+
+// Search answers free-text queries: the query is tokenised, stopword-
+// filtered, and stemmed, then scored through the term postings.
+func (x *Index) Search(query string, offset, limit int) ([]*event.IntegratedStory, int) {
+	toks := text.Pipeline(query)
+	if len(toks) == 0 {
+		return nil, 0
+	}
+	span := metQueryLat.Start()
+	defer span.End()
+	metQueries.Inc()
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	a := getAccum(len(x.integrated))
+	defer putAccum(a)
+	for _, tok := range toks {
+		tid, ok := vocab.Terms.Lookup(tok)
+		if !ok {
+			continue
+		}
+		for _, p := range x.terms[tid] {
+			if e, ok := x.live(p.story, p.gen); ok {
+				a.add(e.pos, p.w)
+			}
+		}
+	}
+	return x.pageHits(a, offset, limit)
+}
+
+// StoriesByEntity answers entity queries through the entity postings,
+// ranked by how prominently the integrated story mentions the entity.
+func (x *Index) StoriesByEntity(ent event.Entity, offset, limit int) ([]*event.IntegratedStory, int) {
+	span := metQueryLat.Start()
+	defer span.End()
+	metQueries.Inc()
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	eid, ok := vocab.Entities.Lookup(string(ent))
+	if !ok {
+		return []*event.IntegratedStory{}, 0
+	}
+	a := getAccum(len(x.integrated))
+	defer putAccum(a)
+	for _, p := range x.ents[eid] {
+		if e, ok := x.live(p.story, p.gen); ok {
+			a.add(e.pos, float64(p.n))
+		}
+	}
+	return x.pageHits(a, offset, limit)
+}
+
+// pageHits ranks the accumulated scores and materialises the requested
+// page. Caller holds the read lock.
+func (x *Index) pageHits(a *accum, offset, limit int) ([]*event.IntegratedStory, int) {
+	hits := a.collectHits()
+	total := len(hits)
+	k := -1
+	if limit >= 0 {
+		if offset < 0 {
+			offset = 0
+		}
+		k = offset + limit
+	}
+	ranked := rankHits(hits, k)
+	lo, hi := pageBounds(len(ranked), offset, limit)
+	out := make([]*event.IntegratedStory, hi-lo)
+	for i := lo; i < hi; i++ {
+		out[i-lo] = x.integrated[ranked[i].pos]
+	}
+	return out, total
+}
+
+// Timeline answers per-entity chronology queries by walking only the
+// entity's timeline segments in bucket order.
+func (x *Index) Timeline(ent event.Entity, offset, limit int) ([]*event.Snippet, int) {
+	span := metQueryLat.Start()
+	defer span.End()
+	metQueries.Inc()
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	eid, ok := vocab.Entities.Lookup(string(ent))
+	if !ok {
+		return nil, 0
+	}
+	tl := x.timelines[eid]
+	if tl == nil {
+		return nil, 0
+	}
+	// Two passes: count the live postings first so the result slice is
+	// allocated exactly once, then fill the requested window.
+	total := 0
+	for _, key := range tl.keys {
+		for _, p := range tl.buckets[key].posts {
+			if _, ok := x.live(p.story, p.gen); ok {
+				total++
+			}
+		}
+	}
+	lo, hi := pageBounds(total, offset, limit)
+	if hi == lo {
+		return nil, total
+	}
+	out := make([]*event.Snippet, 0, hi-lo)
+	i := 0
+	for _, key := range tl.keys {
+		for _, p := range tl.buckets[key].posts {
+			if _, ok := x.live(p.story, p.gen); !ok {
+				continue
+			}
+			if i >= lo {
+				out = append(out, p.sn)
+				if len(out) == hi-lo {
+					return out, total
+				}
+			}
+			i++
+		}
+	}
+	return out, total
+}

@@ -316,18 +316,57 @@ func (s *Server) handleIntegratedOne(w http.ResponseWriter, r *http.Request) {
 	httpError(w, http.StatusNotFound, "no such integrated story")
 }
 
+// Pagination bounds for the query endpoints: requests without a limit
+// get defaultPageLimit results; limit is capped at maxPageLimit so the
+// server never serialises unbounded result sets.
+const (
+	defaultPageLimit = 50
+	maxPageLimit     = 500
+)
+
+// pageParams parses offset/limit query parameters, applying the default
+// and cap. It reports ok=false (after writing the error) on malformed
+// values.
+func pageParams(w http.ResponseWriter, r *http.Request) (offset, limit int, ok bool) {
+	offset, limit = 0, defaultPageLimit
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "invalid offset parameter")
+			return 0, 0, false
+		}
+		offset = n
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "invalid limit parameter")
+			return 0, 0, false
+		}
+		limit = n
+	}
+	if limit > maxPageLimit {
+		limit = maxPageLimit
+	}
+	return offset, limit, true
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		httpError(w, http.StatusBadRequest, "missing q parameter")
 		return
 	}
-	hits := s.Pipeline().Search(q)
+	offset, limit, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	hits, total := s.Pipeline().SearchN(q, offset, limit)
 	out := make([]IntegratedView, 0, len(hits))
 	for _, is := range hits {
 		out = append(out, integratedView(is, false))
 	}
-	writeJSON(w, out)
+	writeJSON(w, SearchPageView{Total: total, Offset: offset, Limit: limit, Results: out})
 }
 
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
@@ -336,12 +375,16 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing entity parameter")
 		return
 	}
-	sns := s.Pipeline().Timeline(storypivot.Entity(e))
+	offset, limit, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	sns, total := s.Pipeline().TimelineN(storypivot.Entity(e), offset, limit)
 	out := make([]SnippetView, 0, len(sns))
 	for _, sn := range sns {
 		out = append(out, snippetView(sn, event.RoleUnknown))
 	}
-	writeJSON(w, out)
+	writeJSON(w, TimelinePageView{Total: total, Offset: offset, Limit: limit, Results: out})
 }
 
 // handleContext resolves an integrated story's entities against the

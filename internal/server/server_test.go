@@ -154,19 +154,90 @@ func TestIntegratedEndpoints(t *testing.T) {
 
 func TestSearchAndTimeline(t *testing.T) {
 	_, ts := newTestServer(t)
-	var hits []IntegratedView
+	var hits SearchPageView
 	getJSON(t, ts.URL+"/api/search?q=plane+crash", &hits)
-	if len(hits) == 0 {
-		t.Fatal("search returned nothing")
+	if len(hits.Results) == 0 || hits.Total == 0 {
+		t.Fatalf("search returned nothing: %+v", hits)
 	}
-	var tl []SnippetView
+	if hits.Total != len(hits.Results) {
+		t.Fatalf("total %d != results %d on an unpaged small corpus", hits.Total, len(hits.Results))
+	}
+	if hits.Limit != 50 || hits.Offset != 0 {
+		t.Fatalf("default page = offset %d limit %d", hits.Offset, hits.Limit)
+	}
+	var tl TimelinePageView
 	getJSON(t, ts.URL+"/api/timeline?entity=UKR", &tl)
-	if len(tl) < 2 {
-		t.Fatalf("timeline = %d snippets", len(tl))
+	if len(tl.Results) < 2 {
+		t.Fatalf("timeline = %d snippets", len(tl.Results))
 	}
-	for i := 1; i < len(tl); i++ {
-		if tl[i].Timestamp.Before(tl[i-1].Timestamp) {
+	if tl.Total != len(tl.Results) {
+		t.Fatalf("timeline total %d != results %d", tl.Total, len(tl.Results))
+	}
+	for i := 1; i < len(tl.Results); i++ {
+		if tl.Results[i].Timestamp.Before(tl.Results[i-1].Timestamp) {
 			t.Fatal("timeline not chronological")
+		}
+	}
+}
+
+func TestQueryPagination(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Full timeline as reference.
+	var full TimelinePageView
+	getJSON(t, ts.URL+"/api/timeline?entity=UKR", &full)
+	if full.Total < 2 {
+		t.Fatalf("need >= 2 timeline snippets, got %d", full.Total)
+	}
+	// Page through one snippet at a time; pages must tile the full list.
+	var paged []SnippetView
+	for off := 0; off < full.Total; off++ {
+		var page TimelinePageView
+		getJSON(t, fmt.Sprintf("%s/api/timeline?entity=UKR&offset=%d&limit=1", ts.URL, off), &page)
+		if page.Total != full.Total {
+			t.Fatalf("page total %d != full total %d", page.Total, full.Total)
+		}
+		if len(page.Results) != 1 {
+			t.Fatalf("page at offset %d = %d results", off, len(page.Results))
+		}
+		paged = append(paged, page.Results...)
+	}
+	for i := range paged {
+		if paged[i].ID != full.Results[i].ID {
+			t.Fatalf("paged[%d] = snippet %d, full[%d] = snippet %d", i, paged[i].ID, i, full.Results[i].ID)
+		}
+	}
+	// Offset beyond the end: empty page, total still reported.
+	var beyond TimelinePageView
+	getJSON(t, fmt.Sprintf("%s/api/timeline?entity=UKR&offset=%d", ts.URL, full.Total+10), &beyond)
+	if len(beyond.Results) != 0 || beyond.Total != full.Total {
+		t.Fatalf("beyond-end page = %+v", beyond)
+	}
+	// Search pagination: limit=1 returns the top hit only.
+	var all SearchPageView
+	getJSON(t, ts.URL+"/api/search?q=plane+crash", &all)
+	var top SearchPageView
+	getJSON(t, ts.URL+"/api/search?q=plane+crash&limit=1", &top)
+	if len(top.Results) != 1 || top.Results[0].ID != all.Results[0].ID {
+		t.Fatalf("limit=1 top hit mismatch: %+v vs %+v", top.Results, all.Results[:1])
+	}
+	if top.Total != all.Total {
+		t.Fatalf("paged search total %d != full %d", top.Total, all.Total)
+	}
+	// The limit cap holds.
+	var capped SearchPageView
+	getJSON(t, ts.URL+"/api/search?q=plane+crash&limit=99999", &capped)
+	if capped.Limit != 500 {
+		t.Fatalf("limit not capped: %d", capped.Limit)
+	}
+	// Malformed parameters are rejected.
+	for _, u := range []string{"/api/search?q=x&offset=-1", "/api/search?q=x&limit=0", "/api/timeline?entity=UKR&limit=abc"} {
+		resp, err := http.Get(ts.URL + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", u, resp.StatusCode)
 		}
 	}
 }

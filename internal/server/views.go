@@ -92,6 +92,23 @@ func storyView(st *event.Story, withSnippets bool) StoryView {
 	return v
 }
 
+// SearchPageView is the paginated envelope of /api/search: one window
+// of the ranked hits plus the total hit count.
+type SearchPageView struct {
+	Total   int              `json:"total"`
+	Offset  int              `json:"offset"`
+	Limit   int              `json:"limit"`
+	Results []IntegratedView `json:"results"`
+}
+
+// TimelinePageView is the paginated envelope of /api/timeline.
+type TimelinePageView struct {
+	Total   int           `json:"total"`
+	Offset  int           `json:"offset"`
+	Limit   int           `json:"limit"`
+	Results []SnippetView `json:"results"`
+}
+
 // IntegratedView renders an integrated story (Figures 4 and 6).
 type IntegratedView struct {
 	ID       uint64            `json:"id"`

@@ -51,6 +51,16 @@ func DefaultOptions() Options {
 	}
 }
 
+// ResultSink consumes every freshly computed alignment result. The
+// query-serving index (internal/index, via its Writer interface)
+// implements it; the engine publishes synchronously from every
+// alignment pass — ingest-triggered, auto-align, explicit Align, and
+// post-refinement re-alignment — so a sink always reflects the result
+// the engine would hand to readers.
+type ResultSink interface {
+	Publish(res *align.Result)
+}
+
 // Errors returned by the engine.
 var (
 	// ErrUnknownSource is returned by Ingest when the snippet's source was
@@ -106,6 +116,9 @@ type Engine struct {
 	sinceAlign int
 	ingested   uint64
 	result     *align.Result
+	// sink, when set, receives every freshly computed result (guarded
+	// by mu like the result itself).
+	sink ResultSink
 
 	// entHLL estimates the distinct-entity count of everything ingested
 	// (the "# Entities" figure of the statistics module's dataset panel)
@@ -164,6 +177,19 @@ func (e *Engine) shard(src event.SourceID) *shard {
 	e.shards[src] = sh
 	metSourcesGauge.Set(int64(len(e.shards)))
 	return sh
+}
+
+// SetResultSink attaches (or detaches, with nil) the alignment result
+// sink. If a result already exists it is published immediately, so a
+// sink attached after restore-from-checkpoint or replay never misses
+// the state the engine already computed.
+func (e *Engine) SetResultSink(s ResultSink) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sink = s
+	if s != nil && e.result != nil {
+		s.Publish(e.result)
+	}
 }
 
 // RemoveSource detaches a source: its stories leave the aligner and the
@@ -420,6 +446,12 @@ func (e *Engine) alignLocked() *align.Result {
 			e.dirty = make(map[event.StoryID]bool)
 			e.result = e.aligner.Result()
 		}
+	}
+	if e.sink != nil {
+		// Published after refinement so the sink's delta protocol (keyed
+		// on Story.Gen) sees refine moves exactly once, as part of the
+		// final result of the pass.
+		e.sink.Publish(e.result)
 	}
 	return e.result
 }

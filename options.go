@@ -11,12 +11,13 @@ import (
 
 // config collects everything New needs; Options mutate it.
 type config struct {
-	stream     stream.Options
-	gazetteer  *extract.Gazetteer
-	kb         *kb.KB
-	bigrams    bool
-	storageDir string
-	storageOpt storage.Options
+	stream      stream.Options
+	gazetteer   *extract.Gazetteer
+	kb          *kb.KB
+	bigrams     bool
+	storageDir  string
+	storageOpt  storage.Options
+	scanQueries bool
 }
 
 // Option configures a Pipeline.
@@ -105,6 +106,15 @@ func WithStorage(dir string) Option {
 // docs): 0 = OS-buffered (default), 1 = fsync every append, 2 = batched.
 func WithStorageSync(policy int) Option {
 	return func(c *config) { c.storageOpt.Sync = storage.SyncPolicy(policy) }
+}
+
+// WithScanQueries serves Search/StoriesByEntity/Timeline from the
+// legacy full-scan implementations instead of the incremental query
+// index. The scan path is the correctness oracle: it is what the
+// differential tests compare the indexed path against. Production
+// serving should leave this off.
+func WithScanQueries(on bool) Option {
+	return func(c *config) { c.scanQueries = on }
 }
 
 // WithDedup sizes the per-source duplicate-delivery filter (0 disables).

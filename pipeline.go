@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/extract"
+	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/stream"
@@ -38,6 +39,8 @@ type Pipeline struct {
 	engine         *stream.Engine
 	extractor      *extract.Extractor
 	kb             *KnowledgeBase
+	index          *index.Index
+	scanQueries    bool
 	checkpointPath string
 	warnings       []string // recovery findings from New (immutable after)
 
@@ -110,8 +113,19 @@ func New(opts ...Option) (*Pipeline, error) {
 		}
 		p.extractor.SetNextID(uint64(maxID))
 	}
+	// The query index attaches after the engine is final (restore may
+	// have replaced it) so its first publish sees whatever result the
+	// engine already computed. It is maintained even under
+	// WithScanQueries so the two paths can be compared on one pipeline.
+	p.index = index.New(index.Options{})
+	p.index.StartCompactor(0)
+	p.scanQueries = cfg.scanQueries
+	p.engine.SetResultSink(p.index)
 	return p, nil
 }
+
+// Index exposes the query-serving index (size stats, manual sweeps).
+func (p *Pipeline) Index() *index.Index { return p.index }
 
 // errNoCheckpoint reports the benign restore misses: no checkpoint file
 // was ever written, or there is nothing to restore against. These select
@@ -305,6 +319,9 @@ func (p *Pipeline) Close() error {
 		return ErrClosed
 	}
 	p.closed = true
+	if p.index != nil {
+		p.index.Close()
+	}
 	if p.store != nil {
 		return p.store.Close()
 	}

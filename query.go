@@ -10,10 +10,94 @@ import (
 // Query helpers implement the demo's exploration interactions (paper
 // §4.2: "queries will consist of enquiries about specified real-world
 // events or entities").
+//
+// Two execution paths exist. The default serves every query from the
+// incremental index (internal/index): entity and term postings plus
+// per-entity timeline segments, updated by delta on every alignment
+// pass, so query cost scales with the result set instead of the corpus.
+// WithScanQueries(true) selects the original full-scan implementations,
+// kept as the correctness oracle — the differential tests assert the
+// two paths return identical results.
 
 // StoriesByEntity returns the integrated stories mentioning the entity,
-// ordered by how prominently they mention it (descending mention count).
+// ordered by how prominently they mention it (descending mention count,
+// ties by ascending integrated ID).
 func (p *Pipeline) StoriesByEntity(e Entity) []*IntegratedStory {
+	out, _ := p.StoriesByEntityN(e, 0, -1)
+	return out
+}
+
+// StoriesByEntityN is StoriesByEntity with pagination: it returns the
+// ranked window [offset, offset+limit) and the total hit count.
+// limit < 0 returns everything from offset on.
+func (p *Pipeline) StoriesByEntityN(e Entity, offset, limit int) ([]*IntegratedStory, int) {
+	if p.scanQueries || p.index == nil {
+		return pageOf(p.scanStoriesByEntity(e), offset, limit)
+	}
+	p.engine.Result() // re-align (and publish) if ingests happened
+	return p.index.StoriesByEntity(e, offset, limit)
+}
+
+// Search returns integrated stories whose description centroid matches the
+// free-text query (tokenised, stopword-filtered, stemmed), ranked by the
+// summed centroid weight of the matched terms (ties by ascending
+// integrated ID).
+func (p *Pipeline) Search(query string) []*IntegratedStory {
+	out, _ := p.SearchN(query, 0, -1)
+	return out
+}
+
+// SearchN is Search with pagination: it returns the ranked window
+// [offset, offset+limit) and the total hit count. limit < 0 returns
+// everything from offset on.
+func (p *Pipeline) SearchN(query string, offset, limit int) ([]*IntegratedStory, int) {
+	if p.scanQueries || p.index == nil {
+		return pageOf(p.scanSearch(query), offset, limit)
+	}
+	p.engine.Result()
+	return p.index.Search(query, offset, limit)
+}
+
+// Timeline returns the chronological snippet sequence for an entity across
+// all integrated stories — the "casual reader" view (paper §3: "investi-
+// gating the timeline of a story").
+func (p *Pipeline) Timeline(e Entity) []*Snippet {
+	out, _ := p.TimelineN(e, 0, -1)
+	return out
+}
+
+// TimelineN is Timeline with pagination: it returns the chronological
+// window [offset, offset+limit) and the total snippet count. limit < 0
+// returns everything from offset on.
+func (p *Pipeline) TimelineN(e Entity, offset, limit int) ([]*Snippet, int) {
+	if p.scanQueries || p.index == nil {
+		return pageOf(p.scanTimeline(e), offset, limit)
+	}
+	p.engine.Result()
+	return p.index.Timeline(e, offset, limit)
+}
+
+// pageOf windows a fully materialised result list (the scan path's
+// pagination).
+func pageOf[T any](all []T, offset, limit int) ([]T, int) {
+	total := len(all)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	hi := total
+	if limit >= 0 && offset+limit < total {
+		hi = offset + limit
+	}
+	return all[offset:hi], total
+}
+
+// scanStoriesByEntity is the legacy full-scan implementation: it walks
+// every integrated story and materialises its merged entity-frequency
+// map. Retained as the correctness oracle for the indexed path.
+func (p *Pipeline) scanStoriesByEntity(e Entity) []*IntegratedStory {
 	type scored struct {
 		is    *IntegratedStory
 		count int
@@ -37,10 +121,10 @@ func (p *Pipeline) StoriesByEntity(e Entity) []*IntegratedStory {
 	return out
 }
 
-// Search returns integrated stories whose description centroid matches the
-// free-text query (tokenised, stopword-filtered, stemmed), ranked by the
-// summed centroid weight of the matched terms.
-func (p *Pipeline) Search(query string) []*IntegratedStory {
+// scanSearch is the legacy full-scan search: it materialises every
+// integrated story's merged centroid map per query. Retained as the
+// correctness oracle for the indexed path.
+func (p *Pipeline) scanSearch(query string) []*IntegratedStory {
 	toks := text.Pipeline(query)
 	if len(toks) == 0 {
 		return nil
@@ -73,10 +157,10 @@ func (p *Pipeline) Search(query string) []*IntegratedStory {
 	return out
 }
 
-// Timeline returns the chronological snippet sequence for an entity across
-// all integrated stories — the "casual reader" view (paper §3: "investi-
-// gating the timeline of a story").
-func (p *Pipeline) Timeline(e Entity) []*Snippet {
+// scanTimeline is the legacy full-scan timeline: it visits every snippet
+// of every integrated story. Retained as the correctness oracle for the
+// indexed path.
+func (p *Pipeline) scanTimeline(e Entity) []*Snippet {
 	var out []*Snippet
 	for _, is := range p.Result().Integrated() {
 		for _, sn := range is.Snippets() {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package storypivot
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package storypivot
+
+// raceEnabled reports whether the race detector is active. Under -race
+// sync.Pool intentionally bypasses its caches, so allocation-count pins
+// do not hold.
+const raceEnabled = true

@@ -1,25 +1,34 @@
 #!/bin/sh
 # bench.sh — run the Figure-7 identification benchmarks (E1: complete vs
-# temporal vs temporal+sketch) with allocation reporting and write the
-# results to BENCH_identify.json for regression tracking.
+# temporal vs temporal+sketch) and the query-serving benchmarks (indexed
+# vs full-scan) with allocation reporting, writing the results to
+# BENCH_identify.json and BENCH_query.json for regression tracking.
 #
 # Usage:
 #   scripts/bench.sh            # full run (benchtime from go defaults)
-#   scripts/bench.sh --smoke    # 1 iteration per benchmark (CI gate: the
-#                               # point is "still runs and reports", not
-#                               # stable numbers)
+#   scripts/bench.sh --smoke    # few iterations per benchmark (CI gate:
+#                               # the point is "still runs and reports",
+#                               # not stable numbers)
 #
-# Output: BENCH_identify.json in the repo root — one object per benchmark
-# with ns/op, B/op, allocs/op, and comparisons/op.
+# Output: BENCH_identify.json — one object per benchmark with ns/op,
+# B/op, allocs/op, and comparisons/op. BENCH_query.json — one object per
+# query benchmark with ns/op, QPS, p50/p99 microseconds, and allocs/op,
+# split indexed vs scan.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME=""
+QUERYTIME=""
 OUT="BENCH_identify.json"
+QOUT="BENCH_query.json"
 if [ "${1:-}" = "--smoke" ]; then
     BENCHTIME="-benchtime=1x"
+    # Queries are microseconds each; a handful of iterations still
+    # finishes instantly and keeps the percentile fields meaningful.
+    QUERYTIME="-benchtime=20x"
     OUT="BENCH_identify.smoke.json"
+    QOUT="BENCH_query.smoke.json"
 fi
 
 TMP="$(mktemp)"
@@ -53,3 +62,34 @@ END {
 
 echo "==> wrote $OUT"
 cat "$OUT"
+
+# --- Query serving: indexed vs full-scan ---------------------------------
+
+# shellcheck disable=SC2086  # QUERYTIME is deliberately word-split
+go test -run '^$' -bench 'BenchmarkQuery(Search|Entity|Timeline)(Indexed|Scan)$' \
+    -benchmem $QUERYTIME . | tee "$TMP"
+
+awk '
+/^BenchmarkQuery/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = bytes = allocs = p50 = p99 = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")     ns = $i
+        if ($(i + 1) == "B/op")      bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+        if ($(i + 1) == "p50_us")    p50 = $i
+        if ($(i + 1) == "p99_us")    p99 = $i
+    }
+    qps = (ns == "null" || ns + 0 == 0) ? "null" : sprintf("%.1f", 1e9 / ns)
+    rows[++n] = sprintf("  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"qps\": %s, \"p50_us\": %s, \"p99_us\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, qps, p50, p99, bytes, allocs)
+}
+END {
+    print "["
+    for (i = 1; i <= n; i++) print rows[i] (i < n ? "," : "")
+    print "]"
+}
+' "$TMP" > "$QOUT"
+
+echo "==> wrote $QOUT"
+cat "$QOUT"
