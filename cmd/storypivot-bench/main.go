@@ -32,9 +32,20 @@ func main() {
 	flag.Parse()
 
 	if *metricsAddr != "" {
-		errc := obs.ServeDebug(*metricsAddr)
-		go func() { log.Fatal(<-errc) }()
-		log.Printf("metrics on http://%s/metrics", *metricsAddr)
+		// Metrics are a convenience during bench runs: a listener
+		// failure is logged, never fatal (the old log.Fatal here could
+		// kill a multi-hour run over a flaky scrape port).
+		metrics, err := obs.StartDebug(*metricsAddr)
+		if err != nil {
+			log.Printf("metrics listener: %v (continuing without)", err)
+		} else {
+			go func() {
+				if err := <-metrics.Err(); err != nil {
+					log.Printf("metrics listener failed: %v (continuing without)", err)
+				}
+			}()
+			log.Printf("metrics on http://%s/metrics", metrics.Addr())
+		}
 	}
 
 	want := map[string]bool{}

@@ -14,14 +14,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
-	"net/http"
+	"net"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	storypivot "repro"
 	"repro/internal/curated"
+	"repro/internal/httpx"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -35,13 +40,33 @@ func main() {
 		refine      = flag.Bool("refine", true, "run refinement after alignment")
 		useCur      = flag.Bool("curated", false, "preload the full curated 2014 corpus instead of the MH17 mini-example")
 		useComp     = flag.Bool("complete", false, "use complete-history identification (suits sparse curated archives)")
+
+		readTimeout       = flag.Duration("read-timeout", httpx.DefaultReadTimeout, "max duration for reading a full request")
+		readHeaderTimeout = flag.Duration("read-header-timeout", httpx.DefaultReadHeaderTimeout, "max duration for reading request headers")
+		writeTimeout      = flag.Duration("write-timeout", httpx.DefaultWriteTimeout, "max duration for writing a response")
+		idleTimeout       = flag.Duration("idle-timeout", httpx.DefaultIdleTimeout, "max keep-alive idle time per connection")
+		maxHeaderBytes    = flag.Int("max-header-bytes", httpx.DefaultMaxHeaderBytes, "request header size cap")
+		maxBodyBytes      = flag.Int64("max-body-bytes", 8<<20, "request body size cap in bytes (0 = unlimited)")
+		maxInflight       = flag.Int("max-inflight", 256, "admission gate: max concurrent requests before shedding with 429 (0 = unlimited)")
+		retryAfter        = flag.Duration("retry-after", 1*time.Second, "Retry-After hint sent with 429 responses")
+		requestTimeout    = flag.Duration("request-timeout", 30*time.Second, "per-request context deadline (0 = none)")
+		shutdownGrace     = flag.Duration("shutdown-grace", httpx.DefaultShutdownGrace, "drain budget for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
+	// Watch for SIGINT/SIGTERM from here on: the drain path below owns
+	// process exit, so nothing may log.Fatal once the listener is up.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var metrics *obs.DebugServer
 	if *metricsAddr != "" {
-		errc := obs.ServeDebug(*metricsAddr)
-		go func() { log.Fatal(<-errc) }()
-		log.Printf("metrics on http://%s/metrics", displayAddr(*metricsAddr))
+		var err error
+		metrics, err = obs.StartDebug(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("metrics on http://%s/metrics", displayAddr(metrics.Addr()))
 	}
 
 	opts := []storypivot.Option{
@@ -74,9 +99,63 @@ func main() {
 	if err := s.SelectAll(); err != nil {
 		log.Fatal(err)
 	}
-	display := displayAddr(*addr)
-	log.Printf("listening on %s (open http://%s/)", *addr, display)
-	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+
+	handler := s.HandlerWith(httpx.Config{
+		MaxInflight:    *maxInflight,
+		RetryAfter:     *retryAfter,
+		RequestTimeout: *requestTimeout,
+		MaxBodyBytes:   *maxBodyBytes,
+	})
+	srv := httpx.NewServer(*addr, handler, httpx.ServerConfig{
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+		ShutdownGrace:     *shutdownGrace,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (open http://%s/)", *addr, displayAddr(*addr))
+
+	// A metrics-listener failure must not hard-kill the process and
+	// skip the drain: it cancels the same context a signal would, and
+	// the shared shutdown path below runs either way.
+	mctx, mcancel := context.WithCancel(ctx)
+	defer mcancel()
+	if metrics != nil {
+		go func() {
+			if err := <-metrics.Err(); err != nil {
+				log.Printf("metrics listener failed: %v (draining)", err)
+				mcancel()
+			}
+		}()
+	}
+
+	// Serve until signal or listener failure, then drain: in-flight
+	// requests get shutdown-grace to finish, the pipeline (and its
+	// index background compactor) stops, and the metrics listener
+	// closes cleanly.
+	err = httpx.Serve(mctx, srv, ln, *shutdownGrace)
+	if err != nil {
+		log.Printf("serve: %v", err)
+	}
+	if cerr := s.Close(); cerr != nil {
+		log.Printf("pipeline close: %v", cerr)
+	}
+	if metrics != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if merr := metrics.Shutdown(sctx); merr != nil {
+			log.Printf("metrics shutdown: %v", merr)
+		}
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+	log.Printf("drained, bye")
 }
 
 func displayAddr(addr string) string {

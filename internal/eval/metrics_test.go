@@ -3,6 +3,7 @@ package eval
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -253,5 +254,32 @@ func TestARIBoundsQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTimerConcurrent hammers a shared timer from many goroutines; run
+// under -race this pins the documented "safe for concurrent use"
+// contract that the HTTP handlers rely on.
+func TestTimerConcurrent(t *testing.T) {
+	tm := NewTimer()
+	const workers, perWorker = 8, 250
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tm.Observe(time.Millisecond)
+				_ = tm.Mean()
+				_ = tm.Percentile(95)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tm.Count(); got != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", got, workers*perWorker)
+	}
+	if got := tm.Total(); got != workers*perWorker*time.Millisecond {
+		t.Fatalf("Total = %v", got)
 	}
 }

@@ -3,13 +3,19 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
 // Timer accumulates per-event latency samples and reports the summary
 // statistics the statistics module displays (Figure 7: execution time in
 // ms vs #events).
+//
+// Timer is safe for concurrent use: Observe and the accessors
+// synchronize internally, so callers (the HTTP server records into
+// shared timers from concurrent handlers) need no external locking.
 type Timer struct {
+	mu      sync.Mutex
 	samples []time.Duration
 	total   time.Duration
 }
@@ -19,8 +25,10 @@ func NewTimer() *Timer { return &Timer{} }
 
 // Observe records one latency sample.
 func (t *Timer) Observe(d time.Duration) {
+	t.mu.Lock()
 	t.samples = append(t.samples, d)
 	t.total += d
+	t.mu.Unlock()
 }
 
 // Time runs fn and records its duration.
@@ -31,13 +39,23 @@ func (t *Timer) Time(fn func()) {
 }
 
 // Count returns the number of samples.
-func (t *Timer) Count() int { return len(t.samples) }
+func (t *Timer) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.samples)
+}
 
 // Total returns the summed duration.
-func (t *Timer) Total() time.Duration { return t.total }
+func (t *Timer) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
 
 // Mean returns the mean sample, or 0 with no samples.
 func (t *Timer) Mean() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(t.samples) == 0 {
 		return 0
 	}
@@ -47,10 +65,12 @@ func (t *Timer) Mean() time.Duration {
 // Percentile returns the p-th percentile (0 < p <= 100) using
 // nearest-rank on a sorted copy.
 func (t *Timer) Percentile(p float64) time.Duration {
-	if len(t.samples) == 0 {
+	t.mu.Lock()
+	sorted := append([]time.Duration(nil), t.samples...)
+	t.mu.Unlock()
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), t.samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	rank := int(p/100*float64(len(sorted))+0.5) - 1
 	if rank < 0 {

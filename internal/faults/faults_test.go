@@ -1,0 +1,146 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBlockerRendezvous(t *testing.T) {
+	b := NewBlocker(2)
+	ts := httptest.NewServer(b.Handler(nil))
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL)
+			if err != nil {
+				results <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			results <- resp.StatusCode
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-b.Entered():
+		case <-time.After(5 * time.Second):
+			t.Fatal("request never entered the handler")
+		}
+	}
+	select {
+	case <-results:
+		t.Fatal("request completed before Release")
+	default:
+	}
+	b.Release()
+	b.Release() // idempotent
+	wg.Wait()
+	close(results)
+	for code := range results {
+		if code != http.StatusOK {
+			t.Fatalf("blocked request finished with %d", code)
+		}
+	}
+}
+
+func TestBlockerHonoursContextCancel(t *testing.T) {
+	b := NewBlocker(1)
+	done := make(chan struct{})
+	close(done)
+	finished := make(chan struct{})
+	go func() {
+		b.Wait(done) // released by done, never by Release
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait ignored done channel")
+	}
+}
+
+func TestSlowDelaysThenServes(t *testing.T) {
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	Slow(30*time.Millisecond, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("served after %v, want >= 30ms", d)
+	}
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok" {
+		t.Fatalf("slow handler = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestPanickingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("handler did not panic")
+		}
+	}()
+	Panicking("boom").ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}
+
+func TestInjectorFaults(t *testing.T) {
+	var inj Injector
+	ts := httptest.NewServer(inj.Wrap(nil))
+	defer ts.Close()
+
+	get := func() int {
+		t.Helper()
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("unarmed injector = %d", code)
+	}
+	inj.FailN(2, http.StatusServiceUnavailable)
+	if a, b := get(), get(); a != http.StatusServiceUnavailable || b != http.StatusServiceUnavailable {
+		t.Fatalf("FailN(2) = %d, %d", a, b)
+	}
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("after FailN exhausted = %d", code)
+	}
+
+	// An injected abort kills the connection mid-response: the client
+	// sees a transport error, not a clean status.
+	inj.AbortOnce()
+	resp, err := http.Get(ts.URL)
+	if err == nil {
+		_, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil {
+			t.Fatal("aborted response read cleanly")
+		}
+	}
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("after abort = %d", code)
+	}
+}
+
+func TestInjectorDelay(t *testing.T) {
+	var inj Injector
+	inj.SetDelay(25 * time.Millisecond)
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	inj.Wrap(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delayed request served after %v", d)
+	}
+	inj.SetDelay(0)
+}

@@ -1,0 +1,283 @@
+// Package httpx is StoryPivot's HTTP resilience layer: the middleware
+// stack and server plumbing that turn the demo handler into something
+// that survives production traffic. It provides
+//
+//   - panic recovery (a panicking handler becomes a 500 and a metric,
+//     not a dead process),
+//   - per-request deadlines propagated through the request context,
+//   - an admission gate that sheds load with 429 + Retry-After once the
+//     in-flight cap is reached,
+//   - request body size caps,
+//   - status-aware access instrumentation (latency histogram plus
+//     per-class counters, so half-written responses no longer count as
+//     successes),
+//
+// and, in server.go, a fully-configured http.Server with graceful
+// drain. Middleware compose with Chain; the canonical production order
+// is Instrument → Recover → Gate → BodyLimit → Deadline → app (see
+// DESIGN.md §3.9 for why instrumentation sits outermost and recovery
+// just inside it).
+package httpx
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Middleware wraps an http.Handler with additional behaviour.
+type Middleware func(http.Handler) http.Handler
+
+// Chain composes middleware so that the first argument is the
+// outermost wrapper: Chain(a, b, c)(h) serves a(b(c(h))).
+func Chain(mws ...Middleware) Middleware {
+	return func(next http.Handler) http.Handler {
+		for i := len(mws) - 1; i >= 0; i-- {
+			next = mws[i](next)
+		}
+		return next
+	}
+}
+
+// Resilience-layer instrumentation. Registered once on the Default
+// registry; all instances of the middleware share them.
+var (
+	metPanics = obs.GetCounter("storypivot_http_panics_total",
+		"handler panics recovered and converted to 500s")
+	metShed = obs.GetCounter("storypivot_http_shed_total",
+		"requests rejected with 429 by the admission gate")
+	metInflight = obs.GetGauge("storypivot_http_inflight",
+		"requests currently being served")
+	metRequests = obs.GetCounter("storypivot_http_requests_total",
+		"API requests served")
+	metLatency = obs.GetHistogram("storypivot_http_request_seconds",
+		"API request latency")
+	metStatus = [5]*obs.Counter{
+		obs.GetCounter("storypivot_http_responses_1xx_total", "responses with 1xx status"),
+		obs.GetCounter("storypivot_http_responses_2xx_total", "responses with 2xx status"),
+		obs.GetCounter("storypivot_http_responses_3xx_total", "responses with 3xx status"),
+		obs.GetCounter("storypivot_http_responses_4xx_total", "responses with 4xx status"),
+		obs.GetCounter("storypivot_http_responses_5xx_total", "responses with 5xx status"),
+	}
+)
+
+// statusWriter records the status code and whether the header has been
+// written, so instrumentation and recovery can tell what the client has
+// already seen. Unwrap lets http.ResponseController reach the
+// underlying writer's Flush/Hijack/deadline methods.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.status = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Recover converts handler panics into 500 responses and a
+// storypivot_http_panics_total increment instead of killing the
+// process. http.ErrAbortHandler is re-raised so net/http's own
+// connection-abort protocol keeps working (it is the sanctioned way to
+// drop a connection mid-response, not a bug to report).
+func Recover() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw, ok := w.(*statusWriter)
+			if !ok {
+				sw = &statusWriter{ResponseWriter: w}
+			}
+			defer func() {
+				v := recover()
+				if v == nil {
+					return
+				}
+				if err, ok := v.(error); ok && err == http.ErrAbortHandler {
+					panic(v)
+				}
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				metPanics.Inc()
+				// Only attempt the 500 if the handler had not started
+				// the response; otherwise the client already has a
+				// status line and the best we can do is cut the
+				// connection short (net/http closes it because the
+				// handler never finished the body).
+				if !sw.wrote {
+					http.Error(sw, fmt.Sprintf("internal error: %v", v),
+						http.StatusInternalServerError)
+				}
+			}()
+			next.ServeHTTP(sw, r)
+		})
+	}
+}
+
+// Deadline attaches a per-request timeout to the request context.
+// Handlers and the pipeline stages below them observe cancellation
+// through ctx; the response is not forcibly interrupted (that is the
+// server's WriteTimeout's job), so a handler that ignores its context
+// degrades no worse than before.
+func Deadline(d time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		if d <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// Gate is a concurrency-limited admission gate: at most max requests
+// are in flight at once; excess requests are shed immediately with
+// 429 Too Many Requests and a Retry-After hint, which is cheaper for
+// everyone than queueing them into a timeout.
+type Gate struct {
+	max        int64
+	inflight   atomic.Int64
+	retryAfter time.Duration
+}
+
+// NewGate creates a gate admitting up to max concurrent requests
+// (max <= 0 means unlimited). retryAfter is the hint sent with 429s;
+// values below one second are rounded up because the header has
+// whole-second resolution.
+func NewGate(max int, retryAfter time.Duration) *Gate {
+	return &Gate{max: int64(max), retryAfter: retryAfter}
+}
+
+// Inflight returns the number of requests currently admitted.
+func (g *Gate) Inflight() int { return int(g.inflight.Load()) }
+
+// Middleware returns the admission-controlling wrapper.
+func (g *Gate) Middleware() Middleware {
+	return func(next http.Handler) http.Handler {
+		if g.max <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if n := g.inflight.Add(1); n > g.max {
+				g.inflight.Add(-1)
+				metShed.Inc()
+				secs := int(g.retryAfter / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				http.Error(w, "server overloaded, retry later",
+					http.StatusTooManyRequests)
+				return
+			}
+			metInflight.Set(g.inflight.Load())
+			defer func() {
+				g.inflight.Add(-1)
+				metInflight.Set(g.inflight.Load())
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// BodyLimit caps request body size at maxBytes using
+// http.MaxBytesReader, so a client cannot stream an unbounded document
+// into the JSON decoder; oversized bodies surface as 413 from the
+// decoding handler's error path.
+func BodyLimit(maxBytes int64) Middleware {
+	return func(next http.Handler) http.Handler {
+		if maxBytes <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Body != nil {
+				r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// Instrument records every request into the access-latency histogram
+// and the per-status-class counters. It observes the status actually
+// written (handlers that write nothing count as the 200 net/http will
+// send), and a request that unwinds with a panic — an aborted
+// connection — is counted as 5xx rather than a success, so
+// half-written responses no longer inflate the 2xx numbers.
+func Instrument() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw, ok := w.(*statusWriter)
+			if !ok {
+				sw = &statusWriter{ResponseWriter: w}
+			}
+			span := metLatency.Start()
+			metRequests.Inc()
+			completed := false
+			defer func() {
+				span.End()
+				class := 4 // unwound mid-response: never a success
+				if completed {
+					if sw.wrote {
+						class = sw.status/100 - 1
+					} else {
+						class = 1 // nothing written: net/http sends 200
+					}
+				}
+				if class >= 0 && class < len(metStatus) {
+					metStatus[class].Inc()
+				}
+			}()
+			next.ServeHTTP(sw, r)
+			completed = true
+		})
+	}
+}
+
+// Config bundles the knobs of the full production stack for Wrap.
+type Config struct {
+	MaxInflight    int           // admission gate cap; <=0 disables
+	RetryAfter     time.Duration // 429 Retry-After hint
+	RequestTimeout time.Duration // per-request context deadline; <=0 disables
+	MaxBodyBytes   int64         // request body cap; <=0 disables
+}
+
+// Wrap applies the canonical production middleware stack to h:
+// Instrument → Recover → Gate → BodyLimit → Deadline → h.
+// Instrumentation is outermost so every outcome is counted — shed
+// 429s, recovered-panic 500s (Recover returns normally after writing
+// them), and aborts that unwind all the way out; recovery sits just
+// inside so a panic in the admission gate, caps, or handler is
+// contained; the gate precedes the body cap and deadline so shed
+// requests cost nothing.
+func Wrap(h http.Handler, cfg Config) http.Handler {
+	gate := NewGate(cfg.MaxInflight, cfg.RetryAfter)
+	return Chain(
+		Instrument(),
+		Recover(),
+		gate.Middleware(),
+		BodyLimit(cfg.MaxBodyBytes),
+		Deadline(cfg.RequestTimeout),
+	)(h)
+}

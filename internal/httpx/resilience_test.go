@@ -1,0 +1,301 @@
+package httpx
+
+// End-to-end fault-injection tests for the resilience layer: a real
+// listener, real connections, and faults-package handlers proving the
+// three production properties — shutdown drains in-flight work,
+// overload sheds with 429, and panics are contained — plus the
+// grace-expiry force-close path.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func newLocalListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// startServe runs Serve in the background and returns the base URL, the
+// cancel func that triggers graceful shutdown, and the channel carrying
+// Serve's result.
+func startServe(t *testing.T, h http.Handler, grace time.Duration) (string, context.CancelFunc, <-chan error) {
+	t.Helper()
+	ln := newLocalListener(t)
+	srv := NewServer("", h, ServerConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, srv, ln, grace) }()
+	return "http://" + ln.Addr().String(), cancel, done
+}
+
+// TestShutdownDrainsInflight proves the SIGTERM path: a request parked
+// inside a handler when shutdown begins still completes with 200, the
+// server refuses new connections, and Serve returns nil (clean drain).
+func TestShutdownDrainsInflight(t *testing.T) {
+	blocker := faults.NewBlocker(1)
+	url, cancel, done := startServe(t, blocker.Handler(nil), 10*time.Second)
+	defer cancel()
+
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(url)
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		resc <- result{code: resp.StatusCode, body: string(body)}
+	}()
+
+	select {
+	case <-blocker.Entered():
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never entered the handler")
+	}
+
+	// Trigger shutdown with the request still in flight.
+	cancel()
+	select {
+	case err := <-done:
+		t.Fatalf("Serve returned (%v) with a request still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+		// Still draining, as it should be.
+	}
+	select {
+	case <-resc:
+		t.Fatal("in-flight request completed before release")
+	default:
+	}
+
+	// Release the handler: the drained request must complete cleanly.
+	blocker.Release()
+	select {
+	case res := <-resc:
+		if res.err != nil {
+			t.Fatalf("in-flight request failed during drain: %v", res.err)
+		}
+		if res.code != http.StatusOK || res.body != "ok" {
+			t.Fatalf("drained request = %d %q", res.code, res.body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve after drain = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+
+	// The listener is gone: new requests are refused, not queued.
+	if _, err := http.Get(url); err == nil {
+		t.Fatal("request succeeded after shutdown")
+	}
+}
+
+// TestShutdownGraceExpiryForcesClose proves the other half of the drain
+// contract: a handler that never finishes cannot hold the process
+// hostage — Serve force-closes after the grace budget and reports the
+// deadline error.
+func TestShutdownGraceExpiryForcesClose(t *testing.T) {
+	blocker := faults.NewBlocker(1)
+	defer blocker.Release()
+	url, cancel, done := startServe(t, blocker.Handler(nil), 50*time.Millisecond)
+	defer cancel()
+
+	go func() {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	select {
+	case <-blocker.Entered():
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never entered the handler")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Serve = nil despite a stuck handler")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve hung past the grace budget")
+	}
+}
+
+// TestOverloadShedsUnderRealLoad drives the full Wrap stack over a real
+// listener: with the gate full, extra requests shed with 429 and
+// Retry-After; after release, service resumes.
+func TestOverloadShedsUnderRealLoad(t *testing.T) {
+	const cap = 3
+	blocker := faults.NewBlocker(cap)
+	h := Wrap(blocker.Handler(nil), Config{MaxInflight: cap, RetryAfter: 2 * time.Second})
+	url, cancel, done := startServe(t, h, 5*time.Second)
+
+	for i := 0; i < cap; i++ {
+		go func() {
+			resp, err := http.Get(url)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	for i := 0; i < cap; i++ {
+		select {
+		case <-blocker.Entered():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d never entered", i)
+		}
+	}
+
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q", ra)
+	}
+
+	blocker.Release()
+	// Capacity frees as the parked requests drain; a retry succeeds.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service never recovered after overload: last = %d", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve = %v", err)
+	}
+}
+
+// TestPanicContainedUnderRealServer proves a panicking handler costs one
+// 500, not the process: the same server keeps answering afterwards,
+// including across repeated injected panics.
+func TestPanicContainedUnderRealServer(t *testing.T) {
+	var inj faults.Injector
+	h := Wrap(inj.Wrap(nil), Config{MaxInflight: 8, RetryAfter: time.Second})
+	url, cancel, done := startServe(t, h, 5*time.Second)
+
+	for round := 0; round < 3; round++ {
+		inj.PanicOnce()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("round %d: injected panic = %d, want 500", round, resp.StatusCode)
+		}
+		resp, err = http.Get(url)
+		if err != nil {
+			t.Fatalf("round %d: server died after panic: %v", round, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+			t.Fatalf("round %d: post-panic request = %d %q", round, resp.StatusCode, body)
+		}
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve = %v", err)
+	}
+}
+
+// TestRealSIGTERMDrains sends an actual SIGTERM to the process through
+// the same signal.NotifyContext plumbing the cmd uses, proving the
+// production drain path end to end: signal → context cancel → graceful
+// drain of the in-flight request → clean exit.
+func TestRealSIGTERMDrains(t *testing.T) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+
+	blocker := faults.NewBlocker(1)
+	ln := newLocalListener(t)
+	srv := NewServer("", blocker.Handler(nil), ServerConfig{})
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, srv, ln, 10*time.Second) }()
+	url := "http://" + ln.Addr().String()
+
+	resc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(url)
+		if err != nil {
+			resc <- err
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("drained request = %d", resp.StatusCode)
+		}
+		resc <- err
+	}()
+	select {
+	case <-blocker.Entered():
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never entered the handler")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM never cancelled the context")
+	}
+	blocker.Release()
+	if err := <-resc; err != nil {
+		t.Fatalf("in-flight request during SIGTERM drain: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve after SIGTERM = %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+package httpx
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ServerConfig holds the transport-level protections of the listener:
+// slow-client timeouts, header caps, and the drain budget. The zero
+// value of any field falls back to the default below — a bare
+// http.Server with no timeouts is exactly the demo-grade failure mode
+// this package exists to remove.
+type ServerConfig struct {
+	ReadTimeout       time.Duration // full-request read budget
+	ReadHeaderTimeout time.Duration // header read budget (Slowloris guard)
+	WriteTimeout      time.Duration // response write budget
+	IdleTimeout       time.Duration // keep-alive idle budget
+	MaxHeaderBytes    int           // request header cap
+	ShutdownGrace     time.Duration // drain budget used by Serve
+}
+
+// Defaults for unset ServerConfig fields: generous enough for the
+// curated-corpus rebuild endpoints, tight enough that a stalled client
+// cannot pin a connection forever.
+const (
+	DefaultReadTimeout       = 30 * time.Second
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultWriteTimeout      = 60 * time.Second
+	DefaultIdleTimeout       = 2 * time.Minute
+	DefaultMaxHeaderBytes    = 1 << 20 // 1 MiB
+	DefaultShutdownGrace     = 15 * time.Second
+)
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = DefaultReadTimeout
+	}
+	if c.ReadHeaderTimeout == 0 {
+		c.ReadHeaderTimeout = DefaultReadHeaderTimeout
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.MaxHeaderBytes == 0 {
+		c.MaxHeaderBytes = DefaultMaxHeaderBytes
+	}
+	if c.ShutdownGrace == 0 {
+		c.ShutdownGrace = DefaultShutdownGrace
+	}
+	return c
+}
+
+// NewServer builds an http.Server for h with every transport timeout
+// configured (negative config values disable the corresponding
+// timeout explicitly).
+func NewServer(addr string, h http.Handler, cfg ServerConfig) *http.Server {
+	cfg = cfg.withDefaults()
+	clamp := func(d time.Duration) time.Duration {
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadTimeout:       clamp(cfg.ReadTimeout),
+		ReadHeaderTimeout: clamp(cfg.ReadHeaderTimeout),
+		WriteTimeout:      clamp(cfg.WriteTimeout),
+		IdleTimeout:       clamp(cfg.IdleTimeout),
+		MaxHeaderBytes:    cfg.MaxHeaderBytes,
+	}
+}
+
+// Serve runs srv on ln until ctx is cancelled (typically by
+// SIGINT/SIGTERM via signal.NotifyContext) or the listener fails, then
+// drains gracefully: new connections are refused, in-flight requests
+// get up to grace to complete, and only then are the stragglers'
+// connections closed. It returns nil on a clean drain, the listener
+// error if serving failed, or context.DeadlineExceeded if the grace
+// period expired with requests still in flight.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Duration) error {
+	if grace <= 0 {
+		grace = DefaultShutdownGrace
+	}
+	errc := make(chan error, 1)
+	go func() {
+		err := srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		// The listener died on its own; nothing left to drain.
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		// Grace expired: force-close the remaining connections so the
+		// process can exit rather than hang on a stuck client.
+		srv.Close()
+		return err
+	}
+	return nil
+}

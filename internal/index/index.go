@@ -104,7 +104,11 @@ type Index struct {
 
 	epoch uint64
 
-	// Compactor lifecycle.
+	// Compactor lifecycle. lifeMu makes StartCompactor/Close safe to
+	// race from different goroutines (the server's shutdown path closes
+	// the pipeline from a signal handler while the serving goroutines
+	// are still live).
+	lifeMu   sync.Mutex
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	done     chan struct{}
@@ -344,10 +348,20 @@ func (x *Index) sweepLocked() {
 // StartCompactor launches the background tombstone compactor: a
 // goroutine that periodically sweeps stale postings once they cross the
 // configured thresholds. Stop it with Close. Calling StartCompactor
-// more than once is a bug.
+// more than once, or after Close, is a no-op.
 func (x *Index) StartCompactor(interval time.Duration) {
 	if interval <= 0 {
 		interval = 2 * time.Second
+	}
+	x.lifeMu.Lock()
+	defer x.lifeMu.Unlock()
+	select {
+	case <-x.stopCh:
+		return // already closed
+	default:
+	}
+	if x.done != nil {
+		return // already running
 	}
 	x.done = make(chan struct{})
 	go func() {
@@ -365,11 +379,15 @@ func (x *Index) StartCompactor(interval time.Duration) {
 	}()
 }
 
-// Close stops the background compactor (if started). The index remains
-// queryable after Close.
+// Close stops the background compactor (if started) and waits for it
+// to exit. The index remains queryable after Close; it is idempotent
+// and safe to race with StartCompactor.
 func (x *Index) Close() {
 	x.stopOnce.Do(func() { close(x.stopCh) })
-	if x.done != nil {
-		<-x.done
+	x.lifeMu.Lock()
+	done := x.done
+	x.lifeMu.Unlock()
+	if done != nil {
+		<-done
 	}
 }

@@ -1,6 +1,7 @@
 package index_test
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -225,4 +226,29 @@ func TestPaginationBounds(t *testing.T) {
 	if got, total := h.idx.Search("crash", 0, 0); len(got) != 0 || total == 0 {
 		t.Fatalf("zero-limit search: %d/%d", len(got), total)
 	}
+}
+
+// TestCompactorLifecycleRaces exercises StartCompactor/Close from
+// concurrent goroutines (the shutdown path can race the serving path);
+// under -race this pins the lifecycle's lock discipline, and repeated
+// or post-Close starts must be harmless no-ops.
+func TestCompactorLifecycleRaces(t *testing.T) {
+	h := newHarness(t, index.Options{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.idx.StartCompactor(time.Millisecond)
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.idx.Close()
+		}()
+	}
+	wg.Wait()
+	h.idx.Close()
+	h.idx.StartCompactor(time.Millisecond) // post-Close start: no-op
+	h.idx.Close()
 }

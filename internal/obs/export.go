@@ -1,12 +1,16 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // WritePrometheus renders every registered metric in the Prometheus
@@ -154,10 +158,62 @@ func DebugMux() *http.ServeMux {
 // returns immediately; errors (e.g. the port being taken) are reported
 // through the returned channel. It is the implementation behind the
 // cmds' --metrics-addr flag.
+//
+// Deprecated-in-spirit: the listener cannot be stopped. New code should
+// use StartDebug, which binds synchronously (so a taken port fails
+// fast) and shuts down cleanly during process drain.
 func ServeDebug(addr string) <-chan error {
 	errc := make(chan error, 1)
 	go func() {
 		errc <- http.ListenAndServe(addr, DebugMux())
 	}()
 	return errc
+}
+
+// DebugServer is a running debug/metrics listener that participates in
+// graceful shutdown.
+type DebugServer struct {
+	srv  *http.Server
+	addr string
+	errc chan error
+}
+
+// StartDebug binds addr and serves the debug mux on it in the
+// background. Binding happens synchronously, so a taken port surfaces
+// here rather than minutes later from a goroutine; runtime serve
+// failures arrive on Err.
+func StartDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{
+		srv: &http.Server{
+			Handler:           DebugMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		},
+		addr: ln.Addr().String(),
+		errc: make(chan error, 1),
+	}
+	go func() {
+		err := d.srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		d.errc <- err
+	}()
+	return d, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.addr }
+
+// Err reports a serve failure (nil after a clean Shutdown).
+func (d *DebugServer) Err() <-chan error { return d.errc }
+
+// Shutdown stops the listener, letting in-flight scrapes finish until
+// ctx expires.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	return d.srv.Shutdown(ctx)
 }

@@ -1,27 +1,31 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	storypivot "repro"
 	"repro/internal/eval"
 	"repro/internal/event"
+	"repro/internal/httpx"
 	"repro/internal/obs"
 )
 
-// HTTP-layer instrumentation; the pipeline stages below report their
-// own metrics.
+// Response-path instrumentation; request counting and latency live in
+// httpx.Instrument, and the pipeline stages report their own metrics.
 var (
-	metHTTPRequests = obs.GetCounter("storypivot_http_requests_total",
-		"API requests served")
-	metHTTPLat = obs.GetHistogram("storypivot_http_request_seconds",
-		"API request latency")
+	metEncodeErrors = obs.GetCounter("storypivot_http_encode_errors_total",
+		"responses whose JSON encoding failed before any bytes were sent")
+	metWriteErrors = obs.GetCounter("storypivot_http_write_errors_total",
+		"responses aborted mid-write (client gone or connection cut)")
 )
 
 // Server is the demonstration backend. It owns a set of available
@@ -30,17 +34,41 @@ var (
 // expose. Adding a document ingests it incrementally; deselecting rebuilds
 // the pipeline from the remaining selection, which mirrors the demo's
 // "remove documents ... to explore how missing information affects the
-// displayed stories" interaction (small interactive corpora make the
-// rebuild instantaneous).
+// displayed stories" interaction.
+//
+// Locking: the live pipeline is an atomic snapshot that read handlers
+// load without taking any lock, so query traffic (microsecond-fast
+// since the PR-3 index) never queues behind a slow deselect-rebuild.
+// Mutations serialize on writeMu for their whole duration — including
+// the rebuild ingest — and take stateMu only for the brief selection
+// swap; read handlers that need selection metadata take stateMu.RLock
+// and therefore block only for that swap, not the rebuild.
 type Server struct {
 	opts []storypivot.Option
 
-	mu        sync.Mutex
-	pipeline  *storypivot.Pipeline
+	// pipeline is the lock-free read snapshot. Queries on a pipeline
+	// that was swapped out mid-request stay valid: the engine and index
+	// remain queryable after Close (the server attaches no store).
+	pipeline atomic.Pointer[storypivot.Pipeline]
+
+	// writeMu serializes Select/AddDocument/RemoveDocument. It is never
+	// taken by read handlers.
+	writeMu sync.Mutex
+
+	// stateMu guards the selection metadata below.
+	stateMu   sync.RWMutex
 	available []*storypivot.Document
 	selected  map[string]bool // by URL
-	ingestT   *eval.Timer
-	alignT    *eval.Timer
+
+	ingestT *eval.Timer
+	alignT  *eval.Timer
+
+	closed atomic.Bool
+
+	// rebuildHook, when set (fault-injection tests), runs during a
+	// rebuild after ingest and before the snapshot swap, with writeMu
+	// held — the window in which readers must keep being served.
+	rebuildHook func()
 }
 
 // New creates a server; opts configure every pipeline it builds.
@@ -49,63 +77,76 @@ func New(opts ...storypivot.Option) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		opts:     opts,
-		pipeline: p,
 		selected: make(map[string]bool),
 		ingestT:  eval.NewTimer(),
 		alignT:   eval.NewTimer(),
-	}, nil
+	}
+	s.pipeline.Store(p)
+	return s, nil
 }
 
 // Preload registers documents as available (but not selected).
 func (s *Server) Preload(docs ...*storypivot.Document) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	s.available = append(s.available, docs...)
 }
 
 // SelectAll selects every available document and ingests it.
 func (s *Server) SelectAll() error {
-	s.mu.Lock()
+	s.stateMu.RLock()
 	urls := make([]string, 0, len(s.available))
 	for _, d := range s.available {
 		urls = append(urls, d.URL)
 	}
-	s.mu.Unlock()
+	s.stateMu.RUnlock()
 	return s.Select(urls)
 }
 
 // Select replaces the selection with the given URLs and rebuilds the
 // pipeline over them.
 func (s *Server) Select(urls []string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	want := make(map[string]bool, len(urls))
 	for _, u := range urls {
 		want[u] = true
 	}
-	return s.rebuildLocked(want)
+	return s.rebuild(want)
 }
 
-func (s *Server) rebuildLocked(want map[string]bool) error {
+// rebuild constructs a fresh pipeline over the wanted subset and swaps
+// it in. The caller holds writeMu; readers keep serving the old
+// snapshot until the swap, so the (potentially slow) ingest below
+// blocks no read traffic.
+func (s *Server) rebuild(want map[string]bool) error {
 	p, err := storypivot.New(s.opts...)
 	if err != nil {
 		return err
 	}
-	old := s.pipeline
-	s.pipeline = p
-	s.selected = make(map[string]bool)
-	for _, d := range s.available {
+	s.stateMu.RLock()
+	avail := append([]*storypivot.Document(nil), s.available...)
+	s.stateMu.RUnlock()
+	sel := make(map[string]bool, len(want))
+	for _, d := range avail {
 		if want[d.URL] {
 			start := time.Now()
 			if _, err := p.AddDocument(d); err != nil {
 				continue // documents with no extractable content stay unselected
 			}
 			s.ingestT.Observe(time.Since(start))
-			s.selected[d.URL] = true
+			sel[d.URL] = true
 		}
 	}
+	if s.rebuildHook != nil {
+		s.rebuildHook()
+	}
+	s.stateMu.Lock()
+	old := s.pipeline.Swap(p)
+	s.selected = sel
+	s.stateMu.Unlock()
 	if old != nil {
 		old.Close()
 	}
@@ -113,31 +154,39 @@ func (s *Server) rebuildLocked(want map[string]bool) error {
 }
 
 // AddDocument registers a new document, selects it, and ingests it
-// incrementally.
+// incrementally into the live pipeline (the engine supports concurrent
+// query-vs-ingest, so readers are not paused).
 func (s *Server) AddDocument(d *storypivot.Document) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.stateMu.RLock()
 	for _, have := range s.available {
 		if have.URL == d.URL {
+			s.stateMu.RUnlock()
 			return fmt.Errorf("server: document %q already registered", d.URL)
 		}
 	}
+	s.stateMu.RUnlock()
 	start := time.Now()
-	if _, err := s.pipeline.AddDocument(d); err != nil {
+	if _, err := s.pipeline.Load().AddDocument(d); err != nil {
 		return err
 	}
 	s.ingestT.Observe(time.Since(start))
+	s.stateMu.Lock()
 	s.available = append(s.available, d)
 	s.selected[d.URL] = true
+	s.stateMu.Unlock()
 	return nil
 }
 
 // RemoveDocument deselects a document and rebuilds the pipeline without
 // it. It reports whether the document was selected.
 func (s *Server) RemoveDocument(url string) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.stateMu.RLock()
 	if !s.selected[url] {
+		s.stateMu.RUnlock()
 		return false, nil
 	}
 	want := make(map[string]bool, len(s.selected))
@@ -146,20 +195,48 @@ func (s *Server) RemoveDocument(url string) (bool, error) {
 			want[u] = true
 		}
 	}
-	return true, s.rebuildLocked(want)
+	s.stateMu.RUnlock()
+	return true, s.rebuild(want)
 }
 
-// Pipeline returns the live pipeline (for embedding in other tools).
+// Pipeline returns the live pipeline snapshot (for embedding in other
+// tools). The load is lock-free; it never queues behind a rebuild.
 func (s *Server) Pipeline() *storypivot.Pipeline {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pipeline
+	return s.pipeline.Load()
+}
+
+// Close releases the server's pipeline: the index background compactor
+// stops and any persistence flushes. Call it during shutdown after the
+// HTTP listener has drained; it is idempotent.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if p := s.pipeline.Load(); p != nil {
+		return p.Close()
+	}
+	return nil
 }
 
 // Handler returns the HTTP handler exposing the demo API and UI, plus
 // the observability surface: /metrics (Prometheus text format),
 // /debug/vars (expvar), and /debug/pprof.
+// Recovery and instrumentation are always on, even for embedded or
+// test handlers; admission control, deadlines, and body caps are
+// opt-in via HandlerWith (the cmd wires them from flags).
 func (s *Server) Handler() http.Handler {
+	return httpx.Chain(httpx.Instrument(), httpx.Recover())(s.rawMux())
+}
+
+// HandlerWith returns the handler wrapped in the full httpx production
+// stack (panic recovery, instrumentation, admission gate, body cap,
+// per-request deadline) configured by cfg.
+func (s *Server) HandlerWith(cfg httpx.Config) http.Handler {
+	return httpx.Wrap(s.rawMux(), cfg)
+}
+
+// rawMux builds the route table with no middleware.
+func (s *Server) rawMux() http.Handler {
 	mux := http.NewServeMux()
 	debug := obs.DebugMux()
 	mux.Handle("GET /metrics", debug)
@@ -179,19 +256,29 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/trending", s.handleTrending)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("GET /", s.handleIndex)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		span := metHTTPLat.Start()
-		metHTTPRequests.Inc()
-		mux.ServeHTTP(w, r)
-		span.End()
-	})
+	return mux
 }
 
+// writeJSON encodes v completely before touching the connection: the
+// status line is committed only once a full body exists, so an
+// encoding failure becomes a clean 500 instead of a half-written
+// response that the instrumentation would count as a 200, and write
+// errors on aborted connections are recorded rather than dropped.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		metEncodeErrors.Inc()
+		httpError(w, http.StatusInternalServerError, "response encoding failed: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		metWriteErrors.Inc()
+	}
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {
@@ -201,8 +288,8 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 }
 
 func (s *Server) handleDocuments(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	out := make([]DocumentView, 0, len(s.available))
 	for _, d := range s.available {
 		preview := d.Body
@@ -221,10 +308,20 @@ func (s *Server) handleDocuments(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, out)
 }
 
+// decodeStatus maps a request-body decode failure to its status:
+// bodies cut off by the httpx body cap are 413, malformed JSON is 400.
+func decodeStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 func (s *Server) handleAddDocument(w http.ResponseWriter, r *http.Request) {
 	var d storypivot.Document
 	if err := json.NewDecoder(r.Body).Decode(&d); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid document JSON: "+err.Error())
+		httpError(w, decodeStatus(err), "invalid document JSON: "+err.Error())
 		return
 	}
 	if err := s.AddDocument(&d); err != nil {
@@ -239,7 +336,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		URLs []string `json:"urls"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid selection JSON: "+err.Error())
+		httpError(w, decodeStatus(err), "invalid selection JSON: "+err.Error())
 		return
 	}
 	if err := s.Select(req.URLs); err != nil {
@@ -289,11 +386,7 @@ func (s *Server) handleStories(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleIntegrated(w http.ResponseWriter, _ *http.Request) {
 	start := time.Now()
 	res := s.Pipeline().Result()
-	// eval.Timer is not safe for concurrent use; take the server lock
-	// for the observation (the pipeline call above stays outside it).
-	s.mu.Lock()
 	s.alignT.Observe(time.Since(start))
-	s.mu.Unlock()
 	out := make([]IntegratedView, 0, len(res.Integrated()))
 	for _, is := range res.Integrated() {
 		out = append(out, integratedView(is, false))
@@ -460,12 +553,12 @@ func (s *Server) handleTrending(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	p := s.pipeline
+	s.stateMu.RLock()
 	docCount := len(s.selected)
+	s.stateMu.RUnlock()
+	p := s.Pipeline()
 	ingestMean := s.ingestT.Mean()
 	alignMean := s.alignT.Mean()
-	s.mu.Unlock()
 
 	res := p.Result()
 	view := StatsView{

@@ -20,6 +20,16 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Serving-layer resilience gate: the fault-injection suites must prove
+# shutdown drains in-flight requests, overload sheds with 429, panics
+# are contained, and reads are not serialized behind rebuilds — all
+# under the race detector (ROADMAP's bar for concurrency-touching PRs).
+echo "==> fault-injection suite (-race, httpx/server/faults)"
+go test -race -count=1 \
+  -run 'TestShutdownDrainsInflight|TestShutdownGraceExpiryForcesClose|TestRealSIGTERMDrains|TestOverloadShedsUnderRealLoad|TestPanicContainedUnderRealServer|TestReadsNotSerializedBehindRebuild|TestConcurrentReadsDuringSelectChurn|TestHandlerPanicContained' \
+  ./internal/httpx ./internal/server
+go test -race -count=1 ./internal/faults
+
 echo "==> bench smoke (scripts/bench.sh --smoke)"
 ./scripts/bench.sh --smoke
 
