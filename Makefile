@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race fuzz bench ci clean
+.PHONY: all build vet test race fuzz bench ci feed-demo clean
 
 all: build test
 
@@ -35,6 +35,13 @@ bench:
 
 ci:
 	./scripts/ci.sh
+
+# feed-demo runs the server with replayed continuous feeds and an
+# injected flaky source, tailing /api/feeds so the backoff / breaker /
+# recovery transitions are visible, then demonstrates the graceful
+# drain (cursors + checkpoint persisted on SIGTERM).
+feed-demo:
+	./scripts/feed_demo.sh
 
 clean:
 	$(GO) clean ./...

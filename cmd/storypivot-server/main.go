@@ -52,6 +52,8 @@ func main() {
 		requestTimeout    = flag.Duration("request-timeout", 30*time.Second, "per-request context deadline (0 = none)")
 		shutdownGrace     = flag.Duration("shutdown-grace", httpx.DefaultShutdownGrace, "drain budget for in-flight requests on SIGINT/SIGTERM")
 	)
+	var ff feedFlags
+	registerFeedFlags(&ff)
 	flag.Parse()
 
 	// Watch for SIGINT/SIGTERM from here on: the drain path below owns
@@ -100,6 +102,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	feeds, err := buildFeeds(s, ff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if feeds != nil {
+		s.AttachFeeds(feeds)
+		if err := feeds.Start(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	handler := s.HandlerWith(httpx.Config{
 		MaxInflight:    *maxInflight,
 		RetryAfter:     *retryAfter,
@@ -134,13 +147,36 @@ func main() {
 		}()
 	}
 
+	// The feed drain starts the moment shutdown begins — concurrently
+	// with the HTTP drain, because feed sources are independent of
+	// in-flight requests. /healthz flips to 503 immediately (Draining),
+	// the runners stop fetching, and the queue flushes into the
+	// pipeline with a final cursor+pipeline checkpoint.
+	var feedsDone chan struct{}
+	if feeds != nil {
+		feedsDone = make(chan struct{})
+		go func() {
+			defer close(feedsDone)
+			<-mctx.Done()
+			if ferr := feeds.Close(); ferr != nil {
+				log.Printf("feed close: %v", ferr)
+			}
+		}()
+	}
+
 	// Serve until signal or listener failure, then drain: in-flight
-	// requests get shutdown-grace to finish, the pipeline (and its
-	// index background compactor) stops, and the metrics listener
-	// closes cleanly.
+	// requests get shutdown-grace to finish, the feed subsystem flushes
+	// and checkpoints, the pipeline (and its index background
+	// compactor) stops, and the metrics listener closes cleanly.
 	err = httpx.Serve(mctx, srv, ln, *shutdownGrace)
 	if err != nil {
 		log.Printf("serve: %v", err)
+	}
+	if feeds != nil {
+		// Serve can also return on listener failure without mctx ever
+		// firing; cancel explicitly so the drain goroutine always runs.
+		mcancel()
+		<-feedsDone
 	}
 	if cerr := s.Close(); cerr != nil {
 		log.Printf("pipeline close: %v", cerr)

@@ -1,0 +1,47 @@
+package feed
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff computes retry sleeps: exponential growth doubled per
+// consecutive failure, capped, with full jitter (uniform in [0, d]).
+// Full jitter — rather than jittering around the exponential value —
+// decorrelates a fleet of runners that all started failing at the same
+// moment (the thundering-herd case when a shared upstream recovers).
+//
+// A backoff is owned by a single runner goroutine; it is not safe for
+// concurrent use.
+type backoff struct {
+	base time.Duration
+	cap  time.Duration
+	rng  *rand.Rand
+	n    int // consecutive failures so far
+}
+
+func newBackoff(base, cap time.Duration, seed int64) *backoff {
+	return &backoff{base: base, cap: cap, rng: rand.New(rand.NewSource(seed))}
+}
+
+// next registers one more failure and returns the sleep before the
+// next attempt.
+func (b *backoff) next() time.Duration {
+	b.n++
+	d := b.base
+	// Shift with overflow care: past ~63 doublings (or past the cap)
+	// the exponential is saturated anyway.
+	for i := 1; i < b.n && d < b.cap; i++ {
+		d *= 2
+	}
+	if d > b.cap {
+		d = b.cap
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(b.rng.Int63n(int64(d) + 1))
+}
+
+// reset clears the failure streak after a success.
+func (b *backoff) reset() { b.n = 0 }

@@ -1,0 +1,106 @@
+package feed
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the circuit breaker's position.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a consecutive-failure circuit breaker:
+//
+//	closed ──(threshold consecutive failures)──▶ open
+//	open ──(cooldown elapses)──▶ half-open (one probe admitted)
+//	half-open ──probe success──▶ closed
+//	half-open ──probe failure──▶ open (cooldown restarts)
+//
+// Mutations come from the owning runner goroutine; the mutex exists so
+// Status snapshots from API handlers read a consistent state.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     breakerState
+	failures  int // consecutive, since last success
+	openedAt  time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a fetch may proceed now. While open it returns
+// false until the cooldown elapses, at which point the breaker moves
+// to half-open and admits exactly one probe. wait is how long to sleep
+// before asking again when the answer is no.
+func (b *breaker) allow(now time.Time) (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if remaining := b.cooldown - now.Sub(b.openedAt); remaining > 0 {
+			return false, remaining
+		}
+		b.state = breakerHalfOpen
+		return true, 0
+	default:
+		// closed, or half-open with the probe already admitted (the
+		// runner is single-threaded, so only one probe is in flight).
+		return true, 0
+	}
+}
+
+// success records a successful fetch, closing the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.state = breakerClosed
+}
+
+// failure records a failed fetch. It returns true when this failure
+// opened the breaker (either the closed→open trip or a failed
+// half-open probe re-opening it).
+func (b *breaker) failure(now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	case breakerClosed:
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot returns the state and consecutive-failure count.
+func (b *breaker) snapshot() (breakerState, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.failures
+}

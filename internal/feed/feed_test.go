@@ -1,0 +1,223 @@
+package feed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+)
+
+func TestBackoffBoundsAndReset(t *testing.T) {
+	base, cap := 10*time.Millisecond, 80*time.Millisecond
+	b := newBackoff(base, cap, 42)
+	for n := 1; n <= 10; n++ {
+		d := b.next()
+		limit := base << (n - 1)
+		if limit > cap || limit <= 0 {
+			limit = cap
+		}
+		if d < 0 || d > limit {
+			t.Fatalf("attempt %d: sleep %v outside [0, %v]", n, d, limit)
+		}
+	}
+	b.reset()
+	if d := b.next(); d > base {
+		t.Fatalf("after reset, first sleep %v > base %v", d, base)
+	}
+}
+
+func TestBackoffFullJitterSpread(t *testing.T) {
+	// Full jitter must actually spread: over many draws at a saturated
+	// exponent the samples should not all collapse to one value.
+	b := newBackoff(time.Millisecond, 64*time.Millisecond, 7)
+	b.n = 20 // saturated at cap
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		b.n = 20
+		seen[b.next()] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter produced only %d distinct sleeps in 50 draws", len(seen))
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	br := newBreaker(3, time.Minute)
+
+	// closed → open after 3 consecutive failures.
+	if br.failure(t0) || br.failure(t0) {
+		t.Fatal("breaker opened before threshold")
+	}
+	if !br.failure(t0) {
+		t.Fatal("threshold failure did not open the breaker")
+	}
+	if st, _ := br.snapshot(); st != breakerOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+
+	// Open: rejects until the cooldown elapses.
+	if ok, wait := br.allow(t0.Add(30 * time.Second)); ok || wait != 30*time.Second {
+		t.Fatalf("allow mid-cooldown = (%v, %v)", ok, wait)
+	}
+
+	// Cooldown elapsed: half-open admits one probe.
+	if ok, _ := br.allow(t0.Add(61 * time.Second)); !ok {
+		t.Fatal("half-open probe rejected")
+	}
+	if st, _ := br.snapshot(); st != breakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", st)
+	}
+
+	// Failed probe re-opens and restarts the cooldown.
+	if !br.failure(t0.Add(61 * time.Second)) {
+		t.Fatal("failed probe did not re-open")
+	}
+	if ok, _ := br.allow(t0.Add(90 * time.Second)); ok {
+		t.Fatal("allow during restarted cooldown")
+	}
+	if ok, _ := br.allow(t0.Add(3 * time.Minute)); !ok {
+		t.Fatal("second probe rejected")
+	}
+
+	// Successful probe closes and clears the streak.
+	br.success()
+	if st, fails := br.snapshot(); st != breakerClosed || fails != 0 {
+		t.Fatalf("after success: state %v fails %d", st, fails)
+	}
+}
+
+func TestReplayFetcherCursorsAndOffsets(t *testing.T) {
+	sns := makeSnips("srcA", 5)
+	r := NewReplay("srcA", sns, 1000)
+	ctx := context.Background()
+
+	b, err := r.Fetch(ctx, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Snippets) != 2 || b.Next != "2" || b.Done {
+		t.Fatalf("first batch: %d snippets, next %q, done %v", len(b.Snippets), b.Next, b.Done)
+	}
+	if b.Snippets[0].ID != 1001 {
+		t.Fatalf("idOffset not applied: ID %d", b.Snippets[0].ID)
+	}
+	if sns[0].ID != 1 {
+		t.Fatalf("idOffset mutated the backing snippet: ID %d", sns[0].ID)
+	}
+
+	b, err = r.Fetch(ctx, "2", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Snippets) != 3 || b.Next != "5" || !b.Done {
+		t.Fatalf("final batch: %d snippets, next %q, done %v", len(b.Snippets), b.Next, b.Done)
+	}
+	// Caught up: polling past the end stays Done and empty.
+	b, _ = r.Fetch(ctx, "5", 10)
+	if len(b.Snippets) != 0 || !b.Done {
+		t.Fatalf("past-end batch: %d snippets, done %v", len(b.Snippets), b.Done)
+	}
+	if _, err := r.Fetch(ctx, "bogus", 1); err == nil {
+		t.Fatal("bad cursor accepted")
+	}
+}
+
+func TestFlakyDeterminism(t *testing.T) {
+	inner := NewReplay("srcA", makeSnips("srcA", 4), 0)
+	f := &Flaky{Fetcher: inner, FailFirst: 2, FailEvery: 3}
+	ctx := context.Background()
+	var got []bool
+	for i := 0; i < 8; i++ {
+		_, err := f.Fetch(ctx, "0", 1)
+		got = append(got, err == nil)
+	}
+	// calls 1,2 fail (FailFirst), then every 3rd call fails: 3,6 ok?
+	// call numbering: 3 %3==0 → fail; 4,5 ok; 6 fail; 7,8 ok.
+	want := []bool{false, false, false, true, true, false, true, true}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("fail pattern %v, want %v", got, want)
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	in := makeSnips("srcA", 1)[0]
+	out, err := decodeNDJSON(EncodeNDJSON(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Source != in.Source || !out.Timestamp.Equal(in.Timestamp) {
+		t.Fatalf("identity fields differ: %+v vs %+v", out, in)
+	}
+	if fmt.Sprint(out.Entities) != fmt.Sprint(in.Entities) {
+		t.Fatalf("entities %v != %v", out.Entities, in.Entities)
+	}
+	if len(out.Terms) != len(in.Terms) {
+		t.Fatalf("terms %v != %v", out.Terms, in.Terms)
+	}
+	if _, err := decodeNDJSON([]byte("{not json")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := decodeNDJSON([]byte(`{"id":9,"source":"s","ts":"2014-07-17T00:00:00Z"}`)); err == nil {
+		t.Fatal("empty snippet validated")
+	}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	if _, err := NewManager(nil, Config{}); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+	sink := newRecSink(0)
+	m, err := NewManager(sink, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(NewReplay("a", nil, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(NewReplay("a", nil, 0)); err == nil {
+		t.Fatal("duplicate source accepted")
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); !errors.Is(err, ErrManagerState) {
+		t.Fatalf("double Start: %v", err)
+	}
+	if err := m.Add(NewReplay("b", nil, 0)); !errors.Is(err, ErrManagerState) {
+		t.Fatalf("Add after Start: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); !errors.Is(err, ErrManagerState) {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+// makeSnips builds n deterministic snippets for src with IDs 1..n in
+// chronological order.
+func makeSnips(src string, n int) []*event.Snippet {
+	base := time.Date(2014, 7, 17, 0, 0, 0, 0, time.UTC)
+	out := make([]*event.Snippet, 0, n)
+	for i := 1; i <= n; i++ {
+		sn := &event.Snippet{
+			ID:        event.SnippetID(i),
+			Source:    event.SourceID(src),
+			Timestamp: base.Add(time.Duration(i) * time.Minute),
+			Entities:  []event.Entity{"ukraine", "mh17"},
+			Terms: []event.Term{
+				{Token: "crash", Weight: 1},
+				{Token: "w" + strconv.Itoa(i%7), Weight: 0.5},
+			},
+			Document: "http://" + src + "/doc" + strconv.Itoa(i),
+		}
+		sn.Normalize()
+		out = append(out, sn)
+	}
+	return out
+}

@@ -1,0 +1,408 @@
+package feed
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/storage"
+	"repro/internal/stream"
+)
+
+// Manager owns the feed runners, the shared bounded ingest queue, the
+// dead-letter queue, and the cursor checkpoints. Lifecycle: NewManager
+// → Add fetchers → Start → (serve) → Close. Close stops the runners,
+// drains the queue fully, writes a final cursor checkpoint, and only
+// then returns — the drain ordering the server relies on.
+type Manager struct {
+	cfg  Config
+	sink Sink
+	dlq  *storage.DLQ
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan qItem
+
+	runnerWG sync.WaitGroup
+	workerWG sync.WaitGroup
+	loopWG   sync.WaitGroup
+
+	mu      sync.Mutex
+	runners []*runner
+	cursors map[string]cursorEntry // restored from CursorPath at New
+	started bool
+	closing bool
+	closed  bool
+}
+
+// qItem is one queued snippet awaiting ingest; wg is the owning
+// batch's acknowledgement barrier.
+type qItem struct {
+	sn *event.Snippet
+	r  *runner
+	wg *sync.WaitGroup
+}
+
+// ErrManagerState reports a lifecycle misuse (Add after Start, double
+// Start, Close before Start, ...).
+var ErrManagerState = errors.New("feed: invalid manager lifecycle")
+
+// cursorFile is the persisted resume state, one entry per source.
+type cursorFile struct {
+	Version int                    `json:"version"`
+	Sources map[string]cursorEntry `json:"sources"`
+}
+
+type cursorEntry struct {
+	Cursor   string `json:"cursor"`
+	CaughtUp bool   `json:"caught_up"`
+}
+
+const cursorVersion = 1
+
+// NewManager creates a manager ingesting into sink. When cfg.DLQDir is
+// set the dead-letter queue is opened (and replayed) immediately; when
+// cfg.CursorPath is set, previously checkpointed cursors are restored
+// so Added fetchers resume where the last run acknowledged.
+func NewManager(sink Sink, cfg Config) (*Manager, error) {
+	if sink == nil {
+		return nil, errors.New("feed: nil sink")
+	}
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:     cfg,
+		sink:    sink,
+		cursors: make(map[string]cursorEntry),
+		queue:   make(chan qItem, cfg.QueueDepth),
+	}
+	m.ctx, m.cancel = context.WithCancel(context.Background())
+	if cfg.DLQDir != "" {
+		dlq, err := storage.OpenDLQ(cfg.DLQDir)
+		if err != nil {
+			return nil, fmt.Errorf("feed: opening DLQ: %w", err)
+		}
+		m.dlq = dlq
+	}
+	if cfg.CursorPath != "" {
+		if err := m.loadCursors(); err != nil {
+			if m.dlq != nil {
+				m.dlq.Close()
+			}
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// loadCursors restores the cursor file; a missing file is a fresh
+// start, a corrupt one is an error (losing cursors silently would
+// silently re-ingest everything — at-least-once makes that *safe*, but
+// the operator should know).
+func (m *Manager) loadCursors() error {
+	f, err := os.Open(m.cfg.CursorPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("feed: opening cursor file: %w", err)
+	}
+	defer f.Close()
+	var cf cursorFile
+	if err := json.NewDecoder(f).Decode(&cf); err != nil {
+		return fmt.Errorf("feed: decoding cursor file: %w", err)
+	}
+	if cf.Version != cursorVersion {
+		return fmt.Errorf("feed: unsupported cursor file version %d", cf.Version)
+	}
+	if cf.Sources != nil {
+		m.cursors = cf.Sources
+	}
+	return nil
+}
+
+// Add registers a fetcher. All fetchers must be added before Start.
+// The runner resumes from the source's restored cursor, if any.
+func (m *Manager) Add(f Fetcher) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return fmt.Errorf("%w: Add after Start", ErrManagerState)
+	}
+	src := string(f.Source())
+	for _, r := range m.runners {
+		if r.src == src {
+			return fmt.Errorf("feed: duplicate source %q", src)
+		}
+	}
+	r := &runner{
+		m:      m,
+		f:      f,
+		src:    src,
+		bo:     newBackoff(m.cfg.BackoffBase, m.cfg.BackoffCap, m.cfg.Seed+int64(len(m.runners))),
+		br:     newBreaker(m.cfg.BreakerThreshold, m.cfg.BreakerCooldown),
+		cursor: m.cursors[src].Cursor,
+		state:  StateHealthy,
+	}
+	m.runners = append(m.runners, r)
+	return nil
+}
+
+// Start launches the ingest workers, one runner per fetcher, and the
+// periodic checkpoint loop.
+func (m *Manager) Start() error {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: double Start", ErrManagerState)
+	}
+	m.started = true
+	for i := 0; i < m.cfg.IngestWorkers; i++ {
+		m.workerWG.Add(1)
+		go m.worker()
+	}
+	for _, r := range m.runners {
+		m.runnerWG.Add(1)
+		go r.run(m.ctx)
+	}
+	if m.cfg.CheckpointEvery > 0 {
+		m.loopWG.Add(1)
+		go m.checkpointLoop()
+	}
+	// Gauge refresh happens outside m.mu: it reads runner state through
+	// Status, which takes the lock itself.
+	m.mu.Unlock()
+	m.updateStateGauges()
+	return nil
+}
+
+// worker drains the shared queue into the sink. Duplicate rejections
+// (engine dedup or storage ID collision) are acknowledgements — that
+// is what makes at-least-once redelivery after a cursor rollback safe.
+// Other sink rejections are dead-lettered so the batch they rode in on
+// is not poisoned.
+func (m *Manager) worker() {
+	defer m.workerWG.Done()
+	for it := range m.queue {
+		metQueueDepth.Set(int64(len(m.queue)))
+		err := m.sink.Ingest(it.sn)
+		switch {
+		case err == nil:
+			it.r.snippets.Add(1)
+			metSnippets.Inc()
+		case errors.Is(err, stream.ErrDuplicate) || errors.Is(err, storage.ErrDuplicate):
+			it.r.duplicates.Add(1)
+			metDuplicates.Inc()
+		default:
+			it.r.ingestErrors.Add(1)
+			metIngestErrs.Inc()
+			it.r.setLastError(err.Error())
+			m.deadLetter(it.r, event.Encode(it.sn), err.Error())
+		}
+		it.wg.Done()
+	}
+}
+
+// submit enqueues a batch's snippets and waits until every one is
+// acknowledged. Under the block policy a full queue exerts lossless
+// backpressure on the runner; under the shed policy overflow snippets
+// are dropped and counted. Returns false when shutdown interrupted the
+// enqueue — the caller must not advance its cursor.
+func (m *Manager) submit(ctx context.Context, r *runner, sns []*event.Snippet) bool {
+	wg := new(sync.WaitGroup)
+	aborted := false
+	for _, sn := range sns {
+		it := qItem{sn: sn, r: r, wg: wg}
+		wg.Add(1)
+		if m.cfg.Shed {
+			select {
+			case m.queue <- it:
+				metQueueDepth.Set(int64(len(m.queue)))
+			default:
+				wg.Done()
+				r.shed.Add(1)
+				metShed.Inc()
+			}
+			continue
+		}
+		select {
+		case m.queue <- it:
+			metQueueDepth.Set(int64(len(m.queue)))
+		case <-ctx.Done():
+			wg.Done()
+			aborted = true
+		}
+		if aborted {
+			break
+		}
+	}
+	// Wait for the enqueued part either way: the workers keep draining
+	// until the queue is closed (which happens only after all runners
+	// exit), so this cannot deadlock during shutdown.
+	wg.Wait()
+	return !aborted
+}
+
+// deadLetter persists one record to the DLQ (no-op without one).
+func (m *Manager) deadLetter(r *runner, raw []byte, reason string) {
+	if m.dlq == nil {
+		return
+	}
+	cursor, _ := r.cursorSnapshot()
+	if err := m.dlq.Append(storage.DLQEntry{
+		Source: r.src,
+		Cursor: cursor,
+		Reason: reason,
+		Raw:    raw,
+	}); err != nil {
+		r.setLastError("dlq append: " + err.Error())
+	}
+}
+
+// Checkpoint persists the sink's checkpoint (when it has one) and then
+// the feed cursors, in that order: the cursor file must never be newer
+// than the pipeline state it presumes. Cursors only ever cover
+// acknowledged records, so a crash between the two costs a bounded
+// redelivery, never a loss.
+func (m *Manager) Checkpoint() error {
+	var errs []error
+	if cp, ok := m.sink.(Checkpointer); ok {
+		if err := cp.WriteCheckpoint(); err != nil {
+			errs = append(errs, fmt.Errorf("feed: sink checkpoint: %w", err))
+		}
+	}
+	if m.cfg.CursorPath != "" {
+		cf := cursorFile{Version: cursorVersion, Sources: make(map[string]cursorEntry)}
+		m.mu.Lock()
+		// Carry over restored cursors for sources not (re-)added this
+		// run, so a partial fetcher set does not erase siblings' state.
+		for src, ce := range m.cursors {
+			cf.Sources[src] = ce
+		}
+		runners := append([]*runner(nil), m.runners...)
+		m.mu.Unlock()
+		for _, r := range runners {
+			c, cu := r.cursorSnapshot()
+			cf.Sources[r.src] = cursorEntry{Cursor: c, CaughtUp: cu}
+		}
+		if err := storage.AtomicWrite(m.cfg.CursorPath, func(w io.Writer) error {
+			return json.NewEncoder(w).Encode(&cf)
+		}); err != nil {
+			errs = append(errs, fmt.Errorf("feed: writing cursors: %w", err))
+		} else {
+			metCheckpoints.Inc()
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// checkpointLoop checkpoints on the configured period until shutdown.
+func (m *Manager) checkpointLoop() {
+	defer m.loopWG.Done()
+	for sleepCtx(m.ctx, m.cfg.CheckpointEvery) {
+		m.Checkpoint()
+	}
+}
+
+// Close drains and stops the subsystem: runners stop fetching, the
+// queue flushes through the workers, a final checkpoint persists the
+// cursors (and the sink's checkpoint), and the DLQ closes. Idempotent
+// in effect; second and later calls return ErrManagerState.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed || m.closing {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: double Close", ErrManagerState)
+	}
+	m.closing = true
+	started := m.started
+	m.mu.Unlock()
+
+	m.cancel()
+	if started {
+		m.runnerWG.Wait()
+		close(m.queue)
+		m.workerWG.Wait()
+		m.loopWG.Wait()
+	}
+	err := m.Checkpoint()
+	if m.dlq != nil {
+		if cerr := m.dlq.Close(); cerr != nil && !errors.Is(cerr, storage.ErrClosed) {
+			err = errors.Join(err, cerr)
+		}
+	}
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.updateStateGauges()
+	return err
+}
+
+// Draining reports that Close has begun (or finished); /healthz flips
+// to 503 on this signal so load balancers stop routing to a process
+// that is on its way out.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closing
+}
+
+// Status returns per-source runner snapshots, sorted by source name.
+func (m *Manager) Status() []SourceStatus {
+	m.mu.Lock()
+	runners := append([]*runner(nil), m.runners...)
+	m.mu.Unlock()
+	out := make([]SourceStatus, 0, len(runners))
+	for _, r := range runners {
+		out = append(out, r.status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+// StateCounts tallies sources per health state.
+func (m *Manager) StateCounts() (healthy, degraded, quarantined int) {
+	for _, st := range m.Status() {
+		switch st.State {
+		case StateQuarantined:
+			quarantined++
+		case StateDegraded:
+			degraded++
+		default:
+			healthy++
+		}
+	}
+	return
+}
+
+// CaughtUp reports that every runner has drained its source and the
+// ingest queue is empty — the "replay finished" condition for batch
+// demos and tests.
+func (m *Manager) CaughtUp() bool {
+	if len(m.queue) > 0 {
+		return false
+	}
+	sts := m.Status()
+	for _, st := range sts {
+		if !st.CaughtUp {
+			return false
+		}
+	}
+	return len(sts) > 0
+}
+
+// DLQ exposes the dead-letter queue (nil when not configured).
+func (m *Manager) DLQ() *storage.DLQ { return m.dlq }
+
+// updateStateGauges recomputes the per-state source gauges.
+func (m *Manager) updateStateGauges() {
+	h, d, q := m.StateCounts()
+	metHealthy.Set(int64(h))
+	metDegraded.Set(int64(d))
+	metQuarantined.Set(int64(q))
+}

@@ -1,0 +1,107 @@
+package feed
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/event"
+)
+
+// Replay is a datagen-backed fetcher: it serves a fixed chronological
+// snippet slice in cursor-addressed batches, which makes it the
+// deterministic stand-in for a live feed in tests, demos, and load
+// runs. The cursor is the decimal index of the next snippet.
+type Replay struct {
+	src      event.SourceID
+	snippets []*event.Snippet
+	idOffset uint64
+}
+
+// NewReplay creates a replay fetcher for one source's snippets.
+// idOffset, when non-zero, is added to every emitted snippet ID (on a
+// clone) so replayed corpora cannot collide with IDs minted by the
+// extraction pipeline in the same process.
+func NewReplay(src event.SourceID, snippets []*event.Snippet, idOffset uint64) *Replay {
+	return &Replay{src: src, snippets: snippets, idOffset: idOffset}
+}
+
+// Source implements Fetcher.
+func (r *Replay) Source() event.SourceID { return r.src }
+
+// Fetch implements Fetcher.
+func (r *Replay) Fetch(ctx context.Context, cursor string, limit int) (Batch, error) {
+	if err := ctx.Err(); err != nil {
+		return Batch{}, err
+	}
+	start := 0
+	if cursor != "" {
+		n, err := strconv.Atoi(cursor)
+		if err != nil || n < 0 {
+			return Batch{}, errors.New("feed: bad replay cursor " + strconv.Quote(cursor))
+		}
+		start = n
+	}
+	if start > len(r.snippets) {
+		start = len(r.snippets)
+	}
+	end := start + limit
+	if end > len(r.snippets) {
+		end = len(r.snippets)
+	}
+	b := Batch{Next: strconv.Itoa(end), Done: end == len(r.snippets)}
+	for _, sn := range r.snippets[start:end] {
+		if r.idOffset != 0 {
+			c := sn.Clone()
+			c.ID += event.SnippetID(r.idOffset)
+			sn = c
+		}
+		b.Snippets = append(b.Snippets, sn)
+	}
+	return b, nil
+}
+
+// Flaky wraps a fetcher with deterministic injected failures, for the
+// feed demo and tests: the first FailFirst fetches fail, and after
+// that every FailEvery-th fetch fails (0 disables the recurring part).
+type Flaky struct {
+	Fetcher
+	FailFirst int
+	FailEvery int
+	calls     atomic.Int64
+}
+
+// ErrInjected is the failure Flaky returns.
+var ErrInjected = errors.New("feed: injected fetch failure")
+
+// Fetch implements Fetcher.
+func (f *Flaky) Fetch(ctx context.Context, cursor string, limit int) (Batch, error) {
+	n := f.calls.Add(1)
+	if n <= int64(f.FailFirst) {
+		return Batch{}, ErrInjected
+	}
+	if f.FailEvery > 0 && n%int64(f.FailEvery) == 0 {
+		return Batch{}, ErrInjected
+	}
+	return f.Fetcher.Fetch(ctx, cursor, limit)
+}
+
+// Func adapts a closure into a Fetcher (test and integration glue).
+type Func struct {
+	Src event.SourceID
+	Fn  func(ctx context.Context, cursor string, limit int) (Batch, error)
+
+	mu sync.Mutex
+}
+
+// Source implements Fetcher.
+func (f *Func) Source() event.SourceID { return f.Src }
+
+// Fetch implements Fetcher.
+func (f *Func) Fetch(ctx context.Context, cursor string, limit int) (Batch, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.Fn(ctx, cursor, limit)
+}

@@ -1,0 +1,201 @@
+package feed
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// runner drives one source: fetch → decode → enqueue → ack → advance
+// cursor, forever. All failure handling is local to the runner, so a
+// flapping or quarantined source never stalls its siblings — the only
+// shared resource is the bounded ingest queue, and that is bounded
+// precisely so one fast source cannot starve the sink either.
+type runner struct {
+	m   *Manager
+	f   Fetcher
+	src string
+	bo  *backoff
+	br  *breaker
+
+	mu        sync.Mutex
+	cursor    string
+	caughtUp  bool
+	state     State
+	lastError string
+	lastFetch time.Time
+
+	fetches      atomic.Uint64
+	fetchErrors  atomic.Uint64
+	snippets     atomic.Uint64
+	duplicates   atomic.Uint64
+	malformed    atomic.Uint64
+	ingestErrors atomic.Uint64
+	shed         atomic.Uint64
+}
+
+// run is the runner goroutine body.
+func (r *runner) run(ctx context.Context) {
+	defer r.m.runnerWG.Done()
+	metRunners.Add(1)
+	defer metRunners.Add(-1)
+	for ctx.Err() == nil {
+		// Quarantine gate: while the breaker is open the runner sleeps
+		// out the cooldown instead of hammering a dead source. When the
+		// cooldown elapses, allow admits exactly one half-open probe.
+		if ok, wait := r.br.allow(time.Now()); !ok {
+			r.refreshState()
+			if !sleepCtx(ctx, wait) {
+				return
+			}
+			continue
+		}
+		batch, err := r.fetch(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return // shutdown, not a source failure
+			}
+			r.fetchErrors.Add(1)
+			metFetchErrors.Inc()
+			r.setLastError(err.Error())
+			if r.br.failure(time.Now()) {
+				metBreakerOpens.Inc()
+			}
+			r.refreshState()
+			metRetries.Inc()
+			if !sleepCtx(ctx, r.bo.next()) {
+				return
+			}
+			continue
+		}
+		r.bo.reset()
+		r.br.success()
+		r.refreshState()
+
+		// Malformed records are acknowledged into the DLQ: the cursor
+		// moves past them, so one poison record is quarantined once
+		// instead of re-fetched forever.
+		for _, mf := range batch.Malformed {
+			r.malformed.Add(1)
+			metMalformed.Inc()
+			r.m.deadLetter(r, mf.Raw, mf.Reason)
+		}
+		if !r.m.submit(ctx, r, batch.Snippets) {
+			return // cancelled mid-batch: cursor stays put, redelivered next run
+		}
+		r.advance(batch.Next, batch.Done)
+		if batch.Done {
+			// Caught up: poll for growth instead of spinning.
+			if !sleepCtx(ctx, r.m.cfg.PollInterval) {
+				return
+			}
+		}
+	}
+}
+
+// fetch runs one Fetch under the per-fetch timeout, containing fetcher
+// panics: a buggy fetcher costs one failed attempt, not the process.
+func (r *runner) fetch(ctx context.Context) (batch Batch, err error) {
+	fctx, cancel := context.WithTimeout(ctx, r.m.cfg.FetchTimeout)
+	defer cancel()
+	r.fetches.Add(1)
+	metFetches.Inc()
+	r.mu.Lock()
+	cursor := r.cursor
+	r.lastFetch = time.Now()
+	r.mu.Unlock()
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("feed: fetcher panic: %v", p)
+		}
+	}()
+	return r.f.Fetch(fctx, cursor, r.m.cfg.BatchSize)
+}
+
+// advance adopts the post-batch cursor. It runs only after every record
+// of the batch was acknowledged, so a checkpointed cursor never claims
+// data that is neither in the sink, the DLQ, nor the shed counter.
+func (r *runner) advance(next string, done bool) {
+	r.mu.Lock()
+	if next != "" {
+		r.cursor = next
+	}
+	r.caughtUp = done
+	r.mu.Unlock()
+}
+
+// refreshState re-derives the health state from the breaker and
+// failure streak, updating the obs gauges on transitions.
+func (r *runner) refreshState() {
+	bst, fails := r.br.snapshot()
+	next := StateHealthy
+	switch {
+	case bst != breakerClosed:
+		next = StateQuarantined
+	case fails > 0:
+		next = StateDegraded
+	}
+	r.mu.Lock()
+	changed := r.state != next
+	r.state = next
+	r.mu.Unlock()
+	if changed {
+		r.m.updateStateGauges()
+	}
+}
+
+func (r *runner) setLastError(msg string) {
+	r.mu.Lock()
+	r.lastError = msg
+	r.mu.Unlock()
+}
+
+// cursorSnapshot returns the acknowledged cursor and caught-up flag.
+func (r *runner) cursorSnapshot() (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cursor, r.caughtUp
+}
+
+// status snapshots the runner for /api/feeds.
+func (r *runner) status() SourceStatus {
+	bst, fails := r.br.snapshot()
+	r.mu.Lock()
+	st := SourceStatus{
+		Source:              r.src,
+		State:               r.state,
+		Breaker:             bst.String(),
+		Cursor:              r.cursor,
+		CaughtUp:            r.caughtUp,
+		ConsecutiveFailures: fails,
+		LastError:           r.lastError,
+		LastFetch:           r.lastFetch,
+	}
+	r.mu.Unlock()
+	st.Fetches = r.fetches.Load()
+	st.FetchErrors = r.fetchErrors.Load()
+	st.Snippets = r.snippets.Load()
+	st.Duplicates = r.duplicates.Load()
+	st.Malformed = r.malformed.Load()
+	st.IngestErrors = r.ingestErrors.Load()
+	st.Shed = r.shed.Load()
+	return st
+}
+
+// sleepCtx sleeps d or until ctx is cancelled; it reports whether the
+// full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

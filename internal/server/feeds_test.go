@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/feed"
+)
+
+func feedSnips(src string, n int) []*event.Snippet {
+	base := time.Date(2014, 7, 17, 0, 0, 0, 0, time.UTC)
+	out := make([]*event.Snippet, 0, n)
+	for i := 1; i <= n; i++ {
+		sn := &event.Snippet{
+			ID:        event.SnippetID(i),
+			Source:    event.SourceID(src),
+			Timestamp: base.Add(time.Duration(i) * time.Minute),
+			Entities:  []event.Entity{"ukraine", "mh17"},
+			Terms:     []event.Term{{Token: "crash", Weight: 1}},
+			Document:  "http://" + src + "/feed" + strconv.Itoa(i),
+		}
+		sn.Normalize()
+		out = append(out, sn)
+	}
+	return out
+}
+
+func getHealth(t *testing.T, url string) (int, HealthView) {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hv HealthView
+	if err := json.NewDecoder(resp.Body).Decode(&hv); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, hv
+}
+
+// Without feeds attached /healthz is a plain liveness probe and
+// /api/feeds explains there is nothing to report.
+func TestHealthzWithoutFeeds(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, hv := getHealth(t, ts.URL)
+	if code != http.StatusOK || hv.Status != "ok" {
+		t.Fatalf("healthz without feeds = %d %q", code, hv.Status)
+	}
+	resp, err := http.Get(ts.URL + "/api/feeds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /api/feeds without manager = %d, want 404", resp.StatusCode)
+	}
+}
+
+// With a feed attached, /api/feeds reports per-source runner state and
+// /healthz tracks the manager through running → draining.
+func TestFeedsEndpointAndHealthz(t *testing.T) {
+	s, ts := newTestServer(t)
+	before := s.Pipeline().Engine().Ingested()
+
+	m, err := feed.NewManager(s.Pipeline(), feed.Config{
+		BackoffBase:  time.Millisecond,
+		BackoffCap:   4 * time.Millisecond,
+		PollInterval: 3 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IDs offset into the replay range so they cannot collide with the
+	// snippets extracted from the preloaded demo documents.
+	if err := m.Add(feed.NewReplay("feedsrc", feedSnips("feedsrc", 10), 1<<32)); err != nil {
+		t.Fatal(err)
+	}
+	s.AttachFeeds(m)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.CaughtUp() && s.Pipeline().Engine().Ingested() == before+10 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var fv FeedsView
+	getJSON(t, ts.URL+"/api/feeds", &fv)
+	if len(fv.Sources) != 1 || fv.Sources[0].Source != "feedsrc" {
+		t.Fatalf("feeds view sources = %+v", fv.Sources)
+	}
+	st := fv.Sources[0]
+	if st.State != feed.StateHealthy || st.Snippets != 10 || !st.CaughtUp {
+		t.Fatalf("source status = %+v", st)
+	}
+	if fv.Healthy != 1 || fv.Draining {
+		t.Fatalf("rollup = %+v", fv)
+	}
+	if got := s.Pipeline().Engine().Ingested(); got != before+10 {
+		t.Fatalf("engine ingested %d, want %d", got, before+10)
+	}
+
+	code, hv := getHealth(t, ts.URL)
+	if code != http.StatusOK || hv.Status != "ok" || hv.Healthy != 1 {
+		t.Fatalf("healthz while running = %d %+v", code, hv)
+	}
+
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	code, hv = getHealth(t, ts.URL)
+	if code != http.StatusServiceUnavailable || hv.Status != "draining" {
+		t.Fatalf("healthz after drain = %d %+v", code, hv)
+	}
+}
+
+// POST /api/documents surfaces per-snippet acceptance counts.
+func TestAddDocumentReportsAcceptance(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"source":"nyt","url":"http://nytimes.com/new.html","published":"2014-07-19T00:00:00Z",` +
+		`"title":"Crash Site Investigation Continues","body":"Investigators continued to examine the crash site in eastern Ukraine where the plane was shot down."}`
+	resp, err := http.Post(ts.URL+"/api/documents", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /api/documents = %d", resp.StatusCode)
+	}
+	var out struct {
+		Status       string `json:"status"`
+		Accepted     int    `json:"accepted"`
+		IngestErrors int    `json:"ingest_errors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "added" || out.Accepted < 1 || out.IngestErrors != 0 {
+		t.Fatalf("add response = %+v", out)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	storypivot "repro"
 	"repro/internal/eval"
 	"repro/internal/event"
+	"repro/internal/feed"
 	"repro/internal/httpx"
 	"repro/internal/obs"
 )
@@ -59,6 +60,10 @@ type Server struct {
 	stateMu   sync.RWMutex
 	available []*storypivot.Document
 	selected  map[string]bool // by URL
+
+	// feeds is the optionally attached continuous-ingest manager; it
+	// backs /api/feeds and folds into /healthz.
+	feeds atomic.Pointer[feed.Manager]
 
 	ingestT *eval.Timer
 	alignT  *eval.Timer
@@ -155,28 +160,34 @@ func (s *Server) rebuild(want map[string]bool) error {
 
 // AddDocument registers a new document, selects it, and ingests it
 // incrementally into the live pipeline (the engine supports concurrent
-// query-vs-ingest, so readers are not paused).
-func (s *Server) AddDocument(d *storypivot.Document) error {
+// query-vs-ingest, so readers are not paused). It returns how many
+// extracted snippets the engine accepted and any per-snippet ingest
+// errors; the document is registered as long as extraction produced
+// something, even if individual snippets were rejected.
+func (s *Server) AddDocument(d *storypivot.Document) (accepted int, errs []error, err error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	s.stateMu.RLock()
 	for _, have := range s.available {
 		if have.URL == d.URL {
 			s.stateMu.RUnlock()
-			return fmt.Errorf("server: document %q already registered", d.URL)
+			return 0, nil, fmt.Errorf("server: document %q already registered", d.URL)
 		}
 	}
 	s.stateMu.RUnlock()
 	start := time.Now()
-	if _, err := s.pipeline.Load().AddDocument(d); err != nil {
-		return err
+	_, accepted, errs = s.pipeline.Load().AddDocumentStats(d)
+	if accepted == 0 && len(errs) > 0 {
+		// Nothing made it in: extraction failed or every snippet was
+		// rejected. The document stays unregistered.
+		return 0, errs, errors.Join(errs...)
 	}
 	s.ingestT.Observe(time.Since(start))
 	s.stateMu.Lock()
 	s.available = append(s.available, d)
 	s.selected[d.URL] = true
 	s.stateMu.Unlock()
-	return nil
+	return accepted, errs, nil
 }
 
 // RemoveDocument deselects a document and rebuilds the pipeline without
@@ -255,6 +266,8 @@ func (s *Server) rawMux() http.Handler {
 	mux.HandleFunc("GET /api/profiles", s.handleProfiles)
 	mux.HandleFunc("GET /api/trending", s.handleTrending)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /api/feeds", s.handleFeeds)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /", s.handleIndex)
 	return mux
 }
@@ -324,11 +337,31 @@ func (s *Server) handleAddDocument(w http.ResponseWriter, r *http.Request) {
 		httpError(w, decodeStatus(err), "invalid document JSON: "+err.Error())
 		return
 	}
-	if err := s.AddDocument(&d); err != nil {
+	accepted, ingestErrs, err := s.AddDocument(&d)
+	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	writeJSON(w, map[string]string{"status": "added", "url": d.URL})
+	resp := map[string]any{
+		"status":        "added",
+		"url":           d.URL,
+		"accepted":      accepted,
+		"ingest_errors": len(ingestErrs),
+	}
+	if len(ingestErrs) > 0 {
+		// Partial acceptance: report which snippets were rejected (capped
+		// so a pathological document cannot balloon the response).
+		msgs := make([]string, 0, len(ingestErrs))
+		for _, e := range ingestErrs {
+			if len(msgs) == 10 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(ingestErrs)-10))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		resp["errors"] = msgs
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {

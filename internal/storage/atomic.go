@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWrite publishes a file at path with full crash consistency:
+// the content is written to a sibling temp file, fsynced, closed, and
+// renamed over path, and the parent directory is fsynced afterwards so
+// the rename itself survives a crash. On any error the temp file is
+// removed — no partially written temp ever outlives the call — and the
+// previous content of path (if any) is untouched.
+//
+// This is the write path for every piece of small mutable state that
+// sits next to the append-only logs: the pipeline checkpoint and the
+// feed resume cursors. Without the two fsyncs a crash immediately
+// after a "successful" write can publish an empty or stale file even
+// though the rename claimed durability.
+func AtomicWrite(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a preceding rename within it is
+// durable. Some filesystems do not support fsync on directories; those
+// errors are surfaced to the caller, which may treat checkpointing as
+// best-effort.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

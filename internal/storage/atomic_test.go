@@ -1,0 +1,77 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAtomicWritePublishesContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := AtomicWrite(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("v1"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" {
+		t.Fatalf("content = %q, want v1", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived a successful write: %v", err)
+	}
+}
+
+// TestAtomicWriteErrorLeavesNoTemp is the checkpoint-durability
+// satellite's guarantee: a failed write must remove its temp file and
+// leave the previously published content byte-identical.
+func TestAtomicWriteErrorLeavesNoTemp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := AtomicWrite(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("good"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := AtomicWrite(path, func(w io.Writer) error {
+		w.Write([]byte("partial garbage")) // bytes hit the temp file...
+		return boom                        // ...then the write fails
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, serr := os.Stat(path + ".tmp"); !os.IsNotExist(serr) {
+		t.Fatalf("temp file survived the error path: %v", serr)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "good" {
+		t.Fatalf("published content corrupted by failed write: %q", got)
+	}
+}
+
+func TestAtomicWriteReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	for _, v := range []string{"one", "two"} {
+		v := v
+		if err := AtomicWrite(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, v)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "two" {
+		t.Fatalf("content = %q, want two", got)
+	}
+}

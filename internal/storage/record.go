@@ -42,6 +42,10 @@ var (
 	ErrCorruptRecord = errors.New("storage: corrupt record")
 	// ErrClosed reports use of a closed store.
 	ErrClosed = errors.New("storage: store is closed")
+	// ErrDuplicate reports an append whose snippet ID is already stored.
+	// At-least-once delivery paths (feed redelivery after a cursor
+	// rollback) match it with errors.Is and treat it as an ack.
+	ErrDuplicate = errors.New("storage: duplicate snippet ID")
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)

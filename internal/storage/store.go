@@ -173,7 +173,7 @@ func (s *Store) Append(sn *event.Snippet) error {
 		return ErrClosed
 	}
 	if _, dup := s.byID[sn.ID]; dup {
-		return fmt.Errorf("storage: duplicate snippet ID %d", sn.ID)
+		return fmt.Errorf("%w %d", ErrDuplicate, sn.ID)
 	}
 	s.frameBuf = appendRecord(s.frameBuf[:0], event.AppendEncode(nil, sn))
 	if err := s.active.append(s.frameBuf); err != nil {

@@ -30,6 +30,8 @@ var (
 		"checkpoint restores that failed and fell back to replay")
 	metReplayFallbackSnippets = obs.GetCounter("storypivot_pipeline_replayed_snippets_total",
 		"snippets replayed through identification at open")
+	metIngestErrors = obs.GetCounter("storypivot_pipeline_ingest_errors_total",
+		"snippets rejected by Ingest (validation, duplicate, storage failure)")
 )
 
 // Pipeline is the end-to-end StoryPivot system: extraction → (optional)
@@ -183,21 +185,12 @@ func (p *Pipeline) WriteCheckpoint() error {
 		return nil
 	}
 	span := metCheckpointLat.Start()
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := p.engine.Checkpoint().Write(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	// AtomicWrite fsyncs the temp file before the rename and the parent
+	// directory after it: without both, a crash right after Close could
+	// lose the checkpoint the rename claimed to publish. Error paths
+	// never leave a temp file behind.
+	cp := p.engine.Checkpoint()
+	if err := storage.AtomicWrite(path, cp.Write); err != nil {
 		return err
 	}
 	metCheckpointWrites.Inc()
@@ -207,24 +200,31 @@ func (p *Pipeline) WriteCheckpoint() error {
 
 // AddDocument extracts snippets from a raw document and ingests them.
 // It returns the extracted snippets (with assigned IDs and stories).
+// Every snippet is attempted; if any fail, the joined per-snippet
+// errors are returned alongside the extracted set.
 func (p *Pipeline) AddDocument(doc *Document) ([]*Snippet, error) {
+	snippets, _, errs := p.AddDocumentStats(doc)
+	return snippets, errors.Join(errs...)
+}
+
+// AddDocumentStats is AddDocument with per-snippet accounting: it
+// reports how many extracted snippets were accepted and the individual
+// ingest errors (with snippet context) for those that were not. The
+// HTTP layer surfaces these counts in POST /api/documents responses.
+func (p *Pipeline) AddDocumentStats(doc *Document) (snippets []*Snippet, accepted int, errs []error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return nil, ErrClosed
+		return nil, 0, []error{ErrClosed}
 	}
 	p.mu.Unlock()
 	snippets, err := p.extractor.Extract(doc)
 	if err != nil {
-		return nil, err
+		return nil, 0, []error{err}
 	}
-	for _, sn := range snippets {
-		if err := p.Ingest(sn); err != nil {
-			return snippets, err
-		}
-	}
+	accepted, errs = p.IngestAllErrs(snippets)
 	metDocuments.Inc()
-	return snippets, nil
+	return snippets, accepted, errs
 }
 
 // Ingest feeds one pre-extracted snippet into the pipeline (persisting it
@@ -253,13 +253,24 @@ func (p *Pipeline) Ingest(sn *Snippet) error {
 // IngestAll ingests a batch, skipping snippets that fail, and returns the
 // number accepted.
 func (p *Pipeline) IngestAll(snippets []*Snippet) int {
-	n := 0
-	for _, sn := range snippets {
-		if err := p.Ingest(sn); err == nil {
-			n++
-		}
-	}
+	n, _ := p.IngestAllErrs(snippets)
 	return n
+}
+
+// IngestAllErrs ingests a batch, attempting every snippet, and returns
+// the number accepted plus one error per rejected snippet, each wrapped
+// with the snippet's identity so a failed batch is diagnosable
+// per-record instead of being silently dropped.
+func (p *Pipeline) IngestAllErrs(snippets []*Snippet) (accepted int, errs []error) {
+	for _, sn := range snippets {
+		if err := p.Ingest(sn); err != nil {
+			metIngestErrors.Inc()
+			errs = append(errs, fmt.Errorf("snippet %d (source %s): %w", sn.ID, sn.Source, err))
+			continue
+		}
+		accepted++
+	}
+	return accepted, errs
 }
 
 // Sources returns the data sources seen so far, sorted.

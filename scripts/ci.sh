@@ -30,6 +30,19 @@ go test -race -count=1 \
   ./internal/httpx ./internal/server
 go test -race -count=1 ./internal/faults
 
+# Feed resilience gate: the continuous-ingest fault-injection suite
+# must prove, under the race detector, that a flapping source recovers
+# via backoff, the breaker quarantines and re-admits via half-open
+# probes, malformed records land in the DLQ without poisoning their
+# batch, cursors resume after restart with zero duplicates, and a
+# mid-burst drain loses nothing it acknowledged.
+echo "==> feed fault-injection suite (-race, feed + checkpoint restore)"
+go test -race -count=1 \
+  -run 'TestFeedFlapAndRecover|TestFeedBreakerLifecycle|TestFeedDLQCaptureNoPoisoning|TestFeedCursorResumeNoDuplicates|TestFeedDrainMidBurstNoAcknowledgedLoss|TestFeedFetchTimeoutRecovers|TestFeedFetcherPanicContained|TestFeedShedPolicyCountsDrops' \
+  ./internal/feed
+go test -race -count=1 -run 'TestFeedCheckpointRestoreUnderIngest' .
+go test -race -count=1 -run 'TestFeedsEndpointAndHealthz|TestHealthzWithoutFeeds' ./internal/server
+
 echo "==> bench smoke (scripts/bench.sh --smoke)"
 ./scripts/bench.sh --smoke
 

@@ -1,0 +1,75 @@
+#!/bin/sh
+# Feed resilience demo: runs storypivot-server with a replayed corpus
+# served as continuous feeds, injects deterministic failures into the
+# first source (-feed-flaky-*), and tails GET /api/feeds so the health
+# transitions are visible: healthy -> degraded (backoff retries) ->
+# quarantined (breaker open) -> healthy (half-open probe succeeded).
+# Ends with a SIGTERM to show the graceful drain path (healthz flips to
+# 503, cursors and the pipeline checkpoint are persisted).
+#
+# Usage: scripts/feed_demo.sh  (or: make feed-demo)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR=${ADDR:-127.0.0.1:8123}
+WATCH_SECS=${WATCH_SECS:-12}
+STATE=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$STATE"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> building server"
+go build -o "$STATE/storypivot-server" ./cmd/storypivot-server
+
+echo "==> starting server on $ADDR (flaky source: first 4 fetches fail, then every 6th)"
+"$STATE/storypivot-server" -addr "$ADDR" \
+    -feed-replay 2000 -feed-replay-sources 3 \
+    -feed-flaky-first 4 -feed-flaky-every 6 \
+    -feed-backoff-base 50ms -feed-backoff-cap 400ms \
+    -feed-breaker-threshold 3 -feed-breaker-cooldown 1s \
+    -feed-batch 32 -feed-poll 200ms -feed-checkpoint-every 2s \
+    -feed-state-dir "$STATE/feed" &
+PID=$!
+
+for _ in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.2
+done
+
+echo "==> watching /api/feeds for ${WATCH_SECS}s (printing state transitions)"
+LAST=""
+i=0
+while [ "$i" -lt $((WATCH_SECS * 5)) ]; do
+    SNAP=$(curl -fsS "http://$ADDR/api/feeds" 2>/dev/null |
+        tr -d ' ",' | grep -E '^(source|state|breaker):' |
+        paste -d' ' - - - || true)
+    if [ -n "$SNAP" ] && [ "$SNAP" != "$LAST" ]; then
+        echo "--- $(date +%H:%M:%S)"
+        echo "$SNAP"
+        LAST=$SNAP
+    fi
+    sleep 0.2
+    i=$((i + 1))
+done
+
+echo "==> healthz before drain:"
+curl -sS "http://$ADDR/healthz" || true
+echo
+
+echo "==> SIGTERM (graceful drain: feeds checkpoint, pipeline closes)"
+kill -TERM "$PID"
+wait "$PID" || true
+PID=""
+
+echo "==> persisted feed state:"
+ls -l "$STATE/feed" "$STATE/feed/dlq" 2>/dev/null || true
+echo "==> cursors:"
+cat "$STATE/feed/cursors.json" 2>/dev/null || echo "(none)"
+echo
+echo "==> demo done"
