@@ -28,6 +28,8 @@ import (
 	"repro/internal/curated"
 	"repro/internal/httpx"
 	"repro/internal/obs"
+	"repro/internal/qcache"
+	"repro/internal/quota"
 	"repro/internal/server"
 )
 
@@ -51,6 +53,13 @@ func main() {
 		retryAfter        = flag.Duration("retry-after", 1*time.Second, "Retry-After hint sent with 429 responses")
 		requestTimeout    = flag.Duration("request-timeout", 30*time.Second, "per-request context deadline (0 = none)")
 		shutdownGrace     = flag.Duration("shutdown-grace", httpx.DefaultShutdownGrace, "drain budget for in-flight requests on SIGINT/SIGTERM")
+
+		quotaRPS   = flag.Float64("quota-rps", 0, "per-tenant sustained requests/sec on /api/* (0 = quotas disabled); tune live via PUT /api/admin/quotas")
+		quotaBurst = flag.Int("quota-burst", 20, "per-tenant burst size (tokens banked at the sustained rate)")
+
+		cacheTTL        = flag.Duration("cache-ttl", 30*time.Second, "query result cache entry lifetime (0 = caching disabled)")
+		cacheShards     = flag.Int("cache-shards", 16, "query result cache shard count (rounded up to a power of two)")
+		cacheMaxEntries = flag.Int("cache-max-entries", 4096, "query result cache capacity across all shards (-1 = unbounded)")
 	)
 	var ff feedFlags
 	registerFeedFlags(&ff)
@@ -90,6 +99,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *cacheTTL != 0 {
+		s.EnableCache(qcache.Config{
+			TTL:        *cacheTTL,
+			Shards:     *cacheShards,
+			MaxEntries: *cacheMaxEntries,
+		})
+	}
+	if *quotaRPS > 0 {
+		s.EnableQuotas(quota.Limit{RPS: *quotaRPS, Burst: *quotaBurst})
+	}
 	if *useCur {
 		for _, cd := range curated.Corpus() {
 			doc := cd.Doc
@@ -118,6 +137,7 @@ func main() {
 		RetryAfter:     *retryAfter,
 		RequestTimeout: *requestTimeout,
 		MaxBodyBytes:   *maxBodyBytes,
+		Quota:          s.QuotaMiddleware(),
 	})
 	srv := httpx.NewServer(*addr, handler, httpx.ServerConfig{
 		ReadTimeout:       *readTimeout,

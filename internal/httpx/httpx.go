@@ -261,10 +261,16 @@ type Config struct {
 	RetryAfter     time.Duration // 429 Retry-After hint
 	RequestTimeout time.Duration // per-request context deadline; <=0 disables
 	MaxBodyBytes   int64         // request body cap; <=0 disables
+	// Quota, when set, is the per-tenant throttle middleware
+	// (internal/quota, injected as a plain middleware so httpx stays
+	// policy-free). It runs after the admission gate: the gate answers
+	// "is the process saturated" for everyone, the quota answers "is
+	// this tenant over contract" only for requests that were admitted.
+	Quota Middleware
 }
 
 // Wrap applies the canonical production middleware stack to h:
-// Instrument → Recover → Gate → BodyLimit → Deadline → h.
+// Instrument → Recover → Gate → Quota → BodyLimit → Deadline → h.
 // Instrumentation is outermost so every outcome is counted — shed
 // 429s, recovered-panic 500s (Recover returns normally after writing
 // them), and aborts that unwind all the way out; recovery sits just
@@ -273,11 +279,17 @@ type Config struct {
 // requests cost nothing.
 func Wrap(h http.Handler, cfg Config) http.Handler {
 	gate := NewGate(cfg.MaxInflight, cfg.RetryAfter)
-	return Chain(
+	mws := []Middleware{
 		Instrument(),
 		Recover(),
 		gate.Middleware(),
+	}
+	if cfg.Quota != nil {
+		mws = append(mws, cfg.Quota)
+	}
+	mws = append(mws,
 		BodyLimit(cfg.MaxBodyBytes),
 		Deadline(cfg.RequestTimeout),
-	)(h)
+	)
+	return Chain(mws...)(h)
 }

@@ -1,0 +1,250 @@
+package quota
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when told, so refill arithmetic is exact.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBucketBurstAndRefill(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(Limit{RPS: 2, Burst: 3})
+	l.SetNow(clk.now)
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("t1"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := l.Allow("t1")
+	if ok {
+		t.Fatal("4th immediate request admitted past burst")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry = %v, want (0, 500ms]-ish at 2 rps", retry)
+	}
+	// 500ms at 2 rps refills exactly one token.
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := l.Allow("t1"); !ok {
+		t.Fatal("request refused after refill interval")
+	}
+	if ok, _ := l.Allow("t1"); ok {
+		t.Fatal("second request admitted from a single refilled token")
+	}
+}
+
+func TestTenantsIsolated(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(Limit{RPS: 1, Burst: 1})
+	l.SetNow(clk.now)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("tenant a refused its first request")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("tenant a admitted past burst")
+	}
+	// Tenant b has its own bucket.
+	if ok, _ := l.Allow("b"); !ok {
+		t.Fatal("tenant b starved by tenant a")
+	}
+}
+
+func TestUnlimitedDefaultAndOverride(t *testing.T) {
+	l := NewLimiter(Limit{}) // unlimited default
+	for i := 0; i < 1000; i++ {
+		if ok, _ := l.Allow("x"); !ok {
+			t.Fatal("unlimited default refused a request")
+		}
+	}
+	clk := newFakeClock()
+	l.SetNow(clk.now)
+	l.SetOverride("x", Limit{RPS: 1, Burst: 2})
+	if ok, _ := l.Allow("x"); !ok {
+		t.Fatal("override burst refused")
+	}
+	if ok, _ := l.Allow("x"); !ok {
+		t.Fatal("override burst refused")
+	}
+	if ok, _ := l.Allow("x"); ok {
+		t.Fatal("override not enforced")
+	}
+	l.ClearOverride("x")
+	if ok, _ := l.Allow("x"); !ok {
+		t.Fatal("cleared override did not fall back to unlimited default")
+	}
+}
+
+func TestLiveShrinkTakesEffectImmediately(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(Limit{RPS: 100, Burst: 100})
+	l.SetNow(clk.now)
+	if ok, _ := l.Allow("t"); !ok {
+		t.Fatal("warm-up refused")
+	}
+	// Shrink to 1 token burst: the 99 banked tokens must be clamped.
+	l.SetOverride("t", Limit{RPS: 1, Burst: 1})
+	if ok, _ := l.Allow("t"); !ok {
+		t.Fatal("first post-shrink request refused (clamp should leave 1)")
+	}
+	if ok, _ := l.Allow("t"); ok {
+		t.Fatal("banked burst survived a live quota shrink")
+	}
+}
+
+func TestApplyUpdate(t *testing.T) {
+	l := NewLimiter(Limit{RPS: 5, Burst: 5})
+	var u Update
+	if err := json.Unmarshal([]byte(`{
+		"default": {"rps": 2, "burst": 4},
+		"tenants": [
+			{"tenant": "gold", "rps": 100, "burst": 200},
+			{"tenant": "old", "clear": true}
+		]
+	}`), &u); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Default(); got.RPS != 2 || got.Burst != 4 {
+		t.Fatalf("default = %+v, want {2 4}", got)
+	}
+	if got := l.Limit("gold"); got.RPS != 100 || got.Burst != 200 {
+		t.Fatalf("gold = %+v, want {100 200}", got)
+	}
+	snap := l.Snapshot()
+	if len(snap.Overrides) != 1 || snap.Overrides[0].Tenant != "gold" {
+		t.Fatalf("overrides = %+v, want exactly [gold]", snap.Overrides)
+	}
+
+	if err := l.Apply(Update{Tenants: []struct {
+		Tenant string `json:"tenant"`
+		Clear  bool   `json:"clear,omitempty"`
+		Limit
+	}{{Tenant: ""}}}); err == nil {
+		t.Fatal("empty tenant accepted")
+	}
+}
+
+func TestTenantExtraction(t *testing.T) {
+	r := httptest.NewRequest("GET", "/api/search?q=x", nil)
+	if got := Tenant(r); got != "anonymous" {
+		t.Fatalf("no credentials: tenant = %q, want anonymous", got)
+	}
+	r = httptest.NewRequest("GET", "/api/search?q=x&api_key=qp", nil)
+	if got := Tenant(r); got != "qp" {
+		t.Fatalf("query param: tenant = %q, want qp", got)
+	}
+	r.Header.Set("X-API-Key", "hdr")
+	if got := Tenant(r); got != "hdr" {
+		t.Fatalf("header beats query param: tenant = %q, want hdr", got)
+	}
+}
+
+func TestMeteredPaths(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"/api/search", true},
+		{"/api/timeline", true},
+		{"/api/admin/quotas", false},
+		{"/healthz", false},
+		{"/metrics", false},
+		{"/", false},
+		{"/api/", true},
+	}
+	for _, c := range cases {
+		if got := Metered(c.path); got != c.want {
+			t.Errorf("Metered(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestMiddlewareThrottleResponse(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(Limit{RPS: 1, Burst: 1})
+	l.SetNow(clk.now)
+	h := Middleware(l)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/search?q=a", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first request: %d, want 200", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/search?q=a", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("throttled request: %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("throttled response missing Retry-After")
+	} else if n, err := strconv.Atoi(ra); err != nil || n < 1 {
+		t.Fatalf("Retry-After = %q, want integer >= 1", ra)
+	}
+	var body struct {
+		Error  string `json:"error"`
+		Tenant string `json:"tenant"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("429 body is not JSON: %v (%q)", err, rec.Body.String())
+	}
+	if body.Error != "tenant quota exceeded" || body.Tenant != "anonymous" {
+		t.Fatalf("429 body = %+v", body)
+	}
+
+	// Unmetered paths pass even for the throttled tenant.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/admin/quotas", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("admin path throttled: %d, want 200", rec.Code)
+	}
+}
+
+func TestLimiterConcurrency(t *testing.T) {
+	l := NewLimiter(Limit{RPS: 1000, Burst: 100})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := "t" + strconv.Itoa(i%3)
+			for j := 0; j < 500; j++ {
+				l.Allow(tenant)
+				if j%100 == 0 {
+					l.SetOverride(tenant, Limit{RPS: float64(j + 1), Burst: j + 1})
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

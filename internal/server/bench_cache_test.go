@@ -1,0 +1,132 @@
+package server
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/qcache"
+	"repro/internal/text"
+)
+
+// benchServer builds a server over a settled synthetic corpus, holding
+// back a tail of snippets for the background ingest writer, and a
+// zipfian-replayable panel of search URLs.
+func benchServer(b *testing.B, cached bool) (*Server, http.Handler, []string, []*datagen.Corpus) {
+	b.Helper()
+	corpus := datagen.Generate(experiments.CorpusScale(2000, 5, 17))
+	s, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	if cached {
+		s.EnableCache(qcache.Config{TTL: 30 * time.Second, Shards: 16, MaxEntries: 4096})
+	}
+	preload := corpus.Snippets[:len(corpus.Snippets)*4/5]
+	for _, sn := range preload {
+		if err := s.Pipeline().Ingest(sn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Pipeline().Result() // settle
+
+	// Panel: 64 distinct single- and two-term queries built from corpus
+	// vocabulary, replayed under a zipfian distribution below.
+	seen := map[string]bool{}
+	var terms []string
+	for _, sn := range preload {
+		for _, tm := range sn.Terms {
+			if !seen[tm.Token] {
+				seen[tm.Token] = true
+				if toks := text.Pipeline(tm.Token); len(toks) == 1 {
+					terms = append(terms, tm.Token)
+				}
+			}
+		}
+		if len(terms) >= 128 {
+			break
+		}
+	}
+	var urls []string
+	for i := 0; len(urls) < 64 && i+1 < len(terms); i += 2 {
+		q := terms[i]
+		if i%4 == 0 {
+			q += " " + terms[i+1]
+		}
+		urls = append(urls, "/api/search?"+url.Values{"q": {q}, "limit": {"10"}}.Encode())
+	}
+	if len(urls) < 8 {
+		b.Fatalf("panel too small: %d urls", len(urls))
+	}
+	return s, s.rawMux(), urls, []*datagen.Corpus{corpus}
+}
+
+// startFeed trickles the held-back corpus tail into the live pipeline
+// at a fixed pace, so invalidations land throughout the measurement.
+func startFeed(s *Server, corpus *datagen.Corpus, pace time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	tail := corpus.Snippets[len(corpus.Snippets)*4/5:]
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(pace)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s.Pipeline().Ingest(tail[i%len(tail)])
+			}
+		}
+	}()
+	return func() { close(done); <-finished }
+}
+
+// benchZipfReplay replays the URL panel under a zipfian distribution
+// (exponent 1.3: a few hot queries, a long cold tail) against the raw
+// mux while the feed writer churns, reporting the observed hit rate.
+func benchZipfReplay(b *testing.B, s *Server, h http.Handler, urls []string, corpus *datagen.Corpus) {
+	stop := startFeed(s, corpus, 2*time.Millisecond)
+	defer stop()
+	zipf := rand.NewZipf(rand.New(rand.NewSource(17)), 1.3, 1, uint64(len(urls)-1))
+	picks := make([]int, 4096)
+	for i := range picks {
+		picks[i] = int(zipf.Uint64())
+	}
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, urls[picks[i%len(picks)]], nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d on %s", rec.Code, urls[picks[i%len(picks)]])
+		}
+		if rec.Header().Get("X-Cache") == "HIT" {
+			hits++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(hits)/float64(b.N), "hitrate")
+}
+
+// BenchmarkSearchCached measures the served query path with the result
+// cache on: zipfian replay over 64 queries, concurrent paced ingest.
+func BenchmarkSearchCached(b *testing.B) {
+	s, h, urls, cs := benchServer(b, true)
+	benchZipfReplay(b, s, h, urls, cs[0])
+}
+
+// BenchmarkSearchUncached is the identical replay with caching off —
+// the denominator for the cached-speedup acceptance check.
+func BenchmarkSearchUncached(b *testing.B) {
+	s, h, urls, cs := benchServer(b, false)
+	benchZipfReplay(b, s, h, urls, cs[0])
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	storypivot "repro"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/httpx"
+	"repro/internal/qcache"
+	"repro/internal/quota"
+)
+
+// TestCacheQuotaIngestRace is the -race gate for this PR's subsystems:
+// HTTP query traffic (hits, misses, conditionals, bypasses) races feed
+// ingest (which publishes and invalidates), a mid-stream RemoveSource,
+// the cache's expiry sweeper and capacity evictions, and live quota
+// reconfiguration through the admin endpoint. It asserts no data races
+// (the detector), no panics, and that every response is one of the
+// statuses the stack can legitimately produce.
+func TestCacheQuotaIngestRace(t *testing.T) {
+	corpus := datagen.Generate(experiments.CorpusScale(600, 4, 29))
+	s, err := New(storypivot.WithRefinement(true), storypivot.WithAutoAlign(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Aggressive TTL, sweeper, and a small capacity so expiry sweeps and
+	// evictions run concurrently with everything else.
+	s.EnableCache(qcache.Config{TTL: 20 * time.Millisecond, Shards: 4,
+		MaxEntries: 256, SweepInterval: 5 * time.Millisecond})
+	s.EnableQuotas(quota.Limit{RPS: 1e6, Burst: 1000})
+	ts := httptest.NewServer(s.HandlerWith(httpx.Config{Quota: s.QuotaMiddleware()}))
+	defer ts.Close()
+
+	bySource := corpus.BySource()
+	ent := string(corpus.Snippets[0].Entities[0])
+	query := corpus.Snippets[0].Terms[0].Token
+	var victim storypivot.SourceID
+	for src := range bySource {
+		victim = src
+		break
+	}
+
+	var writers sync.WaitGroup
+	for src, sns := range bySource {
+		src, sns := src, sns
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i, sn := range sns {
+				if err := s.Pipeline().Ingest(sn); err != nil {
+					t.Errorf("ingest %s: %v", src, err)
+					return
+				}
+				if src == victim && i == len(sns)/2 {
+					s.Pipeline().RemoveSource(victim)
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	urls := []string{
+		"/api/search?" + url.Values{"q": {query}}.Encode(),
+		"/api/search?" + url.Values{"q": {query}, "limit": {"5"}}.Encode(),
+		"/api/timeline?" + url.Values{"entity": {ent}}.Encode(),
+		"/api/timeline?" + url.Values{"entity": {ent}, "offset": {"3"}, "limit": {"4"}}.Encode(),
+	}
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			tenant := fmt.Sprintf("reader-%d", w)
+			etag := ""
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				req, _ := http.NewRequest(http.MethodGet, ts.URL+urls[i%len(urls)], nil)
+				req.Header.Set("X-API-Key", tenant)
+				switch i % 4 {
+				case 1:
+					req.Header.Set("Cache-Control", "no-cache")
+				case 2:
+					req.Header.Set("Cache-Control", "no-store")
+				case 3:
+					if etag != "" {
+						req.Header.Set("If-None-Match", etag)
+					}
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Errorf("reader %d: %v", w, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusNotModified, http.StatusTooManyRequests:
+				default:
+					t.Errorf("reader %d: unexpected status %d on %s", w, resp.StatusCode, urls[i%len(urls)])
+					return
+				}
+				if e := resp.Header.Get("ETag"); e != "" {
+					etag = e
+				}
+			}
+		}()
+	}
+
+	// Admin churn: rewrite the default and per-reader overrides, clear
+	// them, and read the snapshot back, all while enforcement runs.
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			var body string
+			switch i % 3 {
+			case 0:
+				body = fmt.Sprintf(`{"default":{"rps":%d,"burst":%d}}`, 1e6+i, 500+i%500)
+			case 1:
+				body = fmt.Sprintf(`{"tenants":[{"tenant":"reader-%d","rps":1e6,"burst":2000}]}`, i%4)
+			case 2:
+				body = fmt.Sprintf(`{"tenants":[{"tenant":"reader-%d","clear":true}]}`, i%4)
+			}
+			req, _ := http.NewRequest(http.MethodPut, ts.URL+"/api/admin/quotas", strings.NewReader(body))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Errorf("admin PUT: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("admin PUT = %d", resp.StatusCode)
+				return
+			}
+			if i%5 == 0 {
+				r, err := http.Get(ts.URL + "/api/admin/quotas")
+				if err != nil {
+					t.Errorf("admin GET: %v", err)
+					return
+				}
+				io.Copy(io.Discard, r.Body)
+				r.Body.Close()
+			}
+		}
+	}()
+
+	writers.Wait()
+	close(done)
+	readers.Wait()
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is active. Allocation
+// pins do not hold under -race (instrumentation allocates), so alloc
+// tests skip themselves.
+const raceEnabled = true

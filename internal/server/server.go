@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +20,9 @@ import (
 	"repro/internal/feed"
 	"repro/internal/httpx"
 	"repro/internal/obs"
+	"repro/internal/qcache"
+	"repro/internal/quota"
+	"repro/internal/text"
 )
 
 // Response-path instrumentation; request counting and latency live in
@@ -27,6 +32,8 @@ var (
 		"responses whose JSON encoding failed before any bytes were sent")
 	metWriteErrors = obs.GetCounter("storypivot_http_write_errors_total",
 		"responses aborted mid-write (client gone or connection cut)")
+	metEncodesSkipped = obs.GetCounter("storypivot_http_encodes_skipped_total",
+		"responses served without running the JSON encoder (cache hits and 304s)")
 )
 
 // Server is the demonstration backend. It owns a set of available
@@ -68,6 +75,18 @@ type Server struct {
 	ingestT *eval.Timer
 	alignT  *eval.Timer
 
+	// cache, when enabled, serves /api/search and /api/timeline from
+	// encoded bytes, invalidated by the engine's result publishes via a
+	// qcache.Sink attached per pipeline (rebuilds rebind a fresh sink
+	// and bump the epoch, so entries never outlive their engine).
+	cache *qcache.Cache
+
+	// quotas, when enabled, backs the /api/admin/quotas endpoints; the
+	// throttling middleware itself is wired by the cmd via
+	// httpx.Config.Quota, so embedded/test handlers stay unmetered
+	// unless they opt in.
+	quotas *quota.Limiter
+
 	closed atomic.Bool
 
 	// rebuildHook, when set (fault-injection tests), runs during a
@@ -90,6 +109,35 @@ func New(opts ...storypivot.Option) (*Server, error) {
 	}
 	s.pipeline.Store(p)
 	return s, nil
+}
+
+// EnableCache attaches a query-result cache. Must be called before the
+// server starts handling requests. The returned cache is the one the
+// server consults; tests use it to reach Len and the metrics.
+func (s *Server) EnableCache(cfg qcache.Config) *qcache.Cache {
+	c := qcache.New(cfg)
+	c.StartSweeper()
+	s.cache = c
+	s.Pipeline().Engine().AddResultSink(qcache.NewSink(c))
+	return c
+}
+
+// EnableQuotas attaches a per-tenant limiter with the given default
+// limit, exposing it on GET/PUT /api/admin/quotas. The enforcement
+// middleware is quota.Middleware(limiter), to be placed in the httpx
+// stack via Config.Quota (the cmd does this; see QuotaMiddleware).
+func (s *Server) EnableQuotas(def quota.Limit) *quota.Limiter {
+	s.quotas = quota.NewLimiter(def)
+	return s.quotas
+}
+
+// QuotaMiddleware returns the enforcement middleware for the enabled
+// limiter, or nil when quotas are off.
+func (s *Server) QuotaMiddleware() httpx.Middleware {
+	if s.quotas == nil {
+		return nil
+	}
+	return quota.Middleware(s.quotas)
 }
 
 // Preload registers documents as available (but not selected).
@@ -148,10 +196,21 @@ func (s *Server) rebuild(want map[string]bool) error {
 	if s.rebuildHook != nil {
 		s.rebuildHook()
 	}
+	if s.cache != nil {
+		// Rebind BEFORE the swap so no publish of the new engine is
+		// missed, and bump the epoch AFTER so every entry computed
+		// against the old pipeline dies. The old pipeline's orphaned
+		// sink can still fire until Close; its bumps are conservative
+		// extra invalidations, never missing ones.
+		p.Engine().AddResultSink(qcache.NewSink(s.cache))
+	}
 	s.stateMu.Lock()
 	old := s.pipeline.Swap(p)
 	s.selected = sel
 	s.stateMu.Unlock()
+	if s.cache != nil {
+		s.cache.BumpAll()
+	}
 	if old != nil {
 		old.Close()
 	}
@@ -223,6 +282,9 @@ func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	if s.cache != nil {
+		s.cache.Close()
+	}
 	if p := s.pipeline.Load(); p != nil {
 		return p.Close()
 	}
@@ -267,31 +329,49 @@ func (s *Server) rawMux() http.Handler {
 	mux.HandleFunc("GET /api/trending", s.handleTrending)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("GET /api/feeds", s.handleFeeds)
+	mux.HandleFunc("GET /api/admin/quotas", s.handleQuotasGet)
+	mux.HandleFunc("PUT /api/admin/quotas", s.handleQuotasPut)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /", s.handleIndex)
 	return mux
 }
 
-// writeJSON encodes v completely before touching the connection: the
-// status line is committed only once a full body exists, so an
-// encoding failure becomes a clean 500 instead of a half-written
-// response that the instrumentation would count as a 200, and write
-// errors on aborted connections are recorded rather than dropped.
-func writeJSON(w http.ResponseWriter, v any) {
+// encodeJSON renders v exactly as writeJSON would send it. Split out so
+// the cache can store the encoded bytes and later serve them — or a
+// 304 — without re-running the encoder.
+func encodeJSON(v any) ([]byte, error) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeBody commits an already-encoded JSON body: the status line goes
+// out only once a full body exists, and write errors on aborted
+// connections are recorded rather than dropped.
+func writeBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(body); err != nil {
+		metWriteErrors.Inc()
+	}
+}
+
+// writeJSON encodes v completely before touching the connection, so an
+// encoding failure becomes a clean 500 instead of a half-written
+// response that the instrumentation would count as a 200.
+func writeJSON(w http.ResponseWriter, v any) {
+	body, err := encodeJSON(v)
+	if err != nil {
 		metEncodeErrors.Inc()
 		httpError(w, http.StatusInternalServerError, "response encoding failed: "+err.Error())
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
-	w.WriteHeader(http.StatusOK)
-	if _, err := w.Write(buf.Bytes()); err != nil {
-		metWriteErrors.Inc()
-	}
+	writeBody(w, body)
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {
@@ -450,12 +530,13 @@ const (
 	maxPageLimit     = 500
 )
 
-// pageParams parses offset/limit query parameters, applying the default
-// and cap. It reports ok=false (after writing the error) on malformed
-// values.
-func pageParams(w http.ResponseWriter, r *http.Request) (offset, limit int, ok bool) {
+// pageParams parses offset/limit from already-parsed query values (the
+// cached handlers parse r.URL.Query() exactly once per request),
+// applying the default and cap. It reports ok=false (after writing the
+// error) on malformed values.
+func pageParams(w http.ResponseWriter, vals url.Values) (offset, limit int, ok bool) {
 	offset, limit = 0, defaultPageLimit
-	if v := r.URL.Query().Get("offset"); v != "" {
+	if v := vals.Get("offset"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
 			httpError(w, http.StatusBadRequest, "invalid offset parameter")
@@ -463,7 +544,7 @@ func pageParams(w http.ResponseWriter, r *http.Request) (offset, limit int, ok b
 		}
 		offset = n
 	}
-	if v := r.URL.Query().Get("limit"); v != "" {
+	if v := vals.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
 			httpError(w, http.StatusBadRequest, "invalid limit parameter")
@@ -477,40 +558,204 @@ func pageParams(w http.ResponseWriter, r *http.Request) (offset, limit int, ok b
 	return offset, limit, true
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		httpError(w, http.StatusBadRequest, "missing q parameter")
+// cacheMode classifies the request's Cache-Control directives: normal
+// lookups, no-cache (bypass the read but refresh the stored entry —
+// forced revalidation), and no-store (touch the cache not at all).
+type cacheMode int
+
+const (
+	modeNormal cacheMode = iota
+	modeNoCache
+	modeNoStore
+)
+
+func requestCacheMode(r *http.Request) cacheMode {
+	cc := r.Header.Get("Cache-Control")
+	switch {
+	case cc == "":
+		return modeNormal
+	case strings.Contains(cc, "no-store"):
+		return modeNoStore
+	case strings.Contains(cc, "no-cache"):
+		return modeNoCache
+	}
+	return modeNormal
+}
+
+// etagMatch implements If-None-Match weak comparison (RFC 9110 §13.1.2):
+// validators match ignoring the W/ prefix; "*" matches anything.
+func etagMatch(inm, etag string) bool {
+	if inm == "" {
+		return false
+	}
+	if strings.TrimSpace(inm) == "*" {
+		return true
+	}
+	etag = strings.TrimPrefix(etag, "W/")
+	for _, cand := range strings.Split(inm, ",") {
+		if strings.TrimPrefix(strings.TrimSpace(cand), "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// serveEncoded commits an already-encoded cacheable response: a bodyless
+// 304 when the client's If-None-Match matches, the full 200 otherwise.
+// Vary names X-API-Key because the quota middleware makes the status
+// (200 vs 429) credential-dependent — a shared intermediary must not
+// replay one tenant's response for another. X-Cache is diagnostic:
+// HIT (served from cache), MISS (computed and stored), BYPASS
+// (computed because the request opted out of cache reads).
+func serveEncoded(w http.ResponseWriter, r *http.Request, body []byte, etag, xcache string) {
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Vary", "X-API-Key")
+	h.Set("X-Cache", xcache)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	offset, limit, ok := pageParams(w, r)
-	if !ok {
-		return
-	}
-	hits, total := s.Pipeline().SearchN(q, offset, limit)
+	writeBody(w, body)
+}
+
+func searchPage(hits []*storypivot.IntegratedStory, total, offset, limit int) SearchPageView {
 	out := make([]IntegratedView, 0, len(hits))
 	for _, is := range hits {
 		out = append(out, integratedView(is, false))
 	}
-	writeJSON(w, SearchPageView{Total: total, Offset: offset, Limit: limit, Results: out})
+	return SearchPageView{Total: total, Offset: offset, Limit: limit, Results: out}
 }
 
-func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
-	e := r.URL.Query().Get("entity")
-	if e == "" {
-		httpError(w, http.StatusBadRequest, "missing entity parameter")
-		return
-	}
-	offset, limit, ok := pageParams(w, r)
-	if !ok {
-		return
-	}
-	sns, total := s.Pipeline().TimelineN(storypivot.Entity(e), offset, limit)
+func timelinePage(sns []*storypivot.Snippet, total, offset, limit int) TimelinePageView {
 	out := make([]SnippetView, 0, len(sns))
 	for _, sn := range sns {
 		out = append(out, snippetView(sn, event.RoleUnknown))
 	}
-	writeJSON(w, TimelinePageView{Total: total, Offset: offset, Limit: limit, Results: out})
+	return TimelinePageView{Total: total, Offset: offset, Limit: limit, Results: out}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	vals := r.URL.Query()
+	q := vals.Get("q")
+	if q == "" {
+		httpError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	offset, limit, ok := pageParams(w, vals)
+	if !ok {
+		return
+	}
+	if s.cache == nil {
+		hits, total := s.Pipeline().SearchN(q, offset, limit)
+		writeJSON(w, searchPage(hits, total, offset, limit))
+		return
+	}
+	s.cachedQuery(w, r, "search", q,
+		func(deps *qcache.Deps) {
+			for _, tok := range text.Pipeline(q) {
+				deps.AddTerm(tok)
+			}
+		},
+		func(p *storypivot.Pipeline) (any, bool) {
+			hits, total := p.SearchN(q, offset, limit)
+			return searchPage(hits, total, offset, limit), true
+		}, offset, limit)
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	vals := r.URL.Query()
+	e := vals.Get("entity")
+	if e == "" {
+		httpError(w, http.StatusBadRequest, "missing entity parameter")
+		return
+	}
+	offset, limit, ok := pageParams(w, vals)
+	if !ok {
+		return
+	}
+	if s.cache == nil {
+		sns, total := s.Pipeline().TimelineN(storypivot.Entity(e), offset, limit)
+		writeJSON(w, timelinePage(sns, total, offset, limit))
+		return
+	}
+	s.cachedQuery(w, r, "timeline", e,
+		func(deps *qcache.Deps) { deps.AddEntity(e) },
+		func(p *storypivot.Pipeline) (any, bool) {
+			sns, total := p.TimelineN(storypivot.Entity(e), offset, limit)
+			return timelinePage(sns, total, offset, limit), true
+		}, offset, limit)
+}
+
+// cachedQuery is the shared cache protocol for the paged query
+// endpoints. The order is load-bearing (see the qcache package
+// comment): settle the pipeline first so pending ingests publish —
+// and bump — before the lookup; on a miss, capture the validity token
+// BEFORE the index reads, so a publish racing the computation lands
+// the entry already-invalid instead of stale.
+func (s *Server) cachedQuery(w http.ResponseWriter, r *http.Request, endpoint, query string,
+	addDeps func(*qcache.Deps), compute func(*storypivot.Pipeline) (any, bool), offset, limit int) {
+	p := s.Pipeline()
+	p.Result() // settle: align pending ingests and run their invalidations
+	key := qcache.Key(endpoint, query, offset, limit)
+	mode := requestCacheMode(r)
+	if mode == modeNormal {
+		if body, etag, ok := s.cache.Get(key); ok {
+			metEncodesSkipped.Inc()
+			serveEncoded(w, r, body, etag, "HIT")
+			return
+		}
+	}
+	var deps qcache.Deps
+	addDeps(&deps)
+	tok := s.cache.Begin(deps)
+	view, ok := compute(p)
+	if !ok {
+		return // compute wrote its own error response
+	}
+	body, err := encodeJSON(view)
+	if err != nil {
+		metEncodeErrors.Inc()
+		httpError(w, http.StatusInternalServerError, "response encoding failed: "+err.Error())
+		return
+	}
+	etag := qcache.ETagFor(body)
+	if mode != modeNoStore {
+		s.cache.Put(key, tok, body, etag)
+	}
+	label := "MISS"
+	if mode != modeNormal {
+		label = "BYPASS"
+	}
+	serveEncoded(w, r, body, etag, label)
+}
+
+// handleQuotasGet exposes the live quota configuration.
+func (s *Server) handleQuotasGet(w http.ResponseWriter, _ *http.Request) {
+	if s.quotas == nil {
+		httpError(w, http.StatusNotFound, "quota enforcement not enabled")
+		return
+	}
+	writeJSON(w, s.quotas.Snapshot())
+}
+
+// handleQuotasPut applies a quota.Update — new default and/or tenant
+// overrides — without restart, answering with the resulting config.
+func (s *Server) handleQuotasPut(w http.ResponseWriter, r *http.Request) {
+	if s.quotas == nil {
+		httpError(w, http.StatusNotFound, "quota enforcement not enabled")
+		return
+	}
+	var u quota.Update
+	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+		httpError(w, decodeStatus(err), "invalid quota JSON: "+err.Error())
+		return
+	}
+	if err := s.quotas.Apply(u); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, s.quotas.Snapshot())
 }
 
 // handleContext resolves an integrated story's entities against the

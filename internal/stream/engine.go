@@ -116,9 +116,15 @@ type Engine struct {
 	sinceAlign int
 	ingested   uint64
 	result     *align.Result
-	// sink, when set, receives every freshly computed result (guarded
-	// by mu like the result itself).
-	sink ResultSink
+	// sinks receive every freshly computed result, in attach order
+	// (guarded by mu like the result itself). Slot 0 is reserved for
+	// the primary sink set via SetResultSink (the query index; primary
+	// tracks whether that slot is occupied); AddResultSink appends
+	// after it, so secondary consumers — e.g. a result-cache
+	// invalidator — always observe a state the index has already
+	// incorporated.
+	sinks   []ResultSink
+	primary bool
 
 	// entHLL estimates the distinct-entity count of everything ingested
 	// (the "# Entities" figure of the statistics module's dataset panel)
@@ -179,15 +185,43 @@ func (e *Engine) shard(src event.SourceID) *shard {
 	return sh
 }
 
-// SetResultSink attaches (or detaches, with nil) the alignment result
-// sink. If a result already exists it is published immediately, so a
-// sink attached after restore-from-checkpoint or replay never misses
-// the state the engine already computed.
+// SetResultSink attaches (or detaches, with nil) the primary alignment
+// result sink, replacing any previous primary; sinks added with
+// AddResultSink are unaffected. If a result already exists it is
+// published immediately, so a sink attached after
+// restore-from-checkpoint or replay never misses the state the engine
+// already computed.
 func (e *Engine) SetResultSink(s ResultSink) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.sink = s
+	switch {
+	case s == nil && e.primary:
+		e.sinks = e.sinks[1:]
+		e.primary = false
+	case s != nil && e.primary:
+		e.sinks[0] = s
+	case s != nil && !e.primary:
+		e.sinks = append([]ResultSink{s}, e.sinks...)
+		e.primary = true
+	}
 	if s != nil && e.result != nil {
+		s.Publish(e.result)
+	}
+}
+
+// AddResultSink appends a secondary result sink. Sinks are published
+// to in attach order on every alignment pass, after the primary sink,
+// so a secondary consumer (e.g. a cache invalidator) never observes a
+// result the primary index has not yet incorporated. If a result
+// already exists it is published to the new sink immediately.
+func (e *Engine) AddResultSink(s ResultSink) {
+	if s == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sinks = append(e.sinks, s)
+	if e.result != nil {
 		s.Publish(e.result)
 	}
 }
@@ -447,11 +481,11 @@ func (e *Engine) alignLocked() *align.Result {
 			e.result = e.aligner.Result()
 		}
 	}
-	if e.sink != nil {
-		// Published after refinement so the sink's delta protocol (keyed
-		// on Story.Gen) sees refine moves exactly once, as part of the
-		// final result of the pass.
-		e.sink.Publish(e.result)
+	// Published after refinement so the sinks' delta protocols (keyed
+	// on Story.Gen) see refine moves exactly once, as part of the
+	// final result of the pass.
+	for _, s := range e.sinks {
+		s.Publish(e.result)
 	}
 	return e.result
 }

@@ -13,22 +13,30 @@
 # Output: BENCH_identify.json — one object per benchmark with ns/op,
 # B/op, allocs/op, and comparisons/op. BENCH_query.json — one object per
 # query benchmark with ns/op, QPS, p50/p99 microseconds, and allocs/op,
-# split indexed vs scan.
+# split indexed vs scan. BENCH_cache.json — the served-query cache
+# benchmarks (zipfian replay under concurrent feed ingest), cached vs
+# uncached, with QPS, hit rate, and the derived speedup.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME=""
 QUERYTIME=""
+CACHETIME=""
 OUT="BENCH_identify.json"
 QOUT="BENCH_query.json"
+COUT="BENCH_cache.json"
 if [ "${1:-}" = "--smoke" ]; then
     BENCHTIME="-benchtime=1x"
     # Queries are microseconds each; a handful of iterations still
     # finishes instantly and keeps the percentile fields meaningful.
     QUERYTIME="-benchtime=20x"
+    # Enough replay iterations to warm the cache past its first misses;
+    # the smoke hit rate is indicative, not gated.
+    CACHETIME="-benchtime=200x"
     OUT="BENCH_identify.smoke.json"
     QOUT="BENCH_query.smoke.json"
+    COUT="BENCH_cache.smoke.json"
 fi
 
 TMP="$(mktemp)"
@@ -93,3 +101,37 @@ END {
 
 echo "==> wrote $QOUT"
 cat "$QOUT"
+
+# --- Served queries: result cache on vs off ------------------------------
+
+# shellcheck disable=SC2086  # CACHETIME is deliberately word-split
+go test -run '^$' -bench 'BenchmarkSearch(Cached|Uncached)$' \
+    -benchmem $CACHETIME ./internal/server | tee "$TMP"
+
+awk '
+/^BenchmarkSearch/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = bytes = allocs = hitrate = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")     ns = $i
+        if ($(i + 1) == "B/op")      bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+        if ($(i + 1) == "hitrate")   hitrate = $i
+    }
+    qps = (ns == "null" || ns + 0 == 0) ? "null" : sprintf("%.1f", 1e9 / ns)
+    if (name ~ /Uncached/) uncached_ns = ns; else cached_ns = ns
+    rows[++n] = sprintf("  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"qps\": %s, \"hit_rate\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, qps, hitrate, bytes, allocs)
+}
+END {
+    speedup = (cached_ns != "" && uncached_ns != "" && cached_ns + 0 > 0) \
+        ? sprintf("%.2f", uncached_ns / cached_ns) : "null"
+    rows[++n] = sprintf("  {\"cached_vs_uncached_speedup\": %s}", speedup)
+    print "["
+    for (i = 1; i <= n; i++) print rows[i] (i < n ? "," : "")
+    print "]"
+}
+' "$TMP" > "$COUT"
+
+echo "==> wrote $COUT"
+cat "$COUT"

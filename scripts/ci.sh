@@ -43,6 +43,18 @@ go test -race -count=1 \
 go test -race -count=1 -run 'TestFeedCheckpointRestoreUnderIngest' .
 go test -race -count=1 -run 'TestFeedsEndpointAndHealthz|TestHealthzWithoutFeeds' ./internal/server
 
+# Cache/quota gate: the differential coherence oracles (pipeline-layer
+# and HTTP-layer) must prove zero stale responses across seeds with
+# refinement on and mid-stream source removal, and the hammer must
+# survive concurrent query/ingest/invalidation/sweep/admin-update
+# traffic under the race detector.
+echo "==> cache coherence + quota gate (-race)"
+go test -race -count=1 -run 'TestCacheCoherenceDifferential' .
+go test -race -count=1 \
+  -run 'TestHTTPCacheCoherence|TestCacheQuotaIngestRace|TestQuota429VsGate429|TestQuotaAdminFlow' \
+  ./internal/server
+go test -race -count=1 ./internal/qcache ./internal/quota
+
 echo "==> bench smoke (scripts/bench.sh --smoke)"
 ./scripts/bench.sh --smoke
 
