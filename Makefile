@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race fuzz bench ci feed-demo clean
+.PHONY: all build vet test race fuzz bench ci feed-demo cluster-demo clean
 
 all: build test
 
@@ -42,6 +42,12 @@ ci:
 # drain (cursors + checkpoint persisted on SIGTERM).
 feed-demo:
 	./scripts/feed_demo.sh
+
+# cluster-demo starts 1 router + 3 worker shards, ingests through the
+# router (consistent-hash source routing), runs merged queries, then
+# kills a worker to show degraded (partial, never 5xx) serving.
+cluster-demo:
+	./scripts/cluster_demo.sh
 
 clean:
 	$(GO) clean ./...

@@ -60,6 +60,9 @@ func main() {
 		cacheTTL        = flag.Duration("cache-ttl", 30*time.Second, "query result cache entry lifetime (0 = caching disabled)")
 		cacheShards     = flag.Int("cache-shards", 16, "query result cache shard count (rounded up to a power of two)")
 		cacheMaxEntries = flag.Int("cache-max-entries", 4096, "query result cache capacity across all shards (-1 = unbounded)")
+
+		clusterWorker = flag.Bool("cluster-worker", false, "run as a cluster worker shard: start empty (no demo preload) and serve only the sources the router assigns here")
+		peers         = flag.String("peers", "", "comma-separated URLs of the other workers (cluster mode, advertised on GET /api/cluster/members)")
 	)
 	var ff feedFlags
 	registerFeedFlags(&ff)
@@ -109,16 +112,26 @@ func main() {
 	if *quotaRPS > 0 {
 		s.EnableQuotas(quota.Limit{RPS: *quotaRPS, Burst: *quotaBurst})
 	}
-	if *useCur {
-		for _, cd := range curated.Corpus() {
-			doc := cd.Doc
-			s.Preload(&doc)
+	if *clusterWorker {
+		// Workers start empty: their documents arrive through the router,
+		// which hashes each source to its owning shard.
+		var ps []string
+		if *peers != "" {
+			ps = strings.Split(*peers, ",")
 		}
+		s.SetPeers(ps)
 	} else {
-		s.Preload(demoDocuments()...)
-	}
-	if err := s.SelectAll(); err != nil {
-		log.Fatal(err)
+		if *useCur {
+			for _, cd := range curated.Corpus() {
+				doc := cd.Doc
+				s.Preload(&doc)
+			}
+		} else {
+			s.Preload(demoDocuments()...)
+		}
+		if err := s.SelectAll(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	feeds, err := buildFeeds(s, ff)

@@ -166,16 +166,7 @@ type Aligner struct {
 	entDistinct int
 	storyCfg    similarity.StoryConfig // cfg.Story plus the weighter
 
-	stats  Stats
-	nextID uint64
-	// prevIDs maps a component's member-set fingerprint to the
-	// IntegratedID assigned on the previous Result call. A component
-	// whose member story set is unchanged keeps its ID across passes, so
-	// integrated identity is stable under ingest that does not regroup
-	// it — downstream consumers (the demo's /api/integrated/{id} links,
-	// the Gen-keyed query cache) can rely on an ID meaning the same
-	// grouping until a split/merge actually happens.
-	prevIDs map[uint64]event.IntegratedID
+	stats Stats
 }
 
 // NewAligner creates an empty aligner.
@@ -623,7 +614,17 @@ func (a *Aligner) Result() *Result {
 	for r := range groups {
 		roots = append(roots, r)
 	}
-	// Deterministic integrated IDs: order components by smallest member ID.
+	// Integrated IDs are content-derived: a component's ID is its
+	// smallest member story ID. That makes the ID a pure function of the
+	// grouping — deterministic across processes, which is what lets a
+	// sharded deployment produce byte-identical results to a single node
+	// — while keeping the stability downstream consumers (the demo's
+	// /api/integrated/{id} links, the Gen-keyed query cache) rely on: the
+	// ID only moves when a regrouping actually gains or loses the
+	// smallest member. IDs are unique within a pass because components
+	// partition the member stories. Sorting roots by that minimum also
+	// fixes the result order: ascending IntegratedID, the invariant the
+	// query index's position-based tie-breaks assume.
 	sort.Slice(roots, func(i, j int) bool {
 		return minStoryID(groups[roots[i]]) < minStoryID(groups[roots[j]])
 	})
@@ -636,62 +637,15 @@ func (a *Aligner) Result() *Result {
 		}
 	}
 	res := &Result{Matches: matches, byStory: make(map[event.StoryID]*event.IntegratedStory)}
-	// Integrated IDs are stable across passes: a component keeps the ID
-	// assigned the last time this exact member-story set appeared, and
-	// only a regrouping (split, merge, member gained or lost) allocates a
-	// fresh one. used guards the vanishingly unlikely fingerprint
-	// collision between two components of one pass.
-	newIDs := make(map[uint64]event.IntegratedID, len(roots))
-	used := make(map[event.IntegratedID]bool, len(roots))
 	for _, r := range roots {
-		key := memberSetKey(groups[r])
-		id, ok := a.prevIDs[key]
-		if !ok || used[id] {
-			a.nextID++
-			id = event.IntegratedID(a.nextID)
-		}
-		newIDs[key] = id
-		used[id] = true
-		is := event.NewIntegratedStory(id, groups[r])
+		is := event.NewIntegratedStory(event.IntegratedID(minStoryID(groups[r])), groups[r])
 		classifyRoles(is, a.cfg)
 		res.Integrated = append(res.Integrated, is)
 		for _, m := range is.Members {
 			res.byStory[m.ID] = is
 		}
 	}
-	a.prevIDs = newIDs
-	// Order by integrated ID: with reuse, a fresh component can carry a
-	// higher ID than an older one rooted later in minStoryID order, and
-	// downstream ranking (internal/index) relies on result position
-	// ascending with IntegratedID. On a first pass the assignment order
-	// equals the root order, so this is a no-op.
-	sort.Slice(res.Integrated, func(i, j int) bool {
-		return res.Integrated[i].ID < res.Integrated[j].ID
-	})
 	return res
-}
-
-// memberSetKey fingerprints a component by its member story IDs,
-// independent of member order (commutative accumulation of per-ID
-// mixes), so the fingerprint survives upsert-induced reordering.
-func memberSetKey(sts []*event.Story) uint64 {
-	var sum, xor uint64
-	for _, st := range sts {
-		h := mix64(uint64(st.ID))
-		sum += h
-		xor ^= h
-	}
-	return mix64(sum ^ (xor * 0x9E3779B97F4A7C15))
-}
-
-// mix64 is the splitmix64 finaliser.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	x *= 0x94D049BB133111EB
-	x ^= x >> 31
-	return x
 }
 
 func minStoryID(sts []*event.Story) event.StoryID {

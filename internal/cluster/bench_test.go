@@ -1,0 +1,278 @@
+package cluster_test
+
+// Shard-scaling benchmarks: the same saturating query+ingest workload
+// against a single node and against the router over 1, 2, and 4 worker
+// shards. scripts/bench.sh turns the section into BENCH_shard.json.
+//
+// Why sharding wins on one machine: every query settles pending
+// alignment under the engine's exclusive mutex (stream.Engine.Result),
+// so on a single node a concurrent ingest stream serializes all query
+// traffic behind whole-corpus alignment passes. Workers settle only
+// their own partition, concurrently — the stall a query sees becomes
+// max(per-shard settle) instead of the sum.
+//
+// Run with:
+//
+//	go test -run '^$' -bench 'BenchmarkCluster' ./internal/cluster
+//
+// The result cache stays OFF on every configuration: the point is the
+// serving fabric, not the cache paper-over.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/event"
+	"repro/internal/experiments"
+	"repro/internal/server"
+	"repro/internal/text"
+)
+
+const benchSources = 8
+
+var clusterBench struct {
+	sync.Once
+	corpus   *datagen.Corpus
+	bySource map[event.SourceID][]*event.Snippet
+	sources  []event.SourceID
+	queries  []string
+	entities []string
+}
+
+func clusterBenchSetup(b *testing.B) {
+	b.Helper()
+	clusterBench.Do(func() {
+		c := datagen.Generate(experiments.CorpusScale(4000, benchSources, 1))
+		clusterBench.corpus = c
+		clusterBench.bySource = c.BySource()
+		for src := range clusterBench.bySource {
+			clusterBench.sources = append(clusterBench.sources, src)
+		}
+		sort.Slice(clusterBench.sources, func(i, j int) bool {
+			return clusterBench.sources[i] < clusterBench.sources[j]
+		})
+		freq := map[string]int{}
+		var tokens []string
+		seen := map[string]bool{}
+		for _, sn := range c.Snippets {
+			for _, e := range sn.Entities {
+				freq[string(e)]++
+			}
+			for _, tm := range sn.Terms {
+				if seen[tm.Token] || len(tokens) >= 8 {
+					continue
+				}
+				seen[tm.Token] = true
+				if toks := text.Pipeline(tm.Token); len(toks) == 1 && toks[0] == tm.Token {
+					tokens = append(tokens, tm.Token)
+				}
+			}
+		}
+		type ef struct {
+			e string
+			n int
+		}
+		var es []ef
+		for e, n := range freq {
+			es = append(es, ef{e, n})
+		}
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].n != es[j].n {
+				return es[i].n > es[j].n
+			}
+			return es[i].e < es[j].e
+		})
+		for i := 0; i < 6 && i < len(es); i++ {
+			clusterBench.entities = append(clusterBench.entities, es[i].e)
+		}
+		for i := 0; i+1 < len(tokens); i += 2 {
+			clusterBench.queries = append(clusterBench.queries, tokens[i]+" "+tokens[i+1])
+		}
+	})
+}
+
+// benchTarget is one serving configuration under test: either a bare
+// single node (shards == 0) or the router over N workers, each worker
+// preloaded with its partition of the corpus.
+type benchTarget struct {
+	url     string
+	workers []*server.Server
+	owner   func(src event.SourceID) int
+}
+
+func newBenchTarget(b *testing.B, shards int) *benchTarget {
+	b.Helper()
+	clusterBenchSetup(b)
+	t := &benchTarget{}
+	n := shards
+	if n == 0 {
+		n = 1
+	}
+	// Partition sources round-robin and pin them, so the split is
+	// balanced by construction and identical across runs.
+	srcShard := map[event.SourceID]int{}
+	pins := map[string]string{}
+	for i, src := range clusterBench.sources {
+		srcShard[src] = i % n
+		pins[string(src)] = fmt.Sprintf("w%d", i%n)
+	}
+	t.owner = func(src event.SourceID) int { return srcShard[src] }
+	var members []cluster.Member
+	for g := 0; g < n; g++ {
+		w, err := server.New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { w.Close() })
+		t.workers = append(t.workers, w)
+		ts := httptest.NewServer(w.Handler())
+		b.Cleanup(ts.Close)
+		members = append(members, cluster.Member{Name: fmt.Sprintf("w%d", g), URL: ts.URL})
+	}
+	for src, snippets := range clusterBench.bySource {
+		w := t.workers[srcShard[src]]
+		for _, sn := range snippets {
+			cp := *sn
+			cp.TermIDs, cp.EntityIDs, cp.TermNorm = nil, nil, 0
+			if err := w.Pipeline().Ingest(&cp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, w := range t.workers {
+		w.Pipeline().Result() // settle the preload outside the timer
+	}
+	if shards == 0 {
+		t.url = members[0].URL
+		return t
+	}
+	rt, err := cluster.NewRouter(cluster.Config{Members: members, Pins: pins})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	b.Cleanup(rts.Close)
+	t.url = rts.URL
+	return t
+}
+
+// ingestOne feeds one synthetic snippet (a fresh copy of a corpus
+// snippet under a new ID and shifted timestamp) straight into the
+// owning worker's pipeline, dirtying it so the next query pays an
+// alignment settle — the contention the benchmark exists to measure.
+func (t *benchTarget) ingestOne(b *testing.B, seq uint64) {
+	tpl := clusterBench.corpus.Snippets[int(seq)%len(clusterBench.corpus.Snippets)]
+	cp := *tpl
+	cp.TermIDs, cp.EntityIDs, cp.TermNorm = nil, nil, 0
+	cp.ID = event.SnippetID(10_000_000 + seq)
+	cp.Timestamp = tpl.Timestamp.Add(time.Duration(seq) * time.Second)
+	if err := t.workers[t.owner(cp.Source)].Pipeline().Ingest(&cp); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchServe drives the mixed workload: every ingestEvery-th operation
+// ingests, the rest are HTTP queries round-robin over search, timeline,
+// and by-entity. Per-op latencies feed p50/p99 metrics; ns/op under
+// RunParallel is aggregate wall time per op, so 1e9/ns is cluster QPS.
+func benchServe(b *testing.B, t *benchTarget) {
+	const ingestEvery = 16
+	paths := make([]string, 0, len(clusterBench.queries)+2*len(clusterBench.entities))
+	for _, q := range clusterBench.queries {
+		paths = append(paths, "/api/search?q="+strings.ReplaceAll(q, " ", "+"))
+	}
+	for _, e := range clusterBench.entities {
+		paths = append(paths, "/api/timeline?entity="+e, "/api/stories/by-entity?entity="+e)
+	}
+	var seq atomic.Uint64
+	var mu sync.Mutex
+	var all []time.Duration
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 1024)
+		for pb.Next() {
+			i := seq.Add(1)
+			t0 := time.Now()
+			if i%ingestEvery == 0 {
+				t.ingestOne(b, i)
+			} else {
+				resp, err := client.Get(t.url + paths[int(i)%len(paths)])
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+			local = append(local, time.Since(t0))
+		}
+		mu.Lock()
+		all = append(all, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) float64 {
+		k := int(q * float64(len(all)-1))
+		return float64(all[k].Nanoseconds()) / 1e3
+	}
+	b.ReportMetric(pct(0.50), "p50_us")
+	b.ReportMetric(pct(0.99), "p99_us")
+}
+
+func BenchmarkClusterQuerySingle(b *testing.B)  { benchServe(b, newBenchTarget(b, 0)) }
+func BenchmarkClusterQueryShards1(b *testing.B) { benchServe(b, newBenchTarget(b, 1)) }
+func BenchmarkClusterQueryShards2(b *testing.B) { benchServe(b, newBenchTarget(b, 2)) }
+func BenchmarkClusterQueryShards4(b *testing.B) { benchServe(b, newBenchTarget(b, 4)) }
+
+// --- Ingest: direct to a node vs routed through the ring -----------------
+
+// benchIngest posts documents over HTTP — direct to a single node or
+// through the router, which forwards each to its ring owner. Sources
+// rotate so routed ingest actually spreads across the shard set.
+func benchIngest(b *testing.B, t *benchTarget) {
+	var seq atomic.Uint64
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			doc := fmt.Sprintf(`{"source":"feed%02d","url":"http://bench/%d","title":"Bench document %d","published":"2014-07-%02dT0%d:00:00Z","body":"A jet crashed near the border and investigators from the commission reached the site to recover the recorders."}`,
+				i%16, i, i, 1+i%27, i%10)
+			resp, err := client.Post(t.url+"/api/documents", "application/json", strings.NewReader(doc))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("ingest status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkClusterIngestDirect(b *testing.B) { benchIngest(b, newBenchTarget(b, 0)) }
+func BenchmarkClusterIngestRouted(b *testing.B) { benchIngest(b, newBenchTarget(b, 4)) }

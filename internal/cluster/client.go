@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	metShardRequests = obs.GetCounter("storypivot_cluster_shard_requests_total",
+		"requests the router issued to worker shards")
+	metShardErrors = obs.GetCounter("storypivot_cluster_shard_errors_total",
+		"shard requests that failed (transport error, timeout, or 5xx)")
+	metShardHedges = obs.GetCounter("storypivot_cluster_shard_hedges_total",
+		"duplicate shard requests launched because the first was slow")
+	metPartial = obs.GetCounter("storypivot_cluster_partial_responses_total",
+		"router responses served degraded because at least one shard failed")
+)
+
+// PageEnv is the paged query envelope as workers serialise it
+// (server.SearchPageView / TimelinePageView). Results stay raw: the
+// router re-ranks by the score/timestamp side channels and re-emits the
+// winning members verbatim, so worker bytes flow through untouched and
+// the merged response is byte-identical to a single node's.
+type PageEnv struct {
+	Total   int               `json:"total"`
+	Offset  int               `json:"offset"`
+	Limit   int               `json:"limit"`
+	Results []json.RawMessage `json:"results"`
+	Scores  []float64         `json:"scores,omitempty"`
+	Partial bool              `json:"partial,omitempty"`
+}
+
+// Client issues requests to worker shards. One Client serves all
+// shards: the transport below it keeps per-host connection pools, so
+// per-shard connection reuse falls out of a single shared transport.
+type Client struct {
+	hc         *http.Client
+	timeout    time.Duration // per-shard request deadline
+	hedgeAfter time.Duration // 0 disables hedging
+}
+
+// ClientConfig configures shard fan-out behaviour.
+type ClientConfig struct {
+	// Timeout bounds every shard request (default 5s).
+	Timeout time.Duration
+	// HedgeAfter launches a second identical GET if the first has not
+	// answered within this duration; the first response wins. 0
+	// disables hedging. Only idempotent requests hedge.
+	HedgeAfter time.Duration
+}
+
+// NewClient builds a shard client.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	return &Client{
+		hc: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+		timeout:    cfg.Timeout,
+		hedgeAfter: cfg.HedgeAfter,
+	}
+}
+
+type httpResult struct {
+	status int
+	body   []byte
+	err    error
+}
+
+// Get fetches base+path?query from a shard, hedging if configured.
+// A non-2xx status is returned with err == nil; transport failures and
+// deadline overruns come back as err.
+func (c *Client) Get(ctx context.Context, base, path string, query url.Values) (int, []byte, error) {
+	u := base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	ch := make(chan httpResult, 2)
+	issue := func() {
+		metShardRequests.Inc()
+		ch <- c.do(ctx, http.MethodGet, u, nil, "")
+	}
+	go issue()
+	if c.hedgeAfter > 0 {
+		t := time.NewTimer(c.hedgeAfter)
+		defer t.Stop()
+		select {
+		case res := <-ch:
+			return finish(res)
+		case <-t.C:
+			metShardHedges.Inc()
+			go issue()
+		}
+	}
+	res := <-ch
+	return finish(res)
+}
+
+// Post forwards a request body to a shard. Never hedged: ingest is not
+// idempotent.
+func (c *Client) Post(ctx context.Context, method, base, path string, query url.Values, body []byte, contentType string) (int, []byte, error) {
+	u := base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	metShardRequests.Inc()
+	return finish(c.do(ctx, method, u, body, contentType))
+}
+
+func finish(res httpResult) (int, []byte, error) {
+	if res.err != nil {
+		metShardErrors.Inc()
+		return 0, nil, res.err
+	}
+	if res.status >= 500 {
+		metShardErrors.Inc()
+	}
+	return res.status, res.body, nil
+}
+
+func (c *Client) do(ctx context.Context, method, u string, body []byte, contentType string) httpResult {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return httpResult{err: err}
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return httpResult{err: err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return httpResult{err: err}
+	}
+	return httpResult{status: resp.StatusCode, body: b}
+}
+
+// GetPage fetches and decodes a worker's paged query envelope.
+func (c *Client) GetPage(ctx context.Context, base, path string, query url.Values) (*PageEnv, error) {
+	status, body, err := c.Get(ctx, base, path, query)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("cluster: shard %s%s: status %d", base, path, status)
+	}
+	var env PageEnv
+	if err := json.Unmarshal(body, &env); err != nil {
+		return nil, fmt.Errorf("cluster: shard %s%s: %w", base, path, err)
+	}
+	return &env, nil
+}

@@ -1,0 +1,605 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	storypivot "repro"
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/event"
+	"repro/internal/experiments"
+	"repro/internal/qcache"
+	"repro/internal/server"
+	"repro/internal/text"
+)
+
+// The differential proof. A sharded deployment answers byte-identically
+// to a single node when every alignment component lies entirely within
+// one shard. The harness constructs exactly that regime: three corpora
+// with disjoint vocabularies (tokens, entities, and sources prefixed
+// per group, snippet IDs offset), so the maximum cross-group similarity
+// — the temporal component alone, weight 0.20 — stays below the match
+// threshold (0.38) and no alignment edge can cross a shard boundary.
+// Entity-IDF weighting is off on both sides: its statistics aggregate
+// over the whole corpus under alignment, which a shard cannot observe
+// (DESIGN.md §3.12).
+//
+// Both sides then ingest the same global snippet stream — the single
+// node takes everything, each worker its own group — and every HTTP
+// query is asserted byte-for-byte equal through the router and the
+// single node, envelope included.
+
+const nGroups = 3
+
+// remapGroup namespaces a generated corpus into group g: sources,
+// entities, and description tokens get a group prefix, snippet IDs an
+// offset. Prefixing preserves sort order (Entities and Terms stay
+// sorted), and fresh Snippet values leave interning to each pipeline.
+func remapGroup(c *datagen.Corpus, g int) []*event.Snippet {
+	out := make([]*event.Snippet, 0, len(c.Snippets))
+	for _, sn := range c.Snippets {
+		cp := &event.Snippet{
+			ID:        sn.ID + event.SnippetID(g*1_000_000),
+			Source:    event.SourceID(fmt.Sprintf("g%d-%s", g, sn.Source)),
+			Timestamp: sn.Timestamp,
+			Text:      sn.Text,
+			Document:  sn.Document,
+		}
+		for _, e := range sn.Entities {
+			cp.Entities = append(cp.Entities, event.Entity(fmt.Sprintf("g%dx%s", g, e)))
+		}
+		for _, tm := range sn.Terms {
+			cp.Terms = append(cp.Terms, event.Term{Token: fmt.Sprintf("g%dx%s", g, tm.Token), Weight: tm.Weight})
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// groupOf recovers the owning group from a remapped source.
+func groupOf(src event.SourceID) int {
+	var g int
+	fmt.Sscanf(string(src), "g%d-", &g)
+	return g
+}
+
+func pipelineOpts() []storypivot.Option {
+	return []storypivot.Option{
+		storypivot.WithRefinement(true),
+		storypivot.WithRepairEvery(100),
+		storypivot.WithAlignEntityIDF(false),
+	}
+}
+
+type harness struct {
+	single  *server.Server
+	workers [nGroups]*server.Server
+	// singleTS serves the single node; routerTS the scatter-gather
+	// router over the three worker listeners.
+	singleTS, routerTS *httptest.Server
+	stream             []*event.Snippet
+	entities           []string
+	queries            []string
+}
+
+func newHarness(t *testing.T, seed int64, perGroup int) *harness {
+	t.Helper()
+	h := &harness{}
+	var err error
+	h.single, err = server.New(pipelineOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.single.Close() })
+	members := make([]cluster.Member, nGroups)
+	pins := map[string]string{}
+	for g := 0; g < nGroups; g++ {
+		w, err := server.New(pipelineOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		// Workers run with the query cache ON: the differential then
+		// also proves cached bytes equal freshly computed ones.
+		w.EnableCache(qcache.Config{TTL: time.Minute, Shards: 4, MaxEntries: 1024})
+		h.workers[g] = w
+		ts := httptest.NewServer(w.Handler())
+		t.Cleanup(ts.Close)
+		members[g] = cluster.Member{Name: fmt.Sprintf("w%d", g), URL: ts.URL}
+	}
+	// Three disjoint corpora; the interleaved global stream orders by
+	// (timestamp, id) so both sides see the same arrival sequence.
+	for g := 0; g < nGroups; g++ {
+		c := datagen.Generate(experiments.CorpusScale(perGroup, 3, seed+int64(g)*17))
+		snippets := remapGroup(c, g)
+		h.stream = append(h.stream, snippets...)
+		pins[string(snippets[0].Source)] = members[g].Name
+	}
+	sort.SliceStable(h.stream, func(i, j int) bool {
+		if !h.stream[i].Timestamp.Equal(h.stream[j].Timestamp) {
+			return h.stream[i].Timestamp.Before(h.stream[j].Timestamp)
+		}
+		return h.stream[i].ID < h.stream[j].ID
+	})
+	rt, err := cluster.NewRouter(cluster.Config{Members: members, Pins: pins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.singleTS = httptest.NewServer(h.single.Handler())
+	t.Cleanup(h.singleTS.Close)
+	h.routerTS = httptest.NewServer(rt.Handler())
+	t.Cleanup(h.routerTS.Close)
+	h.buildPanel()
+	return h
+}
+
+// buildPanel picks query entities and search tokens from every group —
+// most frequent plus rare per group, and a guaranteed miss — keeping
+// only tokens the text pipeline leaves unchanged so queries can hit.
+func (h *harness) buildPanel() {
+	freq := map[string]int{}
+	tokens := map[int][]string{}
+	tokenSeen := map[string]bool{}
+	for _, sn := range h.stream {
+		for _, e := range sn.Entities {
+			freq[string(e)]++
+		}
+		g := groupOf(sn.Source)
+		for _, tm := range sn.Terms {
+			if tokenSeen[tm.Token] || len(tokens[g]) >= 4 {
+				continue
+			}
+			tokenSeen[tm.Token] = true
+			if toks := text.Pipeline(tm.Token); len(toks) == 1 && toks[0] == tm.Token {
+				tokens[g] = append(tokens[g], tm.Token)
+			}
+		}
+	}
+	type ef struct {
+		e string
+		n int
+	}
+	perGroup := map[int][]ef{}
+	for e, n := range freq {
+		var g int
+		fmt.Sscanf(e, "g%dx", &g)
+		perGroup[g] = append(perGroup[g], ef{e, n})
+	}
+	h.entities = []string{"no_such_entity_zzz"}
+	for g := 0; g < nGroups; g++ {
+		es := perGroup[g]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].n != es[j].n {
+				return es[i].n > es[j].n
+			}
+			return es[i].e < es[j].e
+		})
+		if len(es) > 0 {
+			h.entities = append(h.entities, es[0].e, es[len(es)-1].e)
+		}
+	}
+	h.queries = []string{"zzzzqq xqqqz"}
+	for g := 0; g < nGroups; g++ {
+		ts := tokens[g]
+		if len(ts) > 0 {
+			h.queries = append(h.queries, ts[0])
+		}
+		if len(ts) > 1 {
+			h.queries = append(h.queries, ts[0]+" "+ts[1])
+		}
+	}
+	// A cross-group query: hits stories on several shards at once, the
+	// case the merge exists for.
+	var cross []string
+	for g := 0; g < nGroups; g++ {
+		if len(tokens[g]) > 0 {
+			cross = append(cross, tokens[g][0])
+		}
+	}
+	if len(cross) > 1 {
+		h.queries = append(h.queries, strings.Join(cross, " "))
+	}
+}
+
+// ingest feeds the global stream prefix [from, to) to both sides in
+// lockstep: the single node takes every snippet, each worker only its
+// group's.
+func (h *harness) ingest(t *testing.T, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		sn := h.stream[i]
+		g := groupOf(sn.Source)
+		single := &event.Snippet{
+			ID: sn.ID, Source: sn.Source, Timestamp: sn.Timestamp,
+			Entities: sn.Entities, Terms: sn.Terms, Text: sn.Text, Document: sn.Document,
+		}
+		worker := &event.Snippet{
+			ID: sn.ID, Source: sn.Source, Timestamp: sn.Timestamp,
+			Entities: sn.Entities, Terms: sn.Terms, Text: sn.Text, Document: sn.Document,
+		}
+		if err := h.single.Pipeline().Ingest(single); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.workers[g].Pipeline().Ingest(worker); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func get(t *testing.T, base, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// compare asserts the router and the single node answer the path with
+// identical status and identical bytes.
+func (h *harness) compare(t *testing.T, path, at string) {
+	t.Helper()
+	sc, sb := get(t, h.singleTS.URL, path)
+	rc, rb := get(t, h.routerTS.URL, path)
+	if sc != rc {
+		t.Fatalf("%s %s: status single=%d router=%d\nsingle: %s\nrouter: %s", at, path, sc, rc, sb, rb)
+	}
+	if !bytes.Equal(sb, rb) {
+		t.Fatalf("%s %s: bytes differ\nsingle: %s\nrouter: %s", at, path, sb, rb)
+	}
+}
+
+func (h *harness) comparePanel(t *testing.T, at string) {
+	t.Helper()
+	for _, q := range h.queries {
+		h.compare(t, "/api/search?q="+urlEscape(q), at)
+	}
+	for _, e := range h.entities {
+		h.compare(t, "/api/timeline?entity="+urlEscape(e), at)
+		h.compare(t, "/api/stories/by-entity?entity="+urlEscape(e), at)
+	}
+}
+
+// assertNonTrivial guards the differential against vacuous success:
+// byte-identity over all-empty pages proves nothing. The panel must
+// produce hits, and the cross-group query (the last one) must pull
+// stories from more than one shard — the case the merge exists for.
+func (h *harness) assertNonTrivial(t *testing.T) {
+	t.Helper()
+	var page struct {
+		Total   int `json:"total"`
+		Results []struct {
+			ID uint64 `json:"id"`
+		} `json:"results"`
+	}
+	cross := h.queries[len(h.queries)-1]
+	_, body := get(t, h.routerTS.URL, "/api/search?q="+urlEscape(cross)+"&limit=500")
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total == 0 {
+		t.Fatalf("cross-group query %q returned no hits; differential is vacuous", cross)
+	}
+	hitWorkers := 0
+	for g := 0; g < nGroups; g++ {
+		hits, _, _ := h.workers[g].Pipeline().SearchScoredN(cross, 0, 1)
+		if len(hits) > 0 {
+			hitWorkers++
+		}
+	}
+	if hitWorkers < 2 {
+		t.Fatalf("cross-group query %q hit only %d worker(s); merge path untested", cross, hitWorkers)
+	}
+	hitEntities := 0
+	for _, e := range h.entities {
+		_, body := get(t, h.routerTS.URL, "/api/stories/by-entity?entity="+urlEscape(e))
+		var p struct {
+			Total int `json:"total"`
+		}
+		if err := json.Unmarshal(body, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Total > 0 {
+			hitEntities++
+		}
+	}
+	if hitEntities < nGroups {
+		t.Fatalf("only %d panel entities hit; want at least one per group", hitEntities)
+	}
+}
+
+func urlEscape(s string) string { return strings.ReplaceAll(s, " ", "+") }
+
+func TestClusterDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness ingests thousands of snippets")
+	}
+	for _, seed := range []int64{7, 21, 63} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			h := newHarness(t, seed, 250)
+			n := len(h.stream)
+			removeAt := n * 3 / 5
+
+			h.ingest(t, 0, n/3)
+			h.comparePanel(t, "third")
+
+			h.ingest(t, n/3, removeAt)
+			// Mid-stream source removal on one shard: both sides drop the
+			// same source; the worker's index tombstones and the router
+			// must reflect it identically.
+			victim := h.stream[0].Source
+			g := groupOf(victim)
+			if !h.single.Pipeline().RemoveSource(victim) {
+				t.Fatalf("single RemoveSource(%s) removed nothing", victim)
+			}
+			if !h.workers[g].Pipeline().RemoveSource(victim) {
+				t.Fatalf("worker %d RemoveSource(%s) removed nothing", g, victim)
+			}
+			h.comparePanel(t, "after RemoveSource")
+
+			h.ingest(t, removeAt, n)
+			h.comparePanel(t, "final")
+			h.assertNonTrivial(t)
+
+			// Paged windows, including deep offsets and windows past the
+			// end — global pagination must stitch identically.
+			for _, q := range h.queries[:min(len(h.queries), 4)] {
+				for _, window := range []string{
+					"&offset=0&limit=3", "&offset=3&limit=3", "&offset=2&limit=7",
+					"&offset=50&limit=10", "&offset=100000&limit=5",
+				} {
+					h.compare(t, "/api/search?q="+urlEscape(q)+window, "paged")
+				}
+			}
+			for _, e := range h.entities[:min(len(h.entities), 5)] {
+				for _, window := range []string{
+					"&offset=0&limit=4", "&offset=4&limit=4", "&offset=1&limit=9",
+					"&offset=100000&limit=5",
+				} {
+					h.compare(t, "/api/timeline?entity="+urlEscape(e)+window, "paged")
+					h.compare(t, "/api/stories/by-entity?entity="+urlEscape(e)+window, "paged")
+				}
+			}
+		})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestClusterDegradedServing pins the failure contract: with one worker
+// of three gone, scatter endpoints answer 200 with "partial": true
+// (never a 5xx), and /healthz stays 200 until a majority is down.
+func TestClusterDegradedServing(t *testing.T) {
+	var members []cluster.Member
+	var tss []*httptest.Server
+	for g := 0; g < 3; g++ {
+		w, err := server.New(pipelineOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		ts := httptest.NewServer(w.Handler())
+		members = append(members, cluster.Member{Name: fmt.Sprintf("w%d", g), URL: ts.URL})
+		tss = append(tss, ts)
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Members: members,
+		Client:  cluster.ClientConfig{Timeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	type env struct {
+		Total   int               `json:"total"`
+		Results []json.RawMessage `json:"results"`
+		Partial bool              `json:"partial"`
+	}
+	code, body := get(t, rts.URL, "/api/search?q=anything")
+	if code != http.StatusOK {
+		t.Fatalf("healthy search: %d: %s", code, body)
+	}
+	var e env
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Partial {
+		t.Fatalf("healthy cluster answered partial: %s", body)
+	}
+	if code, _ := get(t, rts.URL, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthy healthz: %d", code)
+	}
+
+	tss[2].Close() // one worker down: degraded, never 5xx
+	for _, path := range []string{
+		"/api/search?q=anything",
+		"/api/timeline?entity=UKR",
+		"/api/stories/by-entity?entity=UKR",
+	} {
+		code, body := get(t, rts.URL, path)
+		if code != http.StatusOK {
+			t.Fatalf("degraded %s: status %d (must stay 200): %s", path, code, body)
+		}
+		var e env
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatal(err)
+		}
+		if !e.Partial {
+			t.Fatalf("degraded %s: partial flag missing: %s", path, body)
+		}
+	}
+	code, body = get(t, rts.URL, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz with 2/3 up: %d (quorum intact): %s", code, body)
+	}
+	if !strings.Contains(string(body), `"w2": "down"`) {
+		t.Fatalf("healthz does not name the dead worker: %s", body)
+	}
+
+	tss[1].Close() // majority down: quorum lost
+	if code, body := get(t, rts.URL, "/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with 1/3 up: %d, want 503: %s", code, body)
+	}
+	// Queries still degrade to 200 even with quorum lost.
+	if code, _ := get(t, rts.URL, "/api/search?q=anything"); code != http.StatusOK {
+		t.Fatalf("search with 1/3 up: %d, want 200", code)
+	}
+}
+
+// TestClusterIngestRouting pins the write path: a document POSTed to
+// the router lands on exactly the worker the ring assigns its source,
+// and the aggregated document listing sees it wherever it lives.
+func TestClusterIngestRouting(t *testing.T) {
+	var members []cluster.Member
+	var workers []*server.Server
+	for g := 0; g < 3; g++ {
+		w, err := server.New(pipelineOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		ts := httptest.NewServer(w.Handler())
+		t.Cleanup(ts.Close)
+		members = append(members, cluster.Member{Name: fmt.Sprintf("w%d", g), URL: ts.URL})
+		workers = append(workers, w)
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Members: members,
+		Pins:    map[string]string{"pinned-src": "w1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	post := func(src, url string) {
+		t.Helper()
+		doc := fmt.Sprintf(`{"source":%q,"url":%q,"title":"Jet crash in Ukraine","published":"2014-07-17T00:00:00Z","body":"A jet crashed near Donetsk in Ukraine and investigators reached the site."}`, src, url)
+		resp, err := http.Post(rts.URL+"/api/documents", "application/json", strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("POST %s: %d: %s", src, resp.StatusCode, body)
+		}
+	}
+	sources := []string{"alpha", "bravo", "charlie", "delta", "pinned-src"}
+	for i, src := range sources {
+		post(src, fmt.Sprintf("http://example.com/%s/%d", src, i))
+	}
+	ring := rt.Ring()
+	for _, src := range sources {
+		want := ring.OwnerIndex(src)
+		for g, w := range workers {
+			has := false
+			for _, s := range w.Pipeline().Sources() {
+				if string(s) == src {
+					has = true
+				}
+			}
+			if has != (g == want) {
+				t.Fatalf("source %s on worker %d (has=%v), ring owner %d", src, g, has, want)
+			}
+		}
+	}
+	if ring.Owner("pinned-src").Name != "w1" {
+		t.Fatalf("pin ignored: %s", ring.Owner("pinned-src").Name)
+	}
+	// Aggregated listing sees every document exactly once.
+	code, body := get(t, rts.URL, "/api/documents")
+	if code != http.StatusOK {
+		t.Fatalf("GET /api/documents: %d", code)
+	}
+	var docs []struct {
+		Source string `json:"source"`
+		URL    string `json:"url"`
+	}
+	if err := json.Unmarshal(body, &docs); err != nil {
+		t.Fatalf("aggregate documents: %v: %s", err, body)
+	}
+	if len(docs) != len(sources) {
+		t.Fatalf("aggregate lists %d documents, want %d: %s", len(docs), len(sources), body)
+	}
+	if !sort.SliceIsSorted(docs, func(i, j int) bool {
+		if docs[i].Source != docs[j].Source {
+			return docs[i].Source < docs[j].Source
+		}
+		return docs[i].URL < docs[j].URL
+	}) {
+		t.Fatalf("aggregate not sorted by (source, url): %s", body)
+	}
+}
+
+// TestClusterMembersReconfigure pins the admin surface: PUT swaps the
+// ring atomically and rejects invalid configurations.
+func TestClusterMembersReconfigure(t *testing.T) {
+	w, err := server.New(pipelineOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	ts := httptest.NewServer(w.Handler())
+	t.Cleanup(ts.Close)
+	rt, err := cluster.NewRouter(cluster.Config{
+		Members: []cluster.Member{{Name: "w0", URL: ts.URL}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	put := func(body string) int {
+		req, _ := http.NewRequest(http.MethodPut, rts.URL+"/api/cluster/members", strings.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := put(fmt.Sprintf(`{"members":[{"name":"w0","url":%q},{"name":"w1","url":%q}],"pins":{"hot":"w1"}}`, ts.URL, ts.URL)); code != http.StatusOK {
+		t.Fatalf("valid reconfigure: %d", code)
+	}
+	if got := len(rt.Ring().Members()); got != 2 {
+		t.Fatalf("ring has %d members after PUT, want 2", got)
+	}
+	if rt.Ring().Owner("hot").Name != "w1" {
+		t.Fatal("pin not applied after PUT")
+	}
+	if code := put(`{"members":[]}`); code != http.StatusBadRequest {
+		t.Fatalf("empty member list accepted: %d", code)
+	}
+	if code := put(`{"members":[{"name":"a","url":"u"}],"pins":{"x":"nope"}}`); code != http.StatusBadRequest {
+		t.Fatalf("bad pin accepted: %d", code)
+	}
+	if got := len(rt.Ring().Members()); got != 2 {
+		t.Fatalf("failed PUT mutated the ring: %d members", got)
+	}
+}

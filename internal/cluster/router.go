@@ -1,0 +1,581 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/index"
+	"repro/internal/obs"
+)
+
+// Pagination bounds, mirroring internal/server: the router's public
+// envelope must carry exactly the offset/limit a single node would, so
+// the two layers clamp identically.
+const (
+	defaultPageLimit = 50
+	maxPageLimit     = 500
+	deepPageLimit    = 10000
+)
+
+// Router is the scatter-gather front of a sharded deployment. It owns
+// no pipeline: reads fan out to every worker and merge; ingest routes
+// to the worker owning the document's source. Failed shards degrade the
+// response (partial: true) instead of failing it — a reader losing one
+// shard's stories is strictly more useful than a 502.
+type Router struct {
+	client *Client
+	ring   atomic.Pointer[Ring]
+}
+
+// Config assembles a router.
+type Config struct {
+	Members []Member
+	// Pins maps source → member name, overriding hash placement.
+	Pins   map[string]string
+	Client ClientConfig
+}
+
+// NewRouter builds a router over the initial member list.
+func NewRouter(cfg Config) (*Router, error) {
+	ring, err := NewRing(cfg.Members, cfg.Pins)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{client: NewClient(cfg.Client)}
+	rt.ring.Store(ring)
+	return rt, nil
+}
+
+// Ring returns the current ring snapshot.
+func (rt *Router) Ring() *Ring { return rt.ring.Load() }
+
+// Handler returns the router's HTTP handler with the always-on
+// middleware (recovery, instrumentation), mirroring server.Handler.
+func (rt *Router) Handler() http.Handler {
+	return httpx.Chain(httpx.Instrument(), httpx.Recover())(rt.rawMux())
+}
+
+// HandlerWith wraps the routes in the full httpx production stack.
+func (rt *Router) HandlerWith(cfg httpx.Config) http.Handler {
+	return httpx.Wrap(rt.rawMux(), cfg)
+}
+
+func (rt *Router) rawMux() http.Handler {
+	mux := http.NewServeMux()
+	debug := obs.DebugMux()
+	mux.Handle("GET /metrics", debug)
+	mux.Handle("GET /debug/", debug)
+	mux.HandleFunc("GET /api/search", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleRanked(w, r, "/api/search", "q")
+	})
+	mux.HandleFunc("GET /api/stories/by-entity", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleRanked(w, r, "/api/stories/by-entity", "entity")
+	})
+	mux.HandleFunc("GET /api/timeline", rt.handleTimeline)
+	mux.HandleFunc("GET /api/documents", rt.handleDocuments)
+	mux.HandleFunc("POST /api/documents", rt.handleAddDocument)
+	mux.HandleFunc("POST /api/documents/select", rt.handleSelect)
+	mux.HandleFunc("DELETE /api/documents", rt.handleRemoveDocument)
+	mux.HandleFunc("GET /api/feeds", rt.handleFeeds)
+	mux.HandleFunc("GET /api/cluster/members", rt.handleMembersGet)
+	mux.HandleFunc("PUT /api/cluster/members", rt.handleMembersPut)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	return mux
+}
+
+// encodeJSON matches server.encodeJSON byte for byte: two-space indent,
+// trailing newline. json.Indent re-tokenises embedded RawMessage
+// contents, so worker-encoded members come out in canonical form and
+// the merged envelope is byte-identical to a single node's.
+func encodeJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := encodeJSON(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "response encoding failed: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func pageParams(w http.ResponseWriter, vals url.Values) (offset, limit int, ok bool) {
+	offset, limit = 0, defaultPageLimit
+	if v := vals.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "invalid offset parameter")
+			return 0, 0, false
+		}
+		offset = n
+	}
+	if v := vals.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "invalid limit parameter")
+			return 0, 0, false
+		}
+		limit = n
+	}
+	ceil := maxPageLimit
+	if vals.Get("deep") == "1" {
+		ceil = deepPageLimit
+	}
+	if limit > ceil {
+		limit = ceil
+	}
+	return offset, limit, true
+}
+
+// scatter runs f once per member concurrently and collects the
+// results; errs[i] != nil marks shard i failed.
+func scatter[T any](ctx context.Context, members []Member, f func(ctx context.Context, m Member) (T, error)) ([]T, []error) {
+	out := make([]T, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m Member) {
+			defer wg.Done()
+			out[i], errs[i] = f(ctx, m)
+		}(i, m)
+	}
+	wg.Wait()
+	return out, errs
+}
+
+// handleRanked serves the two score-ranked scatter endpoints
+// (/api/search, /api/stories/by-entity). Global pagination: every shard
+// is asked for its top offset+limit with scores, the router merges them
+// under index.MergeRanked — the exact ordering the worker index uses —
+// and re-emits the winning window's raw members.
+func (rt *Router) handleRanked(w http.ResponseWriter, r *http.Request, path, param string) {
+	vals := r.URL.Query()
+	qv := vals.Get(param)
+	if qv == "" {
+		httpError(w, http.StatusBadRequest, "missing "+param+" parameter")
+		return
+	}
+	offset, limit, ok := pageParams(w, vals)
+	if !ok {
+		return
+	}
+	k := offset + limit
+	shardLimit := k
+	if shardLimit > deepPageLimit {
+		shardLimit = deepPageLimit
+	}
+	q := url.Values{
+		param:    {qv},
+		"offset": {"0"},
+		"limit":  {strconv.Itoa(shardLimit)},
+		"scores": {"1"},
+		"deep":   {"1"},
+	}
+	members := rt.Ring().Members()
+	envs, errs := scatter(r.Context(), members, func(ctx context.Context, m Member) (*PageEnv, error) {
+		return rt.client.GetPage(ctx, m.URL, path, q)
+	})
+	partial := false
+	total := 0
+	pages := make([][]index.Ranked, 0, len(envs))
+	for si, env := range envs {
+		if errs[si] != nil || env == nil {
+			partial = true
+			continue
+		}
+		total += env.Total
+		page := make([]index.Ranked, 0, len(env.Results))
+		for i, raw := range env.Results {
+			var idv struct {
+				ID uint64 `json:"id"`
+			}
+			if err := json.Unmarshal(raw, &idv); err != nil {
+				continue
+			}
+			var score float64
+			if i < len(env.Scores) {
+				score = env.Scores[i]
+			}
+			page = append(page, index.Ranked{Key: idv.ID, Score: score, Shard: int32(si), Pos: int32(i)})
+		}
+		pages = append(pages, page)
+	}
+	merged := index.MergeRanked(pages, k)
+	results := make([]json.RawMessage, 0, limit)
+	for i := offset; i < len(merged) && i < k; i++ {
+		results = append(results, envs[merged[i].Shard].Results[merged[i].Pos])
+	}
+	if partial {
+		metPartial.Inc()
+	}
+	writeJSON(w, http.StatusOK, PageEnv{
+		Total: total, Offset: offset, Limit: limit,
+		Results: results, Partial: partial,
+	})
+}
+
+// handleTimeline merges per-shard chronological windows. Snippets carry
+// their ordering keys (timestamp, id) in the payload itself, so no side
+// channel is needed; each shard contributes its first offset+limit live
+// snippets and the router takes the globally-earliest window.
+func (rt *Router) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	vals := r.URL.Query()
+	e := vals.Get("entity")
+	if e == "" {
+		httpError(w, http.StatusBadRequest, "missing entity parameter")
+		return
+	}
+	offset, limit, ok := pageParams(w, vals)
+	if !ok {
+		return
+	}
+	k := offset + limit
+	shardLimit := k
+	if shardLimit > deepPageLimit {
+		shardLimit = deepPageLimit
+	}
+	q := url.Values{
+		"entity": {e},
+		"offset": {"0"},
+		"limit":  {strconv.Itoa(shardLimit)},
+		"deep":   {"1"},
+	}
+	members := rt.Ring().Members()
+	envs, errs := scatter(r.Context(), members, func(ctx context.Context, m Member) (*PageEnv, error) {
+		return rt.client.GetPage(ctx, m.URL, "/api/timeline", q)
+	})
+	type entry struct {
+		ts        time.Time
+		id        uint64
+		shard, pos int
+	}
+	partial := false
+	total := 0
+	var all []entry
+	for si, env := range envs {
+		if errs[si] != nil || env == nil {
+			partial = true
+			continue
+		}
+		total += env.Total
+		for i, raw := range env.Results {
+			var sv struct {
+				ID        uint64    `json:"id"`
+				Timestamp time.Time `json:"timestamp"`
+			}
+			if err := json.Unmarshal(raw, &sv); err != nil {
+				continue
+			}
+			all = append(all, entry{ts: sv.Timestamp, id: sv.ID, shard: si, pos: i})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].ts.Equal(all[j].ts) {
+			return all[i].ts.Before(all[j].ts)
+		}
+		return all[i].id < all[j].id
+	})
+	results := make([]json.RawMessage, 0, limit)
+	for i := offset; i < len(all) && i < k; i++ {
+		results = append(results, envs[all[i].shard].Results[all[i].pos])
+	}
+	if partial {
+		metPartial.Inc()
+	}
+	writeJSON(w, http.StatusOK, PageEnv{
+		Total: total, Offset: offset, Limit: limit,
+		Results: results, Partial: partial,
+	})
+}
+
+// handleDocuments aggregates every shard's document list, ordered by
+// (source, url) for a stable cluster-wide view.
+func (rt *Router) handleDocuments(w http.ResponseWriter, r *http.Request) {
+	members := rt.Ring().Members()
+	bodies, errs := scatter(r.Context(), members, func(ctx context.Context, m Member) ([]byte, error) {
+		status, body, err := rt.client.Get(ctx, m.URL, "/api/documents", nil)
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("status %d", status)
+		}
+		return body, nil
+	})
+	type doc struct {
+		source, url string
+		raw         json.RawMessage
+	}
+	partial := false
+	var docs []doc
+	for si, body := range bodies {
+		if errs[si] != nil {
+			partial = true
+			continue
+		}
+		var raws []json.RawMessage
+		if err := json.Unmarshal(body, &raws); err != nil {
+			partial = true
+			continue
+		}
+		for _, raw := range raws {
+			var dv struct {
+				Source string `json:"source"`
+				URL    string `json:"url"`
+			}
+			if err := json.Unmarshal(raw, &dv); err != nil {
+				continue
+			}
+			docs = append(docs, doc{source: dv.Source, url: dv.URL, raw: raw})
+		}
+	}
+	sort.Slice(docs, func(i, j int) bool {
+		if docs[i].source != docs[j].source {
+			return docs[i].source < docs[j].source
+		}
+		return docs[i].url < docs[j].url
+	})
+	out := make([]json.RawMessage, 0, len(docs))
+	for _, d := range docs {
+		out = append(out, d.raw)
+	}
+	if partial {
+		metPartial.Inc()
+		writeJSON(w, http.StatusOK, map[string]any{"documents": out, "partial": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleAddDocument routes an ingest to the worker owning the
+// document's source and relays the worker's response verbatim.
+func (rt *Router) handleAddDocument(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	var dv struct {
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal(body, &dv); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid document JSON: "+err.Error())
+		return
+	}
+	if dv.Source == "" {
+		httpError(w, http.StatusBadRequest, "document needs a source")
+		return
+	}
+	owner := rt.Ring().Owner(dv.Source)
+	status, respBody, err := rt.client.Post(r.Context(), http.MethodPost, owner.URL, "/api/documents", nil, body, "application/json")
+	if err != nil {
+		httpError(w, http.StatusBadGateway, fmt.Sprintf("shard %s unreachable: %v", owner.Name, err))
+		return
+	}
+	relay(w, status, respBody)
+}
+
+// handleSelect broadcasts a selection change; every worker applies it
+// to the documents it holds.
+func (rt *Router) handleSelect(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	var req struct {
+		URLs []string `json:"urls"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid selection JSON: "+err.Error())
+		return
+	}
+	members := rt.Ring().Members()
+	_, errs := scatter(r.Context(), members, func(ctx context.Context, m Member) (struct{}, error) {
+		status, _, err := rt.client.Post(ctx, http.MethodPost, m.URL, "/api/documents/select", nil, body, "application/json")
+		if err != nil {
+			return struct{}{}, err
+		}
+		if status != http.StatusOK {
+			return struct{}{}, fmt.Errorf("status %d", status)
+		}
+		return struct{}{}, nil
+	})
+	partial := false
+	for _, e := range errs {
+		if e != nil {
+			partial = true
+		}
+	}
+	resp := map[string]any{"status": "selected", "count": len(req.URLs)}
+	if partial {
+		metPartial.Inc()
+		resp["partial"] = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRemoveDocument broadcasts a removal; the owning worker answers
+// 200, the rest 404. Any 200 wins.
+func (rt *Router) handleRemoveDocument(w http.ResponseWriter, r *http.Request) {
+	u := r.URL.Query().Get("url")
+	if u == "" {
+		httpError(w, http.StatusBadRequest, "missing url parameter")
+		return
+	}
+	q := url.Values{"url": {u}}
+	members := rt.Ring().Members()
+	type resp struct {
+		status int
+		body   []byte
+	}
+	resps, errs := scatter(r.Context(), members, func(ctx context.Context, m Member) (resp, error) {
+		status, body, err := rt.client.Post(ctx, http.MethodDelete, m.URL, "/api/documents", q, nil, "")
+		return resp{status, body}, err
+	})
+	for i, rp := range resps {
+		if errs[i] == nil && rp.status == http.StatusOK {
+			relay(w, rp.status, rp.body)
+			return
+		}
+	}
+	for i, rp := range resps {
+		if errs[i] == nil && rp.status != http.StatusNotFound {
+			relay(w, rp.status, rp.body)
+			return
+		}
+	}
+	httpError(w, http.StatusNotFound, "document not selected: "+u)
+}
+
+// handleFeeds aggregates every worker's feed status keyed by member
+// name.
+func (rt *Router) handleFeeds(w http.ResponseWriter, r *http.Request) {
+	members := rt.Ring().Members()
+	bodies, errs := scatter(r.Context(), members, func(ctx context.Context, m Member) ([]byte, error) {
+		status, body, err := rt.client.Get(ctx, m.URL, "/api/feeds", nil)
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("status %d", status)
+		}
+		return body, nil
+	})
+	workers := make(map[string]json.RawMessage, len(members))
+	partial := false
+	for i, m := range members {
+		if errs[i] != nil {
+			partial = true
+			continue
+		}
+		workers[m.Name] = bodies[i]
+	}
+	out := map[string]any{"workers": workers}
+	if partial {
+		metPartial.Inc()
+		out["partial"] = true
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMembersGet reports the live ring configuration.
+func (rt *Router) handleMembersGet(w http.ResponseWriter, _ *http.Request) {
+	ring := rt.Ring()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role":    "router",
+		"members": ring.Members(),
+		"pins":    ring.Pins(),
+	})
+}
+
+// handleMembersPut swaps in a new member list and/or pin set without
+// restart. The new ring is validated before the atomic swap; in-flight
+// requests finish on the ring they started with.
+func (rt *Router) handleMembersPut(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Members []Member          `json:"members"`
+		Pins    map[string]string `json:"pins"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid members JSON: "+err.Error())
+		return
+	}
+	ring, err := NewRing(req.Members, req.Pins)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rt.ring.Store(ring)
+	rt.handleMembersGet(w, r)
+}
+
+// handleHealthz folds the workers' health into a quorum verdict: the
+// cluster is up while a strict majority of workers answer 200. A
+// minority outage keeps serving (degraded, flagged per worker) — the
+// scatter endpoints already mark those responses partial.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	members := rt.Ring().Members()
+	statuses, errs := scatter(r.Context(), members, func(ctx context.Context, m Member) (int, error) {
+		status, _, err := rt.client.Get(ctx, m.URL, "/healthz", nil)
+		return status, err
+	})
+	up := 0
+	workers := make(map[string]string, len(members))
+	for i, m := range members {
+		switch {
+		case errs[i] != nil:
+			workers[m.Name] = "down"
+		case statuses[i] != http.StatusOK:
+			workers[m.Name] = "unhealthy"
+		default:
+			workers[m.Name] = "ok"
+			up++
+		}
+	}
+	code := http.StatusOK
+	status := "ok"
+	if up*2 <= len(members) {
+		code = http.StatusServiceUnavailable
+		status = "quorum lost"
+	} else if up < len(members) {
+		status = "degraded"
+	}
+	writeJSON(w, code, map[string]any{"status": status, "workers": workers})
+}
+
+// relay re-emits a worker's response verbatim.
+func relay(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	w.Write(body)
+}

@@ -141,15 +141,57 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// IDAlloc hands out system-wide unique story IDs. Identifiers of all
-// sources share one allocator so stories can be referenced globally by the
-// alignment phase. The zero value is ready to use.
+// Story-ID namespacing. Story IDs must be unique across every source of a
+// deployment — the alignment phase references them globally — and, for the
+// cluster's scatter-gather proofs, *deterministic*: a source must mint the
+// same IDs whether it is ingested by a single process or by whichever
+// worker shard owns it. Both follow from giving every source its own ID
+// namespace derived from the source name alone:
+//
+//	StoryID = SourceTag(source)<<sourceSeqBits | perSourceSequence
+//
+// The tag is sourceTagBits wide and the sequence sourceSeqBits, so IDs
+// stay below 2^53 and survive JSON consumers that read numbers as IEEE
+// doubles. Two distinct sources can collide in tag space with probability
+// ~k²/2^23 for k sources; the engine detects that at registration and
+// refuses the second source rather than silently corrupting the ID space
+// (a remap would depend on registration order and break determinism).
+const (
+	sourceSeqBits = 31
+	sourceTagBits = 22
+)
+
+// SourceTag returns the ID-namespace tag of a source name: the low
+// sourceTagBits of a mixed FNV-1a hash. Exported so the engine can detect
+// tag collisions between registered sources.
+func SourceTag(src event.SourceID) uint32 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(src); i++ {
+		h ^= uint64(src[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 32
+	return uint32(h) & (1<<sourceTagBits - 1)
+}
+
+// IDAlloc hands out story IDs unique within its namespace. The zero value
+// is the legacy un-namespaced allocator (IDs 1, 2, 3, ...), which unit
+// tests and single-identifier tools use; the engine gives every source a
+// NewSourceAlloc so IDs are simultaneously process-unique and
+// deterministic per source.
 type IDAlloc struct {
-	n atomic.Uint64
+	base uint64
+	n    atomic.Uint64
+}
+
+// NewSourceAlloc returns the allocator for one source's deterministic ID
+// namespace.
+func NewSourceAlloc(src event.SourceID) *IDAlloc {
+	return &IDAlloc{base: uint64(SourceTag(src)) << sourceSeqBits}
 }
 
 // Next returns a fresh story ID.
-func (a *IDAlloc) Next() event.StoryID { return event.StoryID(a.n.Add(1)) }
+func (a *IDAlloc) Next() event.StoryID { return event.StoryID(a.base | a.n.Add(1)) }
 
 // Stats counts the work done by an Identifier; the statistics module and
 // the benchmarks report them.

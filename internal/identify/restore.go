@@ -8,8 +8,16 @@ import (
 
 // Bump advances the allocator so that Next never returns an ID <= n.
 // Restoring from a checkpoint uses it to continue the ID space past the
-// stories it rebuilt.
+// stories it rebuilt. n is a full story ID: the allocator's namespace
+// base is stripped before advancing the sequence, so restore works both
+// for namespaced IDs and for legacy checkpoints whose IDs predate the
+// namespace scheme (their full value simply becomes the sequence floor).
 func (a *IDAlloc) Bump(n uint64) {
+	if n > a.base {
+		n -= a.base
+	} else {
+		n = 0
+	}
 	for {
 		cur := a.n.Load()
 		if cur >= n || a.n.CompareAndSwap(cur, n) {

@@ -220,8 +220,11 @@ func TestPaginationBounds(t *testing.T) {
 	if got, total := h.idx.StoriesByEntity("NOPE", 0, -1); len(got) != 0 || total != 0 {
 		t.Fatalf("miss: %d/%d", len(got), total)
 	}
-	if got, total := h.idx.Search("", 0, -1); got != nil || total != 0 {
+	if got, total := h.idx.Search("", 0, -1); got == nil || len(got) != 0 || total != 0 {
 		t.Fatalf("empty query: %v/%d", got, total)
+	}
+	if got, total := h.idx.Timeline("NOPE", 0, -1); got == nil || len(got) != 0 || total != 0 {
+		t.Fatalf("timeline miss must be empty, not nil: %v/%d", got, total)
 	}
 	if got, total := h.idx.Search("crash", 0, 0); len(got) != 0 || total == 0 {
 		t.Fatalf("zero-limit search: %d/%d", len(got), total)

@@ -101,39 +101,46 @@ func better(x, y hit) bool {
 // best, in rank order. k < 0 (or k >= len) sorts everything; otherwise a
 // bounded min-heap keeps selection O(n log k) — the top-k path of paged
 // queries, where k = offset+limit is usually far below the hit count.
-func rankHits(hits []hit, k int) []hit {
-	if k < 0 || k >= len(hits) {
-		sort.Slice(hits, func(i, j int) bool { return better(hits[i], hits[j]) })
-		return hits
+func rankHits(hits []hit, k int) []hit { return topK(hits, k, better) }
+
+// topK is the bounded selection core shared by the worker-side rankHits
+// and the router-side MergeRanked (see ranked.go): it orders h so that
+// the first min(k, len) entries are the best under cmp, in rank order.
+// k < 0 (or k >= len) sorts everything; otherwise h[:k] is maintained as
+// a min-heap rooted at the worst kept element while the tail streams
+// through, O(n log k).
+func topK[T any](h []T, k int, cmp func(T, T) bool) []T {
+	if k < 0 || k >= len(h) {
+		sort.Slice(h, func(i, j int) bool { return cmp(h[i], h[j]) })
+		return h
 	}
 	if k == 0 {
-		return hits[:0]
+		return h[:0]
 	}
-	// hits[:k] is a min-heap rooted at the worst kept hit.
-	heap := hits[:k]
+	heap := h[:k]
 	for i := k/2 - 1; i >= 0; i-- {
-		siftDown(heap, i)
+		siftDown(heap, i, cmp)
 	}
-	for _, h := range hits[k:] {
-		if better(h, heap[0]) {
-			heap[0] = h
-			siftDown(heap, 0)
+	for _, x := range h[k:] {
+		if cmp(x, heap[0]) {
+			heap[0] = x
+			siftDown(heap, 0, cmp)
 		}
 	}
-	sort.Slice(heap, func(i, j int) bool { return better(heap[i], heap[j]) })
+	sort.Slice(heap, func(i, j int) bool { return cmp(heap[i], heap[j]) })
 	return heap
 }
 
-// siftDown restores the min-heap property (worst hit at the root) from
-// index i.
-func siftDown(h []hit, i int) {
+// siftDown restores the min-heap property (worst element at the root)
+// from index i.
+func siftDown[T any](h []T, i int, cmp func(T, T) bool) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		worst := i
-		if l < len(h) && better(h[worst], h[l]) {
+		if l < len(h) && cmp(h[worst], h[l]) {
 			worst = l
 		}
-		if r < len(h) && better(h[worst], h[r]) {
+		if r < len(h) && cmp(h[worst], h[r]) {
 			worst = r
 		}
 		if worst == i {

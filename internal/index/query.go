@@ -15,12 +15,33 @@ import (
 // ties broken by ascending integrated ID; Timeline is chronological
 // with ties broken by snippet ID.
 
+// Shared empty results. Every query path returns a non-nil slice on
+// zero hits so the HTTP layer serialises `[]`, never `null`, and does it
+// without allocating (the miss paths are pinned at zero allocations).
+var (
+	emptyStories  = []*event.IntegratedStory{}
+	emptySnippets = []*event.Snippet{}
+	emptyScores   = []float64{}
+)
+
 // Search answers free-text queries: the query is tokenised, stopword-
 // filtered, and stemmed, then scored through the term postings.
 func (x *Index) Search(query string, offset, limit int) ([]*event.IntegratedStory, int) {
+	out, _, total := x.searchOpt(query, offset, limit, false)
+	return out, total
+}
+
+// SearchScored is Search plus the per-result scores — the side channel a
+// scatter-gather router needs to merge shard pages under the exact
+// single-node ordering (see MergeRanked in ranked.go).
+func (x *Index) SearchScored(query string, offset, limit int) ([]*event.IntegratedStory, []float64, int) {
+	return x.searchOpt(query, offset, limit, true)
+}
+
+func (x *Index) searchOpt(query string, offset, limit int, withScores bool) ([]*event.IntegratedStory, []float64, int) {
 	toks := text.Pipeline(query)
 	if len(toks) == 0 {
-		return nil, 0
+		return emptyStories, emptyScores, 0
 	}
 	span := metQueryLat.Start()
 	defer span.End()
@@ -40,12 +61,23 @@ func (x *Index) Search(query string, offset, limit int) ([]*event.IntegratedStor
 			}
 		}
 	}
-	return x.pageHits(a, offset, limit)
+	return x.pageHits(a, offset, limit, withScores)
 }
 
 // StoriesByEntity answers entity queries through the entity postings,
 // ranked by how prominently the integrated story mentions the entity.
 func (x *Index) StoriesByEntity(ent event.Entity, offset, limit int) ([]*event.IntegratedStory, int) {
+	out, _, total := x.entityOpt(ent, offset, limit, false)
+	return out, total
+}
+
+// StoriesByEntityScored is StoriesByEntity plus per-result scores, for
+// the same router-side merge as SearchScored.
+func (x *Index) StoriesByEntityScored(ent event.Entity, offset, limit int) ([]*event.IntegratedStory, []float64, int) {
+	return x.entityOpt(ent, offset, limit, true)
+}
+
+func (x *Index) entityOpt(ent event.Entity, offset, limit int, withScores bool) ([]*event.IntegratedStory, []float64, int) {
 	span := metQueryLat.Start()
 	defer span.End()
 	metQueries.Inc()
@@ -53,7 +85,7 @@ func (x *Index) StoriesByEntity(ent event.Entity, offset, limit int) ([]*event.I
 	defer x.mu.RUnlock()
 	eid, ok := vocab.Entities.Lookup(string(ent))
 	if !ok {
-		return []*event.IntegratedStory{}, 0
+		return emptyStories, emptyScores, 0
 	}
 	a := getAccum(len(x.integrated))
 	defer putAccum(a)
@@ -62,12 +94,13 @@ func (x *Index) StoriesByEntity(ent event.Entity, offset, limit int) ([]*event.I
 			a.add(e.pos, float64(p.n))
 		}
 	}
-	return x.pageHits(a, offset, limit)
+	return x.pageHits(a, offset, limit, withScores)
 }
 
 // pageHits ranks the accumulated scores and materialises the requested
-// page. Caller holds the read lock.
-func (x *Index) pageHits(a *accum, offset, limit int) ([]*event.IntegratedStory, int) {
+// page, optionally with the parallel score slice. Caller holds the read
+// lock.
+func (x *Index) pageHits(a *accum, offset, limit int, withScores bool) ([]*event.IntegratedStory, []float64, int) {
 	hits := a.collectHits()
 	total := len(hits)
 	k := -1
@@ -79,11 +112,21 @@ func (x *Index) pageHits(a *accum, offset, limit int) ([]*event.IntegratedStory,
 	}
 	ranked := rankHits(hits, k)
 	lo, hi := pageBounds(len(ranked), offset, limit)
+	if hi == lo {
+		return emptyStories, emptyScores, total
+	}
 	out := make([]*event.IntegratedStory, hi-lo)
+	scores := emptyScores
+	if withScores {
+		scores = make([]float64, hi-lo)
+	}
 	for i := lo; i < hi; i++ {
 		out[i-lo] = x.integrated[ranked[i].pos]
+		if withScores {
+			scores[i-lo] = ranked[i].score
+		}
 	}
-	return out, total
+	return out, scores, total
 }
 
 // Timeline answers per-entity chronology queries by walking only the
@@ -96,41 +139,71 @@ func (x *Index) Timeline(ent event.Entity, offset, limit int) ([]*event.Snippet,
 	defer x.mu.RUnlock()
 	eid, ok := vocab.Entities.Lookup(string(ent))
 	if !ok {
-		return nil, 0
+		return emptySnippets, 0
 	}
 	tl := x.timelines[eid]
 	if tl == nil {
-		return nil, 0
+		return emptySnippets, 0
 	}
-	// Two passes: count the live postings first so the result slice is
-	// allocated exactly once, then fill the requested window.
-	total := 0
-	for _, key := range tl.keys {
-		for _, p := range tl.buckets[key].posts {
-			if _, ok := x.live(p.story, p.gen); ok {
-				total++
+	if limit < 0 {
+		// Unbounded page: count the live postings first so the result
+		// slice is allocated exactly once at its final size, then fill.
+		total := 0
+		for _, key := range tl.keys {
+			for _, p := range tl.buckets[key].posts {
+				if _, ok := x.live(p.story, p.gen); ok {
+					total++
+				}
 			}
 		}
+		lo, hi := pageBounds(total, offset, limit)
+		if hi == lo {
+			return emptySnippets, total
+		}
+		out := make([]*event.Snippet, 0, hi-lo)
+		i := 0
+		for _, key := range tl.keys {
+			for _, p := range tl.buckets[key].posts {
+				if _, ok := x.live(p.story, p.gen); !ok {
+					continue
+				}
+				if i >= lo {
+					out = append(out, p.sn)
+					if len(out) == hi-lo {
+						return out, total
+					}
+				}
+				i++
+			}
+		}
+		return out, total
 	}
-	lo, hi := pageBounds(total, offset, limit)
-	if hi == lo {
-		return nil, total
+	// Bounded page: a single walk both counts the live postings and
+	// fills the window, so liveness resolves once per posting instead of
+	// twice. The page slice is allocated lazily at cap limit — empty
+	// pages (offset past the end, limit 0) stay allocation-free.
+	lo := offset
+	if lo < 0 {
+		lo = 0
 	}
-	out := make([]*event.Snippet, 0, hi-lo)
-	i := 0
+	var out []*event.Snippet
+	total := 0
 	for _, key := range tl.keys {
 		for _, p := range tl.buckets[key].posts {
 			if _, ok := x.live(p.story, p.gen); !ok {
 				continue
 			}
-			if i >= lo {
-				out = append(out, p.sn)
-				if len(out) == hi-lo {
-					return out, total
+			if total >= lo && len(out) < limit {
+				if out == nil {
+					out = make([]*event.Snippet, 0, limit)
 				}
+				out = append(out, p.sn)
 			}
-			i++
+			total++
 		}
+	}
+	if out == nil {
+		return emptySnippets, total
 	}
 	return out, total
 }

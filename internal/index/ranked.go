@@ -1,0 +1,65 @@
+package index
+
+// Router-side merge of per-shard ranked pages. A scatter-gather router
+// fetches the top offset+limit results from every shard and must reduce
+// them to the global top-k under exactly the ordering the worker-side
+// query path uses (see better in postings.go): score descending, ties by
+// ascending integrated ID. Exporting the merge from this package — on
+// the same bounded-heap core as rankHits — is what makes the sharded
+// byte-identity differential an invariant rather than a coincidence.
+
+// Ranked is one entry of a shard's ranked result page: the integrated
+// story ID (the global tie-break key), its score, and where it came from
+// (shard number and position within that shard's page) so the caller can
+// map merged winners back to the payloads it is holding.
+type Ranked struct {
+	Key   uint64  // integrated story ID
+	Score float64 // query score as reported by the shard
+	Shard int32   // index of the originating shard
+	Pos   int32   // position within that shard's page
+}
+
+// BetterRanked reports whether x ranks strictly before y: higher score
+// first, ties by ascending Key. This mirrors better(hit, hit) — the two
+// must agree or router pagination diverges from single-node pagination.
+func BetterRanked(x, y Ranked) bool {
+	if x.Score != y.Score {
+		return x.Score > y.Score
+	}
+	return x.Key < y.Key
+}
+
+// MergeRanked merges per-shard ranked pages into the global top-k, in
+// rank order. Entries sharing a Key (a story replicated across pages,
+// e.g. after a shard handoff replay) are deduplicated keeping the
+// best-ranked occurrence. k < 0 means "all". The result is never nil and
+// is safe for the caller to retain; the input pages are not modified.
+func MergeRanked(pages [][]Ranked, k int) []Ranked {
+	n := 0
+	for _, p := range pages {
+		n += len(p)
+	}
+	all := make([]Ranked, 0, n)
+	for _, p := range pages {
+		all = append(all, p...)
+	}
+	if len(all) > 1 {
+		seen := make(map[uint64]int, len(all))
+		uniq := all[:0]
+		for _, r := range all {
+			if i, dup := seen[r.Key]; dup {
+				if BetterRanked(r, uniq[i]) {
+					uniq[i] = r
+				}
+				continue
+			}
+			seen[r.Key] = len(uniq)
+			uniq = append(uniq, r)
+		}
+		all = uniq
+	}
+	if k == 0 {
+		return all[:0]
+	}
+	return topK(all, k, BetterRanked)
+}

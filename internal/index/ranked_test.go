@@ -1,0 +1,125 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func rankedKeys(rs []Ranked) []uint64 {
+	out := make([]uint64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Key
+	}
+	return out
+}
+
+func TestMergeRankedOrdering(t *testing.T) {
+	pages := [][]Ranked{
+		{{Key: 10, Score: 3.0}, {Key: 11, Score: 1.0}},
+		{{Key: 20, Score: 2.0}, {Key: 21, Score: 0.5}},
+		{{Key: 30, Score: 2.5}},
+	}
+	got := MergeRanked(pages, -1)
+	want := []uint64{10, 30, 20, 11, 21}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key != want[i] {
+			t.Fatalf("merged order %v, want %v", rankedKeys(got), want)
+		}
+	}
+}
+
+// Ties across shards must break by ascending Key — the same rule the
+// worker-side ranking uses (ascending integrated ID), or router
+// pagination diverges from single-node pagination.
+func TestMergeRankedTieBreak(t *testing.T) {
+	pages := [][]Ranked{
+		{{Key: 50, Score: 1.0}, {Key: 7, Score: 0.5}},
+		{{Key: 3, Score: 1.0}},
+		{{Key: 9, Score: 1.0}},
+	}
+	got := MergeRanked(pages, -1)
+	want := []uint64{3, 9, 50, 7}
+	for i := range want {
+		if got[i].Key != want[i] {
+			t.Fatalf("tie order %v, want %v", rankedKeys(got), want)
+		}
+	}
+}
+
+// A story replicated across pages must appear once, keeping its
+// best-ranked occurrence.
+func TestMergeRankedDedup(t *testing.T) {
+	pages := [][]Ranked{
+		{{Key: 1, Score: 1.0, Shard: 0}, {Key: 2, Score: 0.9, Shard: 0}},
+		{{Key: 1, Score: 2.0, Shard: 1}, {Key: 3, Score: 0.5, Shard: 1}},
+	}
+	got := MergeRanked(pages, -1)
+	if keys := rankedKeys(got); len(keys) != 3 || keys[0] != 1 || keys[1] != 2 || keys[2] != 3 {
+		t.Fatalf("dedup order %v, want [1 2 3]", keys)
+	}
+	if got[0].Shard != 1 || got[0].Score != 2.0 {
+		t.Fatalf("dedup kept worse occurrence: %+v", got[0])
+	}
+}
+
+func TestMergeRankedEdges(t *testing.T) {
+	pages := [][]Ranked{{{Key: 1, Score: 1}}, {{Key: 2, Score: 2}}}
+	if got := MergeRanked(pages, 0); got == nil || len(got) != 0 {
+		t.Fatalf("k=0: got %v, want empty non-nil", got)
+	}
+	if got := MergeRanked(nil, 5); got == nil || len(got) != 0 {
+		t.Fatalf("no pages: got %v, want empty non-nil", got)
+	}
+	if got := MergeRanked(pages, 1); len(got) != 1 || got[0].Key != 2 {
+		t.Fatalf("k=1: got %v, want [2]", rankedKeys(got))
+	}
+	// k far beyond the input sorts everything.
+	if got := MergeRanked(pages, 100); len(got) != 2 || got[0].Key != 2 || got[1].Key != 1 {
+		t.Fatalf("k>len: got %v, want [2 1]", rankedKeys(got))
+	}
+	// Single short page passes through ranked.
+	if got := MergeRanked([][]Ranked{{{Key: 9, Score: 1}}}, 3); len(got) != 1 || got[0].Key != 9 {
+		t.Fatalf("short page: got %v", rankedKeys(got))
+	}
+}
+
+// The bounded-heap path must agree with a full sort for every k — the
+// property the router's global pagination rests on.
+func TestMergeRankedAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		nPages := 1 + rng.Intn(4)
+		pages := make([][]Ranked, nPages)
+		var all []Ranked
+		key := uint64(1)
+		for p := range pages {
+			n := rng.Intn(8)
+			for i := 0; i < n; i++ {
+				r := Ranked{Key: key, Score: float64(rng.Intn(5)), Shard: int32(p), Pos: int32(i)}
+				key++
+				pages[p] = append(pages[p], r)
+				all = append(all, r)
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return BetterRanked(all[i], all[j]) })
+		for _, k := range []int{0, 1, 3, len(all), len(all) + 5, -1} {
+			got := MergeRanked(pages, k)
+			want := all
+			if k >= 0 && k < len(want) {
+				want = want[:k]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: %d entries, want %d", trial, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Key != want[i].Key {
+					t.Fatalf("trial %d k=%d: order %v, want %v", trial, k, rankedKeys(got), rankedKeys(want))
+				}
+			}
+		}
+	}
+}

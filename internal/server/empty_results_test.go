@@ -1,0 +1,83 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestEmptyResultsSerialiseAsArray pins the empty-result contract of
+// every paged query endpoint: zero hits serialise as `"results": []`,
+// never `"results": null`. Clients (and the cluster router, which
+// decodes worker envelopes) rely on the field always being an array.
+func TestEmptyResultsSerialiseAsArray(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		name, path string
+	}{
+		{"search miss", "/api/search?q=zzzzqqq"},
+		{"search deep offset", "/api/search?q=ukraine&offset=9000&deep=1"},
+		{"timeline miss", "/api/timeline?entity=NO_SUCH_ENTITY"},
+		{"timeline past end", "/api/timeline?entity=UKR&offset=100000"},
+		{"by-entity miss", "/api/stories/by-entity?entity=NO_SUCH_ENTITY"},
+		{"by-entity past end", "/api/stories/by-entity?entity=UKR&offset=100000"},
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", tc.name, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), `"results": []`) {
+			t.Errorf("%s: body lacks `\"results\": []`:\n%s", tc.name, body)
+		}
+		if strings.Contains(string(body), "null") {
+			t.Errorf("%s: body contains null:\n%s", tc.name, body)
+		}
+	}
+}
+
+// TestStoriesByEntityEndpoint pins the /api/stories/by-entity envelope:
+// SearchPageView shape, ranked hits, and a populated scores side channel
+// only when scores=1 is requested.
+func TestStoriesByEntityEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var page struct {
+		Total   int `json:"total"`
+		Results []struct {
+			ID uint64 `json:"id"`
+		} `json:"results"`
+		Scores []float64 `json:"scores"`
+	}
+	getJSON(t, ts.URL+"/api/stories/by-entity?entity=UKR", &page)
+	if page.Total == 0 || len(page.Results) == 0 {
+		t.Fatalf("no hits for UKR: %+v", page)
+	}
+	if page.Scores != nil {
+		t.Fatalf("scores present without scores=1: %v", page.Scores)
+	}
+	var scored struct {
+		Results []struct {
+			ID uint64 `json:"id"`
+		} `json:"results"`
+		Scores []float64 `json:"scores"`
+	}
+	getJSON(t, ts.URL+"/api/stories/by-entity?entity=UKR&scores=1", &scored)
+	if len(scored.Scores) != len(scored.Results) {
+		t.Fatalf("scores misaligned: %d scores for %d results", len(scored.Scores), len(scored.Results))
+	}
+	for i := 1; i < len(scored.Scores); i++ {
+		if scored.Scores[i] > scored.Scores[i-1] {
+			t.Fatalf("scores not descending: %v", scored.Scores)
+		}
+	}
+	for i, r := range scored.Results {
+		if r.ID != page.Results[i].ID {
+			t.Fatalf("scores=1 changed ranking: %+v vs %+v", scored.Results, page.Results)
+		}
+	}
+}

@@ -87,6 +87,11 @@ type Server struct {
 	// unless they opt in.
 	quotas *quota.Limiter
 
+	// peers, when set (cluster workers started with -peers), is the
+	// advertised worker peer list served on GET /api/cluster/members so
+	// operators can inspect a worker's view of the cluster.
+	peers atomic.Pointer[[]string]
+
 	closed atomic.Bool
 
 	// rebuildHook, when set (fault-injection tests), runs during a
@@ -275,6 +280,24 @@ func (s *Server) Pipeline() *storypivot.Pipeline {
 	return s.pipeline.Load()
 }
 
+// SetPeers records the worker's advertised peer list (cluster mode).
+func (s *Server) SetPeers(peers []string) {
+	cp := append([]string(nil), peers...)
+	s.peers.Store(&cp)
+}
+
+// handleClusterMembers reports this node's cluster view: its role and
+// the peers it was configured with (empty outside cluster mode).
+func (s *Server) handleClusterMembers(w http.ResponseWriter, _ *http.Request) {
+	role := "standalone"
+	peers := []string{}
+	if p := s.peers.Load(); p != nil {
+		role = "worker"
+		peers = append(peers, *p...)
+	}
+	writeJSON(w, map[string]any{"role": role, "peers": peers})
+}
+
 // Close releases the server's pipeline: the index background compactor
 // stops and any persistence flushes. Call it during shutdown after the
 // HTTP listener has drained; it is idempotent.
@@ -324,6 +347,8 @@ func (s *Server) rawMux() http.Handler {
 	mux.HandleFunc("GET /api/integrated/{id}", s.handleIntegratedOne)
 	mux.HandleFunc("GET /api/search", s.handleSearch)
 	mux.HandleFunc("GET /api/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /api/stories/by-entity", s.handleStoriesByEntity)
+	mux.HandleFunc("GET /api/cluster/members", s.handleClusterMembers)
 	mux.HandleFunc("GET /api/context/{id}", s.handleContext)
 	mux.HandleFunc("GET /api/profiles", s.handleProfiles)
 	mux.HandleFunc("GET /api/trending", s.handleTrending)
@@ -524,10 +549,15 @@ func (s *Server) handleIntegratedOne(w http.ResponseWriter, r *http.Request) {
 
 // Pagination bounds for the query endpoints: requests without a limit
 // get defaultPageLimit results; limit is capped at maxPageLimit so the
-// server never serialises unbounded result sets.
+// server never serialises unbounded result sets. deep=1 raises the cap
+// to deepPageLimit — the scatter-gather router must fetch offset+limit
+// results per shard to paginate globally, so a deep client page (say
+// offset 4500, limit 500) becomes a limit-5000 shard fetch that the
+// default cap would truncate, silently corrupting global pagination.
 const (
 	defaultPageLimit = 50
 	maxPageLimit     = 500
+	deepPageLimit    = 10000
 )
 
 // pageParams parses offset/limit from already-parsed query values (the
@@ -552,8 +582,12 @@ func pageParams(w http.ResponseWriter, vals url.Values) (offset, limit int, ok b
 		}
 		limit = n
 	}
-	if limit > maxPageLimit {
-		limit = maxPageLimit
+	ceil := maxPageLimit
+	if vals.Get("deep") == "1" {
+		ceil = deepPageLimit
+	}
+	if limit > ceil {
+		limit = ceil
 	}
 	return offset, limit, true
 }
@@ -619,12 +653,12 @@ func serveEncoded(w http.ResponseWriter, r *http.Request, body []byte, etag, xca
 	writeBody(w, body)
 }
 
-func searchPage(hits []*storypivot.IntegratedStory, total, offset, limit int) SearchPageView {
+func searchPage(hits []*storypivot.IntegratedStory, scores []float64, total, offset, limit int) SearchPageView {
 	out := make([]IntegratedView, 0, len(hits))
 	for _, is := range hits {
 		out = append(out, integratedView(is, false))
 	}
-	return SearchPageView{Total: total, Offset: offset, Limit: limit, Results: out}
+	return SearchPageView{Total: total, Offset: offset, Limit: limit, Results: out, Scores: scores}
 }
 
 func timelinePage(sns []*storypivot.Snippet, total, offset, limit int) TimelinePageView {
@@ -633,6 +667,16 @@ func timelinePage(sns []*storypivot.Snippet, total, offset, limit int) TimelineP
 		out = append(out, snippetView(sn, event.RoleUnknown))
 	}
 	return TimelinePageView{Total: total, Offset: offset, Limit: limit, Results: out}
+}
+
+// scoredEndpoint appends the scores=1 marker to a cache-key endpoint
+// namespace: scored and unscored responses to the same query differ in
+// bytes, so they must never share a cache entry.
+func scoredEndpoint(endpoint string, withScores bool) string {
+	if withScores {
+		return endpoint + "+scores"
+	}
+	return endpoint
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -646,21 +690,62 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	withScores := vals.Get("scores") == "1"
+	compute := func(p *storypivot.Pipeline) (any, bool) {
+		if withScores {
+			hits, scores, total := p.SearchScoredN(q, offset, limit)
+			return searchPage(hits, scores, total, offset, limit), true
+		}
+		hits, total := p.SearchN(q, offset, limit)
+		return searchPage(hits, nil, total, offset, limit), true
+	}
 	if s.cache == nil {
-		hits, total := s.Pipeline().SearchN(q, offset, limit)
-		writeJSON(w, searchPage(hits, total, offset, limit))
+		view, _ := compute(s.Pipeline())
+		writeJSON(w, view)
 		return
 	}
-	s.cachedQuery(w, r, "search", q,
+	s.cachedQuery(w, r, scoredEndpoint("search", withScores), q,
 		func(deps *qcache.Deps) {
 			for _, tok := range text.Pipeline(q) {
 				deps.AddTerm(tok)
 			}
 		},
-		func(p *storypivot.Pipeline) (any, bool) {
-			hits, total := p.SearchN(q, offset, limit)
-			return searchPage(hits, total, offset, limit), true
-		}, offset, limit)
+		compute, offset, limit)
+}
+
+// handleStoriesByEntity serves the ranked integrated stories mentioning
+// an entity — the paged, cacheable form of the library-level
+// StoriesByEntity query, and the third endpoint the cluster router
+// scatter-gathers. The envelope is SearchPageView: same shape, same
+// ordering contract (score descending, ties by ascending ID).
+func (s *Server) handleStoriesByEntity(w http.ResponseWriter, r *http.Request) {
+	vals := r.URL.Query()
+	e := vals.Get("entity")
+	if e == "" {
+		httpError(w, http.StatusBadRequest, "missing entity parameter")
+		return
+	}
+	offset, limit, ok := pageParams(w, vals)
+	if !ok {
+		return
+	}
+	withScores := vals.Get("scores") == "1"
+	compute := func(p *storypivot.Pipeline) (any, bool) {
+		if withScores {
+			hits, scores, total := p.StoriesByEntityScoredN(storypivot.Entity(e), offset, limit)
+			return searchPage(hits, scores, total, offset, limit), true
+		}
+		hits, total := p.StoriesByEntityN(storypivot.Entity(e), offset, limit)
+		return searchPage(hits, nil, total, offset, limit), true
+	}
+	if s.cache == nil {
+		view, _ := compute(s.Pipeline())
+		writeJSON(w, view)
+		return
+	}
+	s.cachedQuery(w, r, scoredEndpoint("by-entity", withScores), e,
+		func(deps *qcache.Deps) { deps.AddEntity(e) },
+		compute, offset, limit)
 }
 
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {

@@ -92,13 +92,18 @@ func storyView(st *event.Story, withSnippets bool) StoryView {
 	return v
 }
 
-// SearchPageView is the paginated envelope of /api/search: one window
-// of the ranked hits plus the total hit count.
+// SearchPageView is the paginated envelope of /api/search and
+// /api/stories/by-entity: one window of the ranked hits plus the total
+// hit count. Scores is populated only when the request asks for it
+// (scores=1) — the side channel a scatter-gather router uses to merge
+// shard pages; omitempty keeps ordinary responses byte-identical whether
+// or not the serving node is a shard.
 type SearchPageView struct {
 	Total   int              `json:"total"`
 	Offset  int              `json:"offset"`
 	Limit   int              `json:"limit"`
 	Results []IntegratedView `json:"results"`
+	Scores  []float64        `json:"scores,omitempty"`
 }
 
 // TimelinePageView is the paginated envelope of /api/timeline.

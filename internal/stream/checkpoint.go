@@ -100,7 +100,14 @@ func RestoreEngine(opts Options, snippets []*event.Snippet, cp *Checkpoint) (*En
 		if !ok {
 			return nil, fmt.Errorf("%w: source %s not covered", ErrCheckpointStale, src)
 		}
-		id, err := identify.Restore(src, opts.Identify, &e.alloc, bySource[src], sc.Assign)
+		tag := identify.SourceTag(src)
+		if owner, taken := e.tagOwner[tag]; taken && owner != src {
+			return nil, fmt.Errorf("%w: %v (%q vs %q)", ErrCheckpointStale, ErrSourceCollision, src, owner)
+		}
+		e.tagOwner[tag] = src
+		alloc := identify.NewSourceAlloc(src)
+		e.allocs[src] = alloc
+		id, err := identify.Restore(src, opts.Identify, alloc, bySource[src], sc.Assign)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCheckpointStale, err)
 		}

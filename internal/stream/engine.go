@@ -69,6 +69,13 @@ var (
 	// ErrDuplicate is returned for a snippet the per-source deduplication
 	// filter has (very probably) seen before.
 	ErrDuplicate = errors.New("stream: duplicate snippet delivery")
+	// ErrSourceCollision is returned when a source's deterministic
+	// ID-namespace tag (identify.SourceTag) collides with an already
+	// registered source. The probability is ~k²/2^23 for k sources;
+	// renaming the source resolves it. Refusing beats remapping, which
+	// would depend on registration order and break the determinism the
+	// cluster's differential proofs rely on.
+	ErrSourceCollision = errors.New("stream: source ID-namespace collision")
 )
 
 // shard is one source's slice of the engine: the identifier and the
@@ -84,6 +91,9 @@ type shard struct {
 	// Ingest that raced the removal re-resolves the registry instead of
 	// processing into a dead identifier.
 	gone bool
+	// err, when set at registration, poisons the shard: Ingest refuses
+	// every snippet with it (currently only ErrSourceCollision).
+	err error
 }
 
 // Engine is the live StoryPivot pipeline. It is safe for concurrent use.
@@ -95,14 +105,22 @@ type shard struct {
 type Engine struct {
 	opts Options
 
-	// regMu guards the shard registry. The common Ingest path takes only
-	// the read lock; the write lock is held for source add/remove.
+	// regMu guards the shard registry and the allocator/tag tables. The
+	// common Ingest path takes only the read lock; the write lock is held
+	// for source add/remove.
 	regMu  sync.RWMutex
 	shards map[event.SourceID]*shard
 
-	// alloc hands out globally unique story IDs; it is internally atomic
-	// and shared by all shards without locking.
-	alloc identify.IDAlloc
+	// allocs holds each source's deterministic ID allocator. Entries are
+	// deliberately kept across RemoveSource: a re-registered source must
+	// continue its sequence, never recycle story IDs — stale postings in
+	// downstream consumers (the query index's (story, gen) liveness) may
+	// outlive the removal, and a recycled ID could alias them.
+	allocs map[event.SourceID]*identify.IDAlloc
+	// tagOwner maps an ID-namespace tag to the source that claimed it,
+	// for collision detection (see ErrSourceCollision). Like allocs it
+	// survives RemoveSource: the removed source's IDs remain reserved.
+	tagOwner map[uint32]event.SourceID
 
 	// mu guards the shared section: aligner, dirty bookkeeping, the cached
 	// result, and dataset statistics.
@@ -143,6 +161,8 @@ func NewEngine(opts Options) *Engine {
 	return &Engine{
 		opts:       opts,
 		shards:     make(map[event.SourceID]*shard),
+		allocs:     make(map[event.SourceID]*identify.IDAlloc),
+		tagOwner:   make(map[uint32]event.SourceID),
 		aligner:    align.NewAligner(opts.Align),
 		dirty:      make(map[event.StoryID]bool),
 		storyOwner: make(map[event.StoryID]event.SourceID),
@@ -176,7 +196,23 @@ func (e *Engine) shard(src event.SourceID) *shard {
 	if sh := e.shards[src]; sh != nil {
 		return sh
 	}
-	sh := &shard{id: identify.New(src, e.opts.Identify, &e.alloc)}
+	sh := &shard{}
+	tag := identify.SourceTag(src)
+	if owner, taken := e.tagOwner[tag]; taken && owner != src {
+		// The source's deterministic ID namespace is already claimed:
+		// poison the shard so Ingest reports the collision instead of
+		// minting IDs that alias the other source's stories.
+		sh.err = fmt.Errorf("%w: %q vs %q (tag %d)", ErrSourceCollision, src, owner, tag)
+		sh.id = identify.New(src, e.opts.Identify, nil)
+	} else {
+		e.tagOwner[tag] = src
+		alloc := e.allocs[src]
+		if alloc == nil {
+			alloc = identify.NewSourceAlloc(src)
+			e.allocs[src] = alloc
+		}
+		sh.id = identify.New(src, e.opts.Identify, alloc)
+	}
 	if e.opts.DedupCapacity > 0 {
 		sh.dedup = sketch.NewBloom(e.opts.DedupCapacity, 0.001)
 	}
@@ -291,6 +327,11 @@ func (e *Engine) Ingest(s *event.Snippet) (event.StoryID, error) {
 		sh.mu.Unlock()
 		sh = e.shard(s.Source)
 		sh.mu.Lock()
+	}
+	if sh.err != nil {
+		sh.mu.Unlock()
+		metInvalid.Inc()
+		return 0, sh.err
 	}
 	if sh.dedup != nil {
 		key := strconv.FormatUint(uint64(s.ID), 10)

@@ -70,6 +70,18 @@ func WithAlignSlack(d time.Duration) Option {
 	return func(c *config) { c.stream.Align.Slack = d }
 }
 
+// WithAlignEntityIDF toggles inverse-mention-frequency entity weighting
+// in the alignment phase (on by default). The IDF statistics aggregate
+// over every story under alignment, which makes match scores depend on
+// the whole corpus trajectory; turning it off pins alignment to uniform
+// entity weights, a pure function of the two stories compared. The
+// cluster's byte-identity differential proofs run with it off, because a
+// worker shard only observes its own partition's statistics — see
+// DESIGN.md §3.12 for the shard-local-IDF discussion.
+func WithAlignEntityIDF(on bool) Option {
+	return func(c *config) { c.stream.Align.UseEntityIDF = on }
+}
+
 // WithRefinement runs story refinement (paper Figure 1d) after every
 // alignment, propagating cross-source corrections back into the
 // per-source story sets.

