@@ -1,0 +1,181 @@
+package storypivot
+
+// Bounded-memory soak benchmarks: a compressed-clock infinite-feed
+// simulation (two years of short-lived stories) through the pipeline
+// with the retirement window on vs off. Each soak reports the heap at
+// the midpoint and end of the stream — the on-configuration must hold
+// the two roughly equal (flat slope) while the off-configuration grows —
+// plus the resident story count and retire/reactivate totals. The query
+// benchmarks replay the differential's query panel against the soaked
+// pipelines so the tail-latency effect of the bounded active set is
+// visible. scripts/bench.sh turns the section into BENCH_window.json.
+//
+// Run with:
+//
+//	go test -run '^$' -bench 'BenchmarkWindow' -benchmem
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+)
+
+const (
+	windowSoakEvents = 20000
+	windowSoakW      = 14 * 24 * time.Hour
+)
+
+// windowSoakSize is the soak stream length; STORYPIVOT_SOAK_EVENTS
+// overrides it (the CI smoke shrinks the stream — the unbounded soak is
+// superlinear in it by design).
+func windowSoakSize() int {
+	if s := os.Getenv("STORYPIVOT_SOAK_EVENTS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return windowSoakEvents
+}
+
+// windowSoakCorpus compresses the clock: many short-lived stories over a
+// long span, the workload whose story count grows without bound unless
+// the window retires it.
+func windowSoakCorpus() *datagen.Corpus {
+	cfg := experiments.CorpusScale(windowSoakSize(), 6, 17)
+	cfg.Span = 2 * 366 * 24 * time.Hour
+	cfg.MeanStoryLife = 5 * 24 * time.Hour
+	return datagen.Generate(cfg)
+}
+
+func heapMB() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+// residentStories counts per-source stories via the published result —
+// the same footprint Snapshot().Resident reports for a windowed run.
+func residentStories(p *Pipeline) int {
+	n := 0
+	for _, is := range p.Result().Integrated() {
+		n += is.Len()
+	}
+	return n
+}
+
+func benchWindowSoak(b *testing.B, retireOn bool) {
+	corpus := windowSoakCorpus()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var opts []Option
+		if retireOn {
+			opts = append(opts, WithRetireWindow(windowSoakW), WithRetireDir(b.TempDir()))
+		}
+		p, err := New(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		half := len(corpus.Snippets) / 2
+		b.StartTimer()
+		for j, sn := range corpus.Snippets {
+			if err := p.Ingest(sn.Clone()); err != nil {
+				b.Fatal(err)
+			}
+			if (j+1)%256 == 0 {
+				p.Result()
+			}
+			if j+1 == half {
+				b.StopTimer()
+				b.ReportMetric(heapMB(), "heap_mid_MB")
+				b.StartTimer()
+			}
+		}
+		p.Result()
+		b.StopTimer()
+		b.ReportMetric(heapMB(), "heap_end_MB")
+		if retireOn {
+			v := p.Retire().Snapshot()
+			b.ReportMetric(float64(v.Resident), "resident")
+			b.ReportMetric(float64(v.Retired), "retired")
+			b.ReportMetric(float64(v.Reactivated), "reactivated")
+		} else {
+			b.ReportMetric(float64(residentStories(p)), "resident")
+		}
+		p.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkWindowSoakOn(b *testing.B)  { benchWindowSoak(b, true) }
+func BenchmarkWindowSoakOff(b *testing.B) { benchWindowSoak(b, false) }
+
+// Query benchmarks over the soaked pipelines: same panel, same corpus,
+// bounded vs unbounded active set.
+var windowBench struct {
+	sync.Once
+	on, off  *Pipeline
+	entities []Entity
+	queries  []string
+}
+
+func windowBenchSetup(b *testing.B) {
+	b.Helper()
+	windowBench.Do(func() {
+		corpus := windowSoakCorpus()
+		soak := func(p *Pipeline) {
+			for j, sn := range corpus.Snippets {
+				if err := p.Ingest(sn.Clone()); err != nil {
+					b.Fatal(err)
+				}
+				if (j+1)%256 == 0 {
+					p.Result()
+				}
+			}
+			p.Result()
+		}
+		dir := b.TempDir()
+		on, err := New(WithRetireWindow(windowSoakW), WithRetireDir(dir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		off, err := New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		soak(on)
+		soak(off)
+		windowBench.on, windowBench.off = on, off
+		windowBench.entities = panelEntities(corpus, 6)[1:] // drop the planted miss
+		windowBench.queries = panelQueries(corpus, 8)[2:]   // drop miss and empty
+	})
+}
+
+func BenchmarkWindowQueryOn(b *testing.B) {
+	windowBenchSetup(b)
+	p, qs, es := windowBench.on, windowBench.queries, windowBench.entities
+	benchQuery(b, func(i int) {
+		if i%2 == 0 {
+			p.SearchN(qs[i%len(qs)], 0, 50)
+		} else {
+			p.StoriesByEntityN(es[i%len(es)], 0, 50)
+		}
+	})
+}
+
+func BenchmarkWindowQueryOff(b *testing.B) {
+	windowBenchSetup(b)
+	p, qs, es := windowBench.off, windowBench.queries, windowBench.entities
+	benchQuery(b, func(i int) {
+		if i%2 == 0 {
+			p.SearchN(qs[i%len(qs)], 0, 50)
+		} else {
+			p.StoriesByEntityN(es[i%len(es)], 0, 50)
+		}
+	})
+}

@@ -63,6 +63,11 @@ func main() {
 
 		clusterWorker = flag.Bool("cluster-worker", false, "run as a cluster worker shard: start empty (no demo preload) and serve only the sources the router assigns here")
 		peers         = flag.String("peers", "", "comma-separated URLs of the other workers (cluster mode, advertised on GET /api/cluster/members)")
+
+		window            = flag.Duration("window", 0, "story retirement window W of event time: stories with no new evidence for W are archived and evicted, bounding resident memory (0 = retirement disabled); tune live via PUT /api/admin/window")
+		retireDir         = flag.String("retire-dir", "", "cold-story archive directory (required when -window > 0)")
+		retireGrace       = flag.Duration("retire-grace", 0, "holdback before a reactivated story may retire again (0 = W/4)")
+		retireMinResident = flag.Int("retire-min-resident", 0, "skip retirement while at most this many stories are resident")
 	)
 	var ff feedFlags
 	registerFeedFlags(&ff)
@@ -96,6 +101,17 @@ func main() {
 			opts = append(opts, storypivot.WithMode(storypivot.ModeComplete))
 		} else {
 			opts = append(opts, storypivot.WithWindow(60*24*time.Hour))
+		}
+	}
+	if *window > 0 {
+		opts = append(opts,
+			storypivot.WithRetireWindow(*window),
+			storypivot.WithRetireDir(*retireDir))
+		if *retireGrace > 0 {
+			opts = append(opts, storypivot.WithRetireGrace(*retireGrace))
+		}
+		if *retireMinResident > 0 {
+			opts = append(opts, storypivot.WithRetireMinResident(*retireMinResident))
 		}
 	}
 	s, err := server.New(opts...)

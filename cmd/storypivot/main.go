@@ -45,6 +45,13 @@ func main() {
 		trending  = flag.Bool("trending", false, "print trending stories at the corpus end")
 		useCur    = flag.Bool("curated", false, "run on the curated 2014 corpus (5 real stories, 3 sources)")
 
+		// Story retirement (-window here is the identification window ω,
+		// so the retirement window gets its own flag).
+		retireWindow      = flag.Duration("retire-window", 0, "story retirement window W of event time: stories with no new evidence for W are archived and evicted (0 = retirement disabled)")
+		retireDir         = flag.String("retire-dir", "", "cold-story archive directory (default: <store>/archive)")
+		retireGrace       = flag.Duration("retire-grace", 0, "holdback before a reactivated story may retire again (0 = W/4)")
+		retireMinResident = flag.Int("retire-min-resident", 0, "skip retirement while at most this many stories are resident")
+
 		// Synthetic corpus knobs.
 		size    = flag.Int("events", 5000, "synthetic corpus size (snippets)")
 		sources = flag.Int("sources", 10, "synthetic corpus sources")
@@ -67,6 +74,18 @@ func main() {
 	}
 	if *storeDir != "" {
 		opts = append(opts, storypivot.WithStorage(*storeDir))
+	}
+	if *retireWindow > 0 {
+		opts = append(opts, storypivot.WithRetireWindow(*retireWindow))
+		if *retireDir != "" {
+			opts = append(opts, storypivot.WithRetireDir(*retireDir))
+		}
+		if *retireGrace > 0 {
+			opts = append(opts, storypivot.WithRetireGrace(*retireGrace))
+		}
+		if *retireMinResident > 0 {
+			opts = append(opts, storypivot.WithRetireMinResident(*retireMinResident))
+		}
 	}
 	if *useCur {
 		// The curated arcs span months with coverage gaps; use the

@@ -475,6 +475,120 @@ func (a *Aligner) reciprocalEdges() map[[2]event.StoryID]float64 {
 	return out
 }
 
+// RetirableSets computes which stories the retirement policy may evict,
+// grouped into co-retirement sets. cold classifies a story (typically:
+// no evidence for the retirement window, by event time); sameSourcePad
+// is the identification window ω, guarding the identifier's repair-merge
+// reachability — a negative pad disables the same-source guard (the
+// caller runs without incremental repair).
+//
+// A set is a connected component of the candidate graph restricted to
+// edges that can still matter: every above-threshold match edge, plus
+// below-threshold candidate pairs with at least one warm endpoint (a warm
+// story may be re-upserted with new evidence and rescore the pair across
+// the threshold; a cold–cold below-threshold pair is inert because neither
+// side will be re-upserted while cold). A component is retirable only when
+// every member is cold and no member is within sameSourcePad of a warm
+// story of its own source. Removing such a component cannot change the
+// alignment of the remaining stories: no live edge crosses the cut, so the
+// reciprocal-best filter and the component merge guard see exactly the
+// edges they would have seen with the cold component present. (Under IDF
+// entity weighting the global statistics do shift — the documented
+// equivalence caveat, same as sharding; see DESIGN.md.)
+//
+// Sets and their members are returned in deterministic insertion order.
+func (a *Aligner) RetirableSets(cold func(*event.Story) bool, sameSourcePad time.Duration) [][]event.StoryID {
+	if len(a.stories) == 0 {
+		return nil
+	}
+	coldSet := make(map[event.StoryID]bool, len(a.stories))
+	// warmMinStart tracks, per source, the earliest extent start among warm
+	// stories: a cold story ending within sameSourcePad of it could still
+	// be merged with live same-source state by identifier repair, so it
+	// stays resident.
+	warmMinStart := make(map[event.SourceID]time.Time)
+	for id, st := range a.stories {
+		if cold(st) {
+			coldSet[id] = true
+			continue
+		}
+		cur, ok := warmMinStart[st.Source]
+		if !ok || st.Start.Before(cur) {
+			warmMinStart[st.Source] = st.Start
+		}
+	}
+	if len(coldSet) == 0 {
+		return nil
+	}
+	parent := make(map[event.StoryID]event.StoryID, len(a.stories))
+	var find func(event.StoryID) event.StoryID
+	find = func(x event.StoryID) event.StoryID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for id := range a.stories {
+		parent[id] = id
+	}
+	for k := range a.cands {
+		if _, ok := a.stories[k[0]]; !ok {
+			continue
+		}
+		if _, ok := a.stories[k[1]]; !ok {
+			continue
+		}
+		if coldSet[k[0]] && coldSet[k[1]] {
+			if _, matched := a.edges[k]; !matched {
+				// A below-threshold pair between two cold stories is
+				// inert: a score only changes when an endpoint is
+				// re-upserted, and new evidence would make that endpoint
+				// warm first. Traversing such edges would chain long runs
+				// of unrelated cold stories to a warm component and pin
+				// them all resident. (Under IDF weighting a drift rescore
+				// could still flip the pair, but a merge of two cold
+				// stories lies wholly outside the active window — the
+				// documented IDF equivalence caveat.)
+				continue
+			}
+		}
+		parent[find(k[0])] = find(k[1])
+	}
+	members := make(map[event.StoryID][]event.StoryID, len(a.stories))
+	retirable := make(map[event.StoryID]bool, len(a.stories))
+	var rootOrder []event.StoryID
+	for _, id := range a.order {
+		st := a.stories[id]
+		if st == nil {
+			continue
+		}
+		r := find(id)
+		if _, seen := members[r]; !seen {
+			rootOrder = append(rootOrder, r)
+			retirable[r] = true
+		}
+		members[r] = append(members[r], id)
+		if !coldSet[id] {
+			retirable[r] = false
+			continue
+		}
+		if sameSourcePad < 0 {
+			continue
+		}
+		if warmStart, ok := warmMinStart[st.Source]; ok && !st.End.Add(sameSourcePad).Before(warmStart) {
+			retirable[r] = false
+		}
+	}
+	var out [][]event.StoryID
+	for _, r := range rootOrder {
+		if retirable[r] {
+			out = append(out, members[r])
+		}
+	}
+	return out
+}
+
 // component aggregates the contents of an in-progress integrated story
 // during guarded merging.
 type component struct {

@@ -67,6 +67,13 @@ func (st *Story) Len() int { return len(st.Snippets) }
 // process run).
 func (st *Story) Gen() uint64 { return st.gen }
 
+// BumpGen advances the mutation counter without a content change.
+// Reactivating an archived story calls it so every downstream consumer
+// keyed on (story, gen) — the query index's liveness table, the result
+// cache — observes the retire→reactivate transition as a delta even when
+// the content round-tripped bit-identically.
+func (st *Story) BumpGen() { st.gen++ }
+
 // Add inserts a snippet into the story, keeping chronological order and
 // updating the aggregates. Add panics if the snippet's source differs from
 // the story's source: per-source stories never mix sources (that is the job
@@ -241,6 +248,30 @@ func (st *Story) Snapshot() *Story {
 		gen:          st.gen,
 		Start:        st.Start,
 		End:          st.End,
+	}
+}
+
+// RestoreStory rebuilds a story from archived state: the snippet list
+// (already chronological), the aggregate vectors, extent, and mutation
+// counter exactly as they were captured by Snapshot at archive time. The
+// aggregates are adopted verbatim rather than recomputed so the restored
+// story is bit-identical to the archived one — float summation order
+// would otherwise differ from the incremental Add sequence that built the
+// original. The retirement subsystem uses this to reactivate a cold story
+// with its original identity and a caller-advanced Gen.
+func RestoreStory(id StoryID, src SourceID, snippets []*Snippet,
+	ents []vocab.IDCount, centroid []vocab.IDWeight,
+	start, end time.Time, gen uint64) *Story {
+	return &Story{
+		ID:           id,
+		Source:       src,
+		Snippets:     snippets,
+		EntityFreq:   ents,
+		Centroid:     centroid,
+		centroidNorm: -1,
+		gen:          gen,
+		Start:        start,
+		End:          end,
 	}
 }
 

@@ -269,11 +269,20 @@ func (m *Manager) deadLetter(r *runner, raw []byte, reason string) {
 // than the pipeline state it presumes. Cursors only ever cover
 // acknowledged records, so a crash between the two costs a bounded
 // redelivery, never a loss.
+//
+// A FAILED sink checkpoint skips the cursor write entirely. Advancing
+// cursors past pipeline state that was never persisted would invert the
+// ordering above: under story retirement, records whose stories were
+// evicted mid-drain would be acknowledged by a cursor while the only
+// durable trace of them is an archive the stale on-disk checkpoint does
+// not reference — a crash then loses them for good. Keeping the old
+// cursors costs a redelivery instead.
 func (m *Manager) Checkpoint() error {
 	var errs []error
 	if cp, ok := m.sink.(Checkpointer); ok {
 		if err := cp.WriteCheckpoint(); err != nil {
 			errs = append(errs, fmt.Errorf("feed: sink checkpoint: %w", err))
+			return errors.Join(errs...)
 		}
 	}
 	if m.cfg.CursorPath != "" {

@@ -424,6 +424,46 @@ func (id *Identifier) Move(snID event.SnippetID, to event.StoryID) bool {
 	return true
 }
 
+// Detach removes a story from the identifier's working set — story table,
+// window cache, LSH signature — and returns it. The snippet→story
+// assignment is deliberately kept (exactly as dropStory does for emptied
+// stories): checkpoints must still cover the archived snippets, and the
+// retained entries let a reactivated story's snippets resolve without
+// rebuild. Returns nil if the story does not exist.
+//
+// Detach is the retirement half of the retire/reactivate pair; Adopt is
+// the inverse.
+func (id *Identifier) Detach(sid event.StoryID) *event.Story {
+	st := id.stories[sid]
+	if st == nil {
+		return nil
+	}
+	id.dropStory(sid)
+	return st
+}
+
+// Adopt inserts a fully built story into the identifier's working set:
+// story table, creation order, assignment entries, and sketch index. It
+// is the reactivation path for archived stories, so it does NOT touch the
+// entity IDF statistics — those are cumulative over processed snippets
+// and were never decremented when the story was detached. The story ID
+// must not collide with a resident story (callers check; the ID allocator
+// never recycles).
+func (id *Identifier) Adopt(st *event.Story) {
+	if st == nil || st.Len() == 0 {
+		return
+	}
+	if _, exists := id.stories[st.ID]; exists {
+		return
+	}
+	id.stories[st.ID] = st
+	id.order = append(id.order, st.ID)
+	for _, sn := range st.Snippets {
+		id.assign[sn.ID] = st.ID
+	}
+	id.indexStory(st)
+}
+
 // sketch maintenance --------------------------------------------------------
 
 // snippetElems renders a snippet as sketch elements. Sketches are built

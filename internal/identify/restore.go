@@ -37,6 +37,19 @@ func (a *IDAlloc) Bump(n uint64) {
 // stale); callers should fall back to reprocessing in that case.
 func Restore(source event.SourceID, cfg Config, alloc *IDAlloc,
 	snippets []*event.Snippet, assign map[event.SnippetID]event.StoryID) (*Identifier, error) {
+	return RestoreWithArchived(source, cfg, alloc, snippets, assign, nil)
+}
+
+// RestoreWithArchived is Restore for engines running under story
+// retirement: snippets assigned to an archived story are accounted for —
+// assignment entry, processed count, entity IDF statistics, all of which
+// the live identifier retained past the story's detachment — but their
+// stories are NOT rebuilt, so a restart stays as bounded as the process
+// that wrote the checkpoint. The archived stories themselves live in the
+// cold-story archive and return through the reactivation path.
+func RestoreWithArchived(source event.SourceID, cfg Config, alloc *IDAlloc,
+	snippets []*event.Snippet, assign map[event.SnippetID]event.StoryID,
+	archived map[event.StoryID]bool) (*Identifier, error) {
 	id := New(source, cfg, alloc)
 	var maxStory event.StoryID
 	for _, sn := range snippets {
@@ -46,6 +59,20 @@ func Restore(source event.SourceID, cfg Config, alloc *IDAlloc,
 		sid, ok := assign[sn.ID]
 		if !ok {
 			return nil, fmt.Errorf("identify: snippet %d missing from checkpoint assignment", sn.ID)
+		}
+		if sid > maxStory {
+			maxStory = sid
+		}
+		if archived[sid] {
+			sn.EnsureInterned()
+			id.assign[sn.ID] = sid
+			id.stats.Processed++
+			if cfg.UseEntityIDF {
+				for _, e := range sn.EntityIDs {
+					id.noteEntity(e)
+				}
+			}
+			continue
 		}
 		st := id.stories[sid]
 		if st == nil {
@@ -60,9 +87,6 @@ func Restore(source event.SourceID, cfg Config, alloc *IDAlloc,
 			for _, e := range sn.EntityIDs {
 				id.noteEntity(e)
 			}
-		}
-		if sid > maxStory {
-			maxStory = sid
 		}
 	}
 	if id.lsh != nil {

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"repro/internal/feed"
+	"repro/internal/retire"
 )
 
 // FeedsView is the GET /api/feeds response: the manager-level rollup
@@ -24,6 +25,10 @@ type HealthView struct {
 	Healthy     int    `json:"healthy,omitempty"`
 	Degraded    int    `json:"degraded,omitempty"`
 	Quarantined int    `json:"quarantined,omitempty"`
+	// Window reports retirement state when the pipeline runs with a
+	// bounded story window; operators read resident/archived counts off
+	// the probe they already scrape.
+	Window *retire.View `json:"window,omitempty"`
 }
 
 // AttachFeeds exposes a feed manager on /api/feeds and folds its health
@@ -78,6 +83,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		case view.Degraded > 0 || view.Quarantined > 0:
 			view.Status = "degraded"
 		}
+	}
+	if m := s.Pipeline().Retire(); m != nil {
+		v := m.Snapshot()
+		view.Window = &v
 	}
 	if s.closed.Load() {
 		view.Status = "closed"

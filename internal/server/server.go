@@ -356,6 +356,8 @@ func (s *Server) rawMux() http.Handler {
 	mux.HandleFunc("GET /api/feeds", s.handleFeeds)
 	mux.HandleFunc("GET /api/admin/quotas", s.handleQuotasGet)
 	mux.HandleFunc("PUT /api/admin/quotas", s.handleQuotasPut)
+	mux.HandleFunc("GET /api/window", s.handleWindowGet)
+	mux.HandleFunc("PUT /api/admin/window", s.handleWindowPut)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /", s.handleIndex)
 	return mux

@@ -30,9 +30,15 @@ type Checkpoint struct {
 type SourceCheckpoint struct {
 	// Assign maps snippet ID → story ID.
 	Assign map[event.SnippetID]event.StoryID `json:"assign"`
+	// Archived lists the source's stories that were retired to the cold
+	// archive at checkpoint time (version 2). Their snippets still appear
+	// in Assign — the identifier keeps assignment entries past
+	// detachment — but the stories themselves must be recovered from the
+	// archive, not rebuilt from snippets.
+	Archived []event.StoryID `json:"archived,omitempty"`
 }
 
-const checkpointVersion = 1
+const checkpointVersion = 2
 
 // ErrCheckpointStale reports a checkpoint that does not cover the
 // snippets it is being restored against.
@@ -51,8 +57,17 @@ func (e *Engine) Checkpoint() *Checkpoint {
 	cp := &Checkpoint{Version: checkpointVersion, Sources: make(map[event.SourceID]SourceCheckpoint, len(shards))}
 	for src, sh := range shards {
 		sh.mu.Lock()
-		cp.Sources[src] = SourceCheckpoint{Assign: sh.id.Assignments()}
+		sc := SourceCheckpoint{Assign: sh.id.Assignments()}
 		sh.mu.Unlock()
+		if e.retirer != nil {
+			// Retirement (detach + archive-index insert) runs under e.mu,
+			// held here, so Archived can't miss a concurrent retirement.
+			// Reactivation runs outside e.mu; a story taken concurrently
+			// is absent from both sets and restore rebuilds it from its
+			// snippets — correct, just slower for that one story.
+			sc.Archived = e.retirer.ArchivedIDs(src)
+		}
+		cp.Sources[src] = sc
 	}
 	return cp
 }
@@ -69,7 +84,7 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err := json.NewDecoder(r).Decode(&c); err != nil {
 		return nil, fmt.Errorf("stream: reading checkpoint: %w", err)
 	}
-	if c.Version != checkpointVersion {
+	if c.Version != 1 && c.Version != checkpointVersion {
 		return nil, fmt.Errorf("stream: unsupported checkpoint version %d", c.Version)
 	}
 	return &c, nil
@@ -82,8 +97,32 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 // engine's dedup filters, entity statistics, and time range are rebuilt
 // from the snippets.
 func RestoreEngine(opts Options, snippets []*event.Snippet, cp *Checkpoint) (*Engine, error) {
+	return RestoreEngineArchived(opts, snippets, cp, nil)
+}
+
+// RestoreEngineArchived is RestoreEngine for checkpoints written under
+// story retirement. verify reports whether an archived story ID is still
+// present in the cold archive; every ID in the checkpoint's Archived
+// lists must pass it, otherwise the checkpoint and archive have diverged
+// and ErrCheckpointStale sends the caller to replay. A nil verify with a
+// non-empty Archived list is likewise stale: the caller has no archive
+// to recover those stories from.
+func RestoreEngineArchived(opts Options, snippets []*event.Snippet, cp *Checkpoint,
+	verify func(event.StoryID) bool) (*Engine, error) {
 	if cp == nil || cp.Sources == nil {
 		return nil, ErrCheckpointStale
+	}
+	archived := make(map[event.StoryID]bool)
+	for src, sc := range cp.Sources {
+		for _, sid := range sc.Archived {
+			if verify == nil {
+				return nil, fmt.Errorf("%w: source %s has archived stories but no archive", ErrCheckpointStale, src)
+			}
+			if !verify(sid) {
+				return nil, fmt.Errorf("%w: archived story %d missing from archive", ErrCheckpointStale, sid)
+			}
+			archived[sid] = true
+		}
 	}
 	e := NewEngine(opts)
 	bySource := make(map[event.SourceID][]*event.Snippet)
@@ -107,7 +146,7 @@ func RestoreEngine(opts Options, snippets []*event.Snippet, cp *Checkpoint) (*En
 		e.tagOwner[tag] = src
 		alloc := identify.NewSourceAlloc(src)
 		e.allocs[src] = alloc
-		id, err := identify.Restore(src, opts.Identify, alloc, bySource[src], sc.Assign)
+		id, err := identify.RestoreWithArchived(src, opts.Identify, alloc, bySource[src], sc.Assign, archived)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCheckpointStale, err)
 		}

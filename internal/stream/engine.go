@@ -61,6 +61,36 @@ type ResultSink interface {
 	Publish(res *align.Result)
 }
 
+// Retirer is the story lifecycle hook (implemented by retire.Manager):
+// it decides when resident stories go cold, archives them durably before
+// the engine detaches them, and hands back archived stories that new
+// evidence reactivates. The engine calls Due/Cold/Archive/Commit/Abort
+// under its own mutex during alignment passes and TakeForSnippet from
+// the lock-free prefix of Ingest; implementations synchronise
+// internally and must never call back into the engine.
+type Retirer interface {
+	// Due reports whether a retirement walk should run, given the
+	// resident story count and the event-time watermark. Called on every
+	// alignment publish (also serving as the watermark feed).
+	Due(resident int, watermark time.Time) bool
+	// Cold reports whether a story whose last evidence is at end is
+	// retirable at the given watermark.
+	Cold(id event.StoryID, end, watermark time.Time) bool
+	// Archive durably persists a retirement group, returning a ticket.
+	Archive(stories []*event.Story, watermark time.Time) (uint64, error)
+	// Commit finalises a ticket with the members actually detached.
+	Commit(ticket uint64, retired []event.StoryID)
+	// Abort discards a ticket none of whose members could be detached.
+	Abort(ticket uint64)
+	// TakeForSnippet returns archived stories (whole retirement groups)
+	// the snippet is evidence for, removing them from the archive index.
+	TakeForSnippet(sn *event.Snippet) []*event.Story
+	// ForgetSource drops a removed source's archived stories.
+	ForgetSource(src event.SourceID)
+	// ArchivedIDs lists a source's archived story IDs for checkpoints.
+	ArchivedIDs(src event.SourceID) []event.StoryID
+}
+
 // Errors returned by the engine.
 var (
 	// ErrUnknownSource is returned by Ingest when the snippet's source was
@@ -143,6 +173,10 @@ type Engine struct {
 	// incorporated.
 	sinks   []ResultSink
 	primary bool
+
+	// retirer, when set, bounds resident memory: see Retirer. Written
+	// once during pipeline wiring, before concurrent use.
+	retirer Retirer
 
 	// entHLL estimates the distinct-entity count of everything ingested
 	// (the "# Entities" figure of the statistics module's dataset panel)
@@ -262,6 +296,13 @@ func (e *Engine) AddResultSink(s ResultSink) {
 	}
 }
 
+// SetRetirer attaches the story lifecycle hook. It must be called during
+// wiring, before the engine sees concurrent traffic: the field is read
+// without synchronisation on the ingest hot path.
+func (e *Engine) SetRetirer(r Retirer) {
+	e.retirer = r
+}
+
 // RemoveSource detaches a source: its stories leave the aligner and the
 // integrated result (paper §2.4: "any story detection system should allow
 // the addition or removal of data sources"). It reports whether the source
@@ -290,6 +331,9 @@ func (e *Engine) RemoveSource(src event.SourceID) bool {
 	}
 	e.result = nil
 	metDirtyGauge.Set(int64(len(e.dirty)))
+	if e.retirer != nil {
+		e.retirer.ForgetSource(src)
+	}
 	return true
 }
 
@@ -319,6 +363,21 @@ func (e *Engine) Ingest(s *event.Snippet) (event.StoryID, error) {
 		return 0, err
 	}
 	span := metIngestLat.Start()
+	// Reactivation: if the snippet fingerprints to archived stories, the
+	// whole retirement groups come back — adopted into their identifiers
+	// *before* this snippet is processed, so it can attach to a
+	// reactivated story exactly as it would have pre-retirement. No lock
+	// is held across adoptions (shards are taken one at a time), so
+	// cross-source groups cannot deadlock concurrent ingests.
+	var reactivated []*event.Story
+	if e.retirer != nil {
+		s.EnsureInterned()
+		if reactivated = e.retirer.TakeForSnippet(s); reactivated != nil {
+			for _, st := range reactivated {
+				e.adoptStory(st)
+			}
+		}
+	}
 	sh := e.shard(s.Source)
 	sh.mu.Lock()
 	for sh.gone {
@@ -349,6 +408,10 @@ func (e *Engine) Ingest(s *event.Snippet) (event.StoryID, error) {
 	defer e.mu.Unlock()
 	e.dirty[sid] = true
 	e.storyOwner[sid] = s.Source
+	for _, st := range reactivated {
+		e.dirty[st.ID] = true
+		e.storyOwner[st.ID] = st.Source
+	}
 	e.ingested++
 	metIngested.Inc()
 	metDirtyGauge.Set(int64(len(e.dirty)))
@@ -423,6 +486,19 @@ func (e *Engine) snapshotStory(src event.SourceID, sid event.StoryID) *event.Sto
 		return nil
 	}
 	return st.Snapshot()
+}
+
+// adoptStory re-homes a reactivated story into its source's identifier.
+// A story already resident (the retirement raced a concurrent detach
+// verification and kept it) is left untouched — the live copy is newer
+// than the archived one.
+func (e *Engine) adoptStory(st *event.Story) {
+	sh := e.shard(st.Source)
+	sh.mu.Lock()
+	if !sh.gone && sh.err == nil && sh.id.Story(st.ID) == nil {
+		sh.id.Adopt(st)
+	}
+	sh.mu.Unlock()
 }
 
 // lockedMover applies refinement moves under the shard lock, so refine
@@ -522,6 +598,16 @@ func (e *Engine) alignLocked() *align.Result {
 			e.result = e.aligner.Result()
 		}
 	}
+	// Retirement walks the settled (post-refinement) active set: cold
+	// alignment components are archived and detached, then the result is
+	// recomputed once so the publish below already excludes them — the
+	// sinks' Gen-delta protocols (query index liveness, cache
+	// invalidation) see the eviction as an ordinary delta.
+	if e.retirer != nil && e.retirer.Due(len(e.storyOwner), e.lastTS) {
+		if e.retireLocked() > 0 {
+			e.result = e.aligner.Result()
+		}
+	}
 	// Published after refinement so the sinks' delta protocols (keyed
 	// on Story.Gen) see refine moves exactly once, as part of the
 	// final result of the pass.
@@ -529,6 +615,88 @@ func (e *Engine) alignLocked() *align.Result {
 		s.Publish(e.result)
 	}
 	return e.result
+}
+
+// retireLocked runs one retirement walk under e.mu and returns how many
+// stories were retired. Per retirable set the protocol is:
+//
+//  1. snapshot every member under its shard lock, re-verifying coldness
+//     against the live story (any member that changed aborts the set);
+//  2. archive the snapshots durably (fsynced) — on error retirement
+//     stops for this pass, nothing was detached;
+//  3. detach each member, verifying under the shard lock that its Gen
+//     still equals the snapshot's — a story that raced new evidence
+//     between 1 and 3 stays resident and is pruned from the group.
+//
+// The ordering makes the archive a superset of what was detached at
+// every instant, so a crash anywhere loses at most a retirement.
+func (e *Engine) retireLocked() int {
+	watermark := e.lastTS
+	cold := func(st *event.Story) bool {
+		return e.retirer.Cold(st.ID, st.End, watermark)
+	}
+	// The same-source guard exists for repair-merge reachability (its
+	// sweep pairs stories whose ω-padded extents overlap); with repair
+	// disabled there is nothing to guard and a single long-lived warm
+	// story would otherwise pin every cold story of its source forever.
+	pad := e.opts.Identify.Window
+	if e.opts.Identify.RepairEvery <= 0 {
+		pad = -1
+	}
+	sets := e.aligner.RetirableSets(cold, pad)
+	total := 0
+	for _, set := range sets {
+		snaps := make([]*event.Story, 0, len(set))
+		ok := true
+		for _, sid := range set {
+			src, owned := e.storyOwner[sid]
+			if !owned {
+				ok = false
+				break
+			}
+			st := e.snapshotStory(src, sid)
+			if st == nil || !e.retirer.Cold(sid, st.End, watermark) {
+				ok = false
+				break
+			}
+			snaps = append(snaps, st)
+		}
+		if !ok || len(snaps) == 0 {
+			continue
+		}
+		ticket, err := e.retirer.Archive(snaps, watermark)
+		if err != nil {
+			metRetireArchiveErrors.Inc()
+			break
+		}
+		retired := make([]event.StoryID, 0, len(snaps))
+		for _, snap := range snaps {
+			src := e.storyOwner[snap.ID]
+			sh := e.lookupShard(src)
+			if sh == nil {
+				continue
+			}
+			sh.mu.Lock()
+			live := sh.id.Story(snap.ID)
+			if sh.gone || live == nil || live.Gen() != snap.Gen() {
+				sh.mu.Unlock()
+				continue
+			}
+			sh.id.Detach(snap.ID)
+			sh.mu.Unlock()
+			e.aligner.Remove(snap.ID)
+			delete(e.storyOwner, snap.ID)
+			delete(e.dirty, snap.ID)
+			retired = append(retired, snap.ID)
+		}
+		if len(retired) == 0 {
+			e.retirer.Abort(ticket)
+			continue
+		}
+		e.retirer.Commit(ticket, retired)
+		total += len(retired)
+	}
+	return total
 }
 
 // Result returns the most recent alignment result, aligning first if none

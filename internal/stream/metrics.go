@@ -29,4 +29,6 @@ var (
 		"engines rebuilt from a checkpoint fast path")
 	metRestoreFail = obs.GetCounter("storypivot_stream_checkpoint_restore_failures_total",
 		"checkpoint restores that failed and fell back to replay")
+	metRetireArchiveErrors = obs.GetCounter("storypivot_stream_retire_archive_errors_total",
+		"retirement passes aborted by an archive write failure")
 )

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/extract"
 	"repro/internal/kb"
+	"repro/internal/retire"
 	"repro/internal/storage"
 	"repro/internal/stream"
 )
@@ -18,6 +19,7 @@ type config struct {
 	storageDir  string
 	storageOpt  storage.Options
 	scanQueries bool
+	retire      retire.Config
 }
 
 // Option configures a Pipeline.
@@ -127,6 +129,39 @@ func WithStorageSync(policy int) Option {
 // serving should leave this off.
 func WithScanQueries(on bool) Option {
 	return func(c *config) { c.scanQueries = on }
+}
+
+// WithRetireWindow enables sliding-window story retirement: a story
+// whose newest evidence is more than w of event time behind the stream
+// watermark is archived to the cold-story archive and evicted from the
+// live engine, bounding steady-state memory under an infinite feed. New
+// evidence matching an archived story reactivates it under its original
+// ID. For query results over the active window to be unchanged by
+// retirement, w must exceed both the alignment slack plus the feed's
+// event-time disorder and the identification window. 0 (the default)
+// disables retirement.
+func WithRetireWindow(w time.Duration) Option {
+	return func(c *config) { c.retire.Window = w }
+}
+
+// WithRetireDir places the cold-story archive in dir. Defaults to an
+// "archive" subdirectory of the WithStorage directory; required when
+// retirement is enabled without storage.
+func WithRetireDir(dir string) Option {
+	return func(c *config) { c.retire.Dir = dir }
+}
+
+// WithRetireGrace sets how long a reactivated story is held resident
+// before it may retire again (thrash guard). Defaults to a quarter of
+// the retirement window.
+func WithRetireGrace(d time.Duration) Option {
+	return func(c *config) { c.retire.Grace = d }
+}
+
+// WithRetireMinResident skips retirement entirely while fewer than n
+// stories are resident; small working sets are not worth archiving.
+func WithRetireMinResident(n int) Option {
+	return func(c *config) { c.retire.MinResident = n }
 }
 
 // WithDedup sizes the per-source duplicate-delivery filter (0 disables).

@@ -10,6 +10,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/index"
 	"repro/internal/obs"
+	"repro/internal/retire"
 	"repro/internal/storage"
 	"repro/internal/stream"
 )
@@ -42,6 +43,7 @@ type Pipeline struct {
 	extractor      *extract.Extractor
 	kb             *KnowledgeBase
 	index          *index.Index
+	retire         *retire.Manager // nil unless WithRetireWindow; immutable after New
 	scanQueries    bool
 	checkpointPath string
 	warnings       []string // recovery findings from New (immutable after)
@@ -73,6 +75,24 @@ func New(opts ...Option) (*Pipeline, error) {
 		kb:        cfg.kb,
 	}
 	p.extractor.Bigrams = cfg.bigrams
+	if cfg.retire.Window > 0 {
+		if cfg.retire.Dir == "" {
+			if cfg.storageDir == "" {
+				return nil, fmt.Errorf("storypivot: retirement requires WithRetireDir or WithStorage")
+			}
+			cfg.retire.Dir = filepath.Join(cfg.storageDir, "archive")
+		}
+		// The reactivation policy mirrors the matching policies it stands
+		// in for: ω for same-source evidence, alignment slack across
+		// sources.
+		cfg.retire.IdentWindow = cfg.stream.Identify.Window
+		cfg.retire.AlignSlack = cfg.stream.Align.Slack
+		mgr, err := retire.Open(cfg.retire)
+		if err != nil {
+			return nil, fmt.Errorf("storypivot: opening archive: %w", err)
+		}
+		p.retire = mgr
+	}
 	if cfg.storageDir != "" {
 		st, err := storage.Open(cfg.storageDir, cfg.storageOpt)
 		if err != nil {
@@ -99,6 +119,18 @@ func New(opts ...Option) (*Pipeline, error) {
 				p.warnings = append(p.warnings, fmt.Sprintf(
 					"checkpoint restore failed (%v); replaying %d snippets", err, len(all)))
 			}
+			if p.retire != nil {
+				// Replay rebuilds every story resident, so whatever the
+				// archive holds is stale by construction. Attaching the
+				// retirer before the loop keeps the replay itself
+				// memory-bounded: cold stories re-retire as the replayed
+				// clock advances.
+				if rerr := p.retire.Reset(); rerr != nil {
+					st.Close()
+					return nil, fmt.Errorf("storypivot: resetting archive: %w", rerr)
+				}
+				p.engine.SetRetirer(p.retire)
+			}
 			metReplayFallbackSnippets.Add(uint64(len(all)))
 			for _, sn := range all {
 				if _, err := p.engine.Ingest(sn); err != nil && !errors.Is(err, stream.ErrDuplicate) {
@@ -114,6 +146,16 @@ func New(opts ...Option) (*Pipeline, error) {
 			}
 		}
 		p.extractor.SetNextID(uint64(maxID))
+	}
+	if p.retire != nil {
+		if cfg.storageDir == "" {
+			// Without a persistent store there is nothing to replay a
+			// stale archive against; start it empty.
+			if err := p.retire.Reset(); err != nil {
+				return nil, fmt.Errorf("storypivot: resetting archive: %w", err)
+			}
+		}
+		p.engine.SetRetirer(p.retire)
 	}
 	// The query index attaches after the engine is final (restore may
 	// have replaced it) so its first publish sees whatever result the
@@ -153,9 +195,26 @@ func (p *Pipeline) tryRestore(opts stream.Options, snippets []*Snippet) (*stream
 	if err != nil {
 		return nil, err
 	}
-	engine, err := stream.RestoreEngine(opts, snippets, cp)
+	var verify func(StoryID) bool
+	if p.retire != nil {
+		verify = p.retire.Has
+	}
+	engine, err := stream.RestoreEngineArchived(opts, snippets, cp, verify)
 	if err != nil {
 		return nil, err
+	}
+	if p.retire != nil {
+		// Archive records for stories the checkpoint considers resident
+		// (retired after the checkpoint was written, or reactivated and
+		// re-checkpointed) are stale; drop them from the reactivation
+		// index so they cannot resurrect a story that is already live.
+		keep := make(map[StoryID]bool)
+		for _, sc := range cp.Sources {
+			for _, sid := range sc.Archived {
+				keep[sid] = true
+			}
+		}
+		p.retire.Reconcile(keep)
 	}
 	return engine, nil
 }
@@ -333,12 +392,22 @@ func (p *Pipeline) Close() error {
 	if p.index != nil {
 		p.index.Close()
 	}
+	var err error
 	if p.store != nil {
-		return p.store.Close()
+		err = p.store.Close()
 	}
-	return nil
+	if p.retire != nil {
+		if cerr := p.retire.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Engine exposes the underlying stream engine for advanced integrations
 // (statistics module, benchmarks).
 func (p *Pipeline) Engine() *stream.Engine { return p.engine }
+
+// Retire exposes the story-retirement manager (window state, live policy
+// rebasing); nil unless WithRetireWindow enabled retirement.
+func (p *Pipeline) Retire() *retire.Manager { return p.retire }

@@ -16,6 +16,10 @@
 # split indexed vs scan. BENCH_cache.json — the served-query cache
 # benchmarks (zipfian replay under concurrent feed ingest), cached vs
 # uncached, with QPS, hit rate, and the derived speedup.
+# BENCH_window.json — the bounded-memory soak (retirement window on vs
+# off): heap at mid-stream and stream end (the on-slope must be flat),
+# resident/retired/reactivated story counts, and the query-panel tail
+# latency over the soaked pipelines, with the derived p99 ratio.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,10 +32,16 @@ CACHETIME=""
 # stall is the phenomenon under measurement), so the iteration count is
 # fixed instead of time-based to keep the run bounded.
 SHARDTIME="-benchtime=300x"
+# One soak iteration IS the measurement (a whole stream per op), so the
+# iteration count is pinned; the window-query panel needs enough
+# iterations for stable percentiles.
+WSOAKTIME="-benchtime=1x"
+WQUERYTIME="-benchtime=200x"
 OUT="BENCH_identify.json"
 QOUT="BENCH_query.json"
 COUT="BENCH_cache.json"
 SOUT="BENCH_shard.json"
+WOUT="BENCH_window.json"
 if [ "${1:-}" = "--smoke" ]; then
     BENCHTIME="-benchtime=1x"
     # Queries are microseconds each; a handful of iterations still
@@ -41,10 +51,16 @@ if [ "${1:-}" = "--smoke" ]; then
     # the smoke hit rate is indicative, not gated.
     CACHETIME="-benchtime=200x"
     SHARDTIME="-benchtime=30x"
+    WQUERYTIME="-benchtime=50x"
+    # Shrink the soak stream: the unbounded arm is superlinear in it by
+    # design, and the smoke only proves the benchmarks still run.
+    STORYPIVOT_SOAK_EVENTS=4000
+    export STORYPIVOT_SOAK_EVENTS
     OUT="BENCH_identify.smoke.json"
     QOUT="BENCH_query.smoke.json"
     COUT="BENCH_cache.smoke.json"
     SOUT="BENCH_shard.smoke.json"
+    WOUT="BENCH_window.smoke.json"
 fi
 
 TMP="$(mktemp)"
@@ -186,3 +202,54 @@ END {
 
 echo "==> wrote $SOUT"
 cat "$SOUT"
+
+# --- Bounded-memory window: soak + query tail latency ---------------------
+#
+# The soak drives a compressed-clock two-year stream through the pipeline
+# with the retirement window on and off; the headline numbers are the
+# heap growth between mid-stream and stream end per arm (flat on, growing
+# off) and the query-panel p99 ratio off/on over the soaked pipelines.
+
+# shellcheck disable=SC2086  # WSOAKTIME/WQUERYTIME are deliberately word-split
+go test -run '^$' -bench 'BenchmarkWindowSoak(On|Off)$' \
+    -timeout 30m $WSOAKTIME . | tee "$TMP"
+go test -run '^$' -bench 'BenchmarkWindowQuery(On|Off)$' \
+    -timeout 30m $WQUERYTIME . | tee -a "$TMP"
+
+awk '
+/^BenchmarkWindow/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = mid = end = res = ret = rea = p50 = p99 = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")       ns = $i
+        if ($(i + 1) == "heap_mid_MB") mid = $i
+        if ($(i + 1) == "heap_end_MB") end = $i
+        if ($(i + 1) == "resident")    res = $i
+        if ($(i + 1) == "retired")     ret = $i
+        if ($(i + 1) == "reactivated") rea = $i
+        if ($(i + 1) == "p50_us")      p50 = $i
+        if ($(i + 1) == "p99_us")      p99 = $i
+    }
+    if (name ~ /SoakOn/)   { on_mid = mid; on_end = end }
+    if (name ~ /SoakOff/)  { off_mid = mid; off_end = end }
+    if (name ~ /QueryOn/)  on_p99 = p99
+    if (name ~ /QueryOff/) off_p99 = p99
+    if (name ~ /Soak/)
+        rows[++n] = sprintf("  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"heap_mid_mb\": %s, \"heap_end_mb\": %s, \"resident_stories\": %s, \"retired_total\": %s, \"reactivated_total\": %s}", name, ns, mid, end, res, ret, rea)
+    else
+        rows[++n] = sprintf("  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"p50_us\": %s, \"p99_us\": %s}", name, ns, p50, p99)
+}
+END {
+    slope_on = (on_mid != "" && on_mid != "null") ? sprintf("%.2f", on_end - on_mid) : "null"
+    slope_off = (off_mid != "" && off_mid != "null") ? sprintf("%.2f", off_end - off_mid) : "null"
+    ratio = (on_p99 != "" && on_p99 != "null" && on_p99 + 0 > 0) ? sprintf("%.2f", off_p99 / on_p99) : "null"
+    rows[++n] = sprintf("  {\"heap_growth_on_mb\": %s, \"heap_growth_off_mb\": %s, \"query_p99_off_vs_on\": %s}", slope_on, slope_off, ratio)
+    print "["
+    for (i = 1; i <= n; i++) print rows[i] (i < n ? "," : "")
+    print "]"
+}
+' "$TMP" > "$WOUT"
+
+echo "==> wrote $WOUT"
+cat "$WOUT"

@@ -69,6 +69,19 @@ go test -race -count=1 \
   ./internal/cluster
 go test -race -count=1 -run 'TestEmptyResultsSerialiseAsArray|TestStoriesByEntityEndpoint' ./internal/server
 
+# Retirement gate: the lifecycle differential must prove byte-identical
+# active-window responses across seeds (refinement on, mid-stream source
+# removal), reactivation must restore the original StoryID, a
+# kill-during-retire restart must reconcile the archive against the
+# checkpoint, and the retire/reactivate/ingest/rebase interleaving must
+# survive the race detector.
+echo "==> story retirement gate (-race)"
+go test -race -count=1 \
+  -run 'TestRetireDifferential|TestRetireReactivation|TestRetireBoundedResident|TestRetireIngestRace|TestRecoveryKillDuringRetire|TestRecoveryArchiveReconcile' .
+go test -race -count=1 ./internal/retire
+go test -race -count=1 -run 'TestArchive' ./internal/storage
+go test -race -count=1 -run 'TestWindowEndpoint' ./internal/server
+
 echo "==> bench smoke (scripts/bench.sh --smoke)"
 ./scripts/bench.sh --smoke
 
