@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race fuzz bench ci feed-demo cluster-demo clean
+.PHONY: all build vet test race fuzz bench ci feed-demo cluster-demo scale-demo clean
 
 all: build test
 
@@ -48,6 +48,14 @@ feed-demo:
 # kills a worker to show degraded (partial, never 5xx) serving.
 cluster-demo:
 	./scripts/cluster_demo.sh
+
+# scale-demo runs the GDELT-scale store benchmarks (tiered vs flat,
+# 1M/5M/10M snippets — shrink with STORYPIVOT_SCALE_EVENTS) and prints
+# the heap/throughput/cold-read table; the tiered heap must stay flat
+# while the flat store grows with the corpus.
+scale-demo:
+	$(GO) test -run '^$$' -bench 'BenchmarkScale(Tiered|Flat)(1M|5M|10M)$$' \
+		-timeout 60m -benchtime 1x ./internal/storage
 
 clean:
 	$(GO) clean ./...

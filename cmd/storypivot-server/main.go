@@ -64,6 +64,11 @@ func main() {
 		clusterWorker = flag.Bool("cluster-worker", false, "run as a cluster worker shard: start empty (no demo preload) and serve only the sources the router assigns here")
 		peers         = flag.String("peers", "", "comma-separated URLs of the other workers (cluster mode, advertised on GET /api/cluster/members)")
 
+		storeDir      = flag.String("store-dir", "", "persist snippets to this event-store directory (replayed on restart)")
+		storeHot      = flag.Int("store-hot-chunks", 0, "tiered storage: sealed chunks kept fully resident in memory; setting any -store-* tier flag enables the tiered hot/warm/cold layout (0 = default 4, requires -store-dir)")
+		storeWarm     = flag.Int("store-warm-mmap", 0, "tiered storage: sealed chunks kept mmap'd read-only behind the hot tier (0 = default 16)")
+		storeColdComp = flag.Bool("store-cold-compress", true, "tiered storage: gzip-compress chunks demoted to the cold tier")
+
 		window            = flag.Duration("window", 0, "story retirement window W of event time: stories with no new evidence for W are archived and evicted, bounding resident memory (0 = retirement disabled); tune live via PUT /api/admin/window")
 		retireDir         = flag.String("retire-dir", "", "cold-story archive directory (required when -window > 0)")
 		retireGrace       = flag.Duration("retire-grace", 0, "holdback before a reactivated story may retire again (0 = W/4)")
@@ -72,6 +77,20 @@ func main() {
 	var ff feedFlags
 	registerFeedFlags(&ff)
 	flag.Parse()
+
+	// Tiered storage engages when any tier flag is given explicitly, so
+	// the plain -store-dir flat layout stays the default (and the
+	// baseline the scale benchmarks compare against).
+	tiered := false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "store-hot-chunks", "store-warm-mmap", "store-cold-compress":
+			tiered = true
+		}
+	})
+	if tiered && *storeDir == "" {
+		log.Fatal("-store-hot-chunks/-store-warm-mmap/-store-cold-compress require -store-dir")
+	}
 
 	// Watch for SIGINT/SIGTERM from here on: the drain path below owns
 	// process exit, so nothing may log.Fatal once the listener is up.
@@ -101,6 +120,16 @@ func main() {
 			opts = append(opts, storypivot.WithMode(storypivot.ModeComplete))
 		} else {
 			opts = append(opts, storypivot.WithWindow(60*24*time.Hour))
+		}
+	}
+	if *storeDir != "" {
+		// Deselect rebuilds open the new pipeline over the same store
+		// directory before the old one closes; mutations serialize on the
+		// server's write lock and the tier manifest self-heals at open,
+		// the same overlap -retire-dir already lives with.
+		opts = append(opts, storypivot.WithStorage(*storeDir))
+		if tiered {
+			opts = append(opts, storypivot.WithTieredStorage(*storeHot, *storeWarm, *storeColdComp))
 		}
 	}
 	if *window > 0 {
@@ -136,6 +165,10 @@ func main() {
 			ps = strings.Split(*peers, ",")
 		}
 		s.SetPeers(ps)
+	} else if len(s.Pipeline().Sources()) > 0 {
+		// A -store-dir corpus was replayed at open; seeding the demo
+		// selection on top would re-ingest it on every restart.
+		log.Printf("restored corpus from %s, skipping demo preload", *storeDir)
 	} else {
 		if *useCur {
 			for _, cd := range curated.Corpus() {

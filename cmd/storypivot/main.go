@@ -40,10 +40,15 @@ func main() {
 		refine    = flag.Bool("refine", true, "run story refinement after alignment")
 		sketch    = flag.Bool("sketch", false, "use MinHash/LSH candidate retrieval")
 		storeDir  = flag.String("store", "", "persist snippets to this event-store directory")
-		topK      = flag.Int("top", 10, "number of integrated stories to print")
-		profiles  = flag.Bool("profiles", false, "print per-source reporting profiles")
-		trending  = flag.Bool("trending", false, "print trending stories at the corpus end")
-		useCur    = flag.Bool("curated", false, "run on the curated 2014 corpus (5 real stories, 3 sources)")
+		storeDir2 = flag.String("store-dir", "", "alias for -store (matches the server binary's flag)")
+
+		storeHot      = flag.Int("store-hot-chunks", 0, "tiered storage: sealed chunks kept fully resident in memory; setting any -store-* tier flag enables the tiered hot/warm/cold layout (0 = default 4, requires -store)")
+		storeWarm     = flag.Int("store-warm-mmap", 0, "tiered storage: sealed chunks kept mmap'd read-only behind the hot tier (0 = default 16)")
+		storeColdComp = flag.Bool("store-cold-compress", true, "tiered storage: gzip-compress chunks demoted to the cold tier")
+		topK          = flag.Int("top", 10, "number of integrated stories to print")
+		profiles      = flag.Bool("profiles", false, "print per-source reporting profiles")
+		trending      = flag.Bool("trending", false, "print trending stories at the corpus end")
+		useCur        = flag.Bool("curated", false, "run on the curated 2014 corpus (5 real stories, 3 sources)")
 
 		// Story retirement (-window here is the identification window ω,
 		// so the retirement window gets its own flag).
@@ -72,8 +77,24 @@ func main() {
 	default:
 		log.Fatalf("unknown -mode %q (want temporal or complete)", *mode)
 	}
-	if *storeDir != "" {
-		opts = append(opts, storypivot.WithStorage(*storeDir))
+	dir := *storeDir
+	if dir == "" {
+		dir = *storeDir2
+	}
+	tiered := false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "store-hot-chunks", "store-warm-mmap", "store-cold-compress":
+			tiered = true
+		}
+	})
+	if dir != "" {
+		opts = append(opts, storypivot.WithStorage(dir))
+		if tiered {
+			opts = append(opts, storypivot.WithTieredStorage(*storeHot, *storeWarm, *storeColdComp))
+		}
+	} else if tiered {
+		log.Fatal("-store-hot-chunks/-store-warm-mmap/-store-cold-compress require -store")
 	}
 	if *retireWindow > 0 {
 		opts = append(opts, storypivot.WithRetireWindow(*retireWindow))

@@ -603,3 +603,47 @@ func TestClusterMembersReconfigure(t *testing.T) {
 		t.Fatalf("failed PUT mutated the ring: %d members", got)
 	}
 }
+
+// TestClusterPagedEnvelopeEdgeCases pins the degenerate pagination
+// inputs against byte-identity. The near-MaxInt offset makes
+// offset+limit overflow int: the router used to forward the negative
+// sum as the shard limit, every worker answered 400, and the "merged"
+// envelope came back partial with total=0 — silently diverging from
+// the single node, which reports the true total over an empty window.
+func TestClusterPagedEnvelopeEdgeCases(t *testing.T) {
+	h := newHarness(t, 7, 40)
+	h.ingest(t, 0, len(h.stream))
+
+	q := h.queries[len(h.queries)-1]
+	e := h.entities[1]
+	const hugeOffset = "9223372036854775800" // MaxInt64 - 7: +limit overflows
+	for _, path := range []string{
+		"/api/search?q=" + urlEscape(q) + "&offset=" + hugeOffset + "&limit=500",
+		"/api/timeline?entity=" + urlEscape(e) + "&offset=" + hugeOffset + "&limit=500",
+		"/api/stories/by-entity?entity=" + urlEscape(e) + "&offset=" + hugeOffset + "&limit=500",
+		"/api/search?q=" + urlEscape(q) + "&offset=" + hugeOffset + "&limit=500&deep=1",
+		// limit=0 is rejected as invalid — by both layers, identically.
+		"/api/search?q=" + urlEscape(q) + "&limit=0",
+		"/api/timeline?entity=" + urlEscape(e) + "&limit=0",
+		"/api/stories/by-entity?entity=" + urlEscape(e) + "&limit=0",
+	} {
+		h.compare(t, path, "edge")
+	}
+
+	// Beyond byte-identity: the overflow window must still carry the
+	// true corpus-wide total from healthy shards, not a partial zero.
+	_, body := get(t, h.routerTS.URL, "/api/search?q="+urlEscape(q)+"&offset="+hugeOffset+"&limit=500")
+	var pg struct {
+		Total   int  `json:"total"`
+		Partial bool `json:"partial"`
+	}
+	if err := json.Unmarshal(body, &pg); err != nil {
+		t.Fatal(err)
+	}
+	if pg.Partial {
+		t.Fatalf("overflowing offset marked the response partial: %s", body)
+	}
+	if pg.Total == 0 {
+		t.Fatalf("overflowing offset lost the total: %s", body)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"sort"
@@ -188,6 +189,13 @@ func (rt *Router) handleRanked(w http.ResponseWriter, r *http.Request, path, par
 		return
 	}
 	k := offset + limit
+	if k < 0 {
+		// offset+limit overflowed int. A window that deep is empty on
+		// any real corpus, but the envelope must still carry the true
+		// total — forwarding the negative sum as the shard limit would
+		// 400 every worker and "merge" a partial zero.
+		k = math.MaxInt
+	}
 	shardLimit := k
 	if shardLimit > deepPageLimit {
 		shardLimit = deepPageLimit
@@ -258,6 +266,13 @@ func (rt *Router) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	k := offset + limit
+	if k < 0 {
+		// offset+limit overflowed int. A window that deep is empty on
+		// any real corpus, but the envelope must still carry the true
+		// total — forwarding the negative sum as the shard limit would
+		// 400 every worker and "merge" a partial zero.
+		k = math.MaxInt
+	}
 	shardLimit := k
 	if shardLimit > deepPageLimit {
 		shardLimit = deepPageLimit
@@ -273,8 +288,8 @@ func (rt *Router) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		return rt.client.GetPage(ctx, m.URL, "/api/timeline", q)
 	})
 	type entry struct {
-		ts        time.Time
-		id        uint64
+		ts         time.Time
+		id         uint64
 		shard, pos int
 	}
 	partial := false

@@ -151,6 +151,20 @@ func Deadline(d time.Duration) Middleware {
 	}
 }
 
+// RetryAfterSeconds converts a retry hint into the whole-second value
+// the Retry-After header carries: rounded up (never telling the client
+// to come back before the hint elapses) and clamped to at least 1, the
+// smallest honest value the header's resolution can express. Every 429
+// producer — the admission gate here and the per-tenant quota — must
+// agree on this rounding so header and body hints never diverge.
+func RetryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // Gate is a concurrency-limited admission gate: at most max requests
 // are in flight at once; excess requests are shed immediately with
 // 429 Too Many Requests and a Retry-After hint, which is cheaper for
@@ -162,9 +176,8 @@ type Gate struct {
 }
 
 // NewGate creates a gate admitting up to max concurrent requests
-// (max <= 0 means unlimited). retryAfter is the hint sent with 429s;
-// values below one second are rounded up because the header has
-// whole-second resolution.
+// (max <= 0 means unlimited). retryAfter is the hint sent with 429s,
+// rounded per RetryAfterSeconds.
 func NewGate(max int, retryAfter time.Duration) *Gate {
 	return &Gate{max: int64(max), retryAfter: retryAfter}
 }
@@ -182,11 +195,7 @@ func (g *Gate) Middleware() Middleware {
 			if n := g.inflight.Add(1); n > g.max {
 				g.inflight.Add(-1)
 				metShed.Inc()
-				secs := int(g.retryAfter / time.Second)
-				if secs < 1 {
-					secs = 1
-				}
-				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(g.retryAfter)))
 				http.Error(w, "server overloaded, retry later",
 					http.StatusTooManyRequests)
 				return

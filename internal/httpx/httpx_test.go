@@ -330,3 +330,59 @@ func TestServeStopsOnListenerError(t *testing.T) {
 		t.Fatal("Serve on closed listener returned nil")
 	}
 }
+
+func TestGateRetryAfterRoundsUpFractionalSeconds(t *testing.T) {
+	blocker := faults.NewBlocker(1)
+	gate := NewGate(1, 1500*time.Millisecond)
+	ts := httptest.NewServer(gate.Middleware()(blocker.Handler(nil)))
+	defer ts.Close()
+	defer blocker.Release()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Get(ts.URL)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	select {
+	case <-blocker.Entered():
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never entered")
+	}
+
+	resp, _ := get(t, ts.URL)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap request = %d, want 429", resp.StatusCode)
+	}
+	// A 1.5s hint must round UP: "Retry-After: 1" tells clients to come
+	// back half a second before the gate wants them.
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\" (ceil of 1.5s)", ra)
+	}
+	blocker.Release()
+	<-done
+}
+
+func TestRetryAfterSecondsRoundsUpAndClamps(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{-5 * time.Second, 1},
+		{time.Millisecond, 1},
+		{time.Second, 1},
+		{1001 * time.Millisecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{59*time.Second + time.Nanosecond, 60},
+	}
+	for _, c := range cases {
+		if got := RetryAfterSeconds(c.d); got != c.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

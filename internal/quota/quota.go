@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/httpx"
 	"repro/internal/obs"
 )
 
@@ -299,14 +300,18 @@ func Middleware(l *Limiter) func(http.Handler) http.Handler {
 				return
 			}
 			metThrottled.Inc()
-			secs := retry.Seconds()
-			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(secs))))
+			// One rounded value for both the header and the JSON body:
+			// a client reading either hint waits the same whole-second
+			// interval (the body used to carry the raw fractional wait,
+			// under-waiting the header and sometimes reading 0).
+			secs := httpx.RetryAfterSeconds(retry)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusTooManyRequests)
 			_ = json.NewEncoder(w).Encode(throttleBody{
 				Error:      "tenant quota exceeded",
 				Tenant:     tenant,
-				RetryAfter: secs,
+				RetryAfter: float64(secs),
 			})
 		})
 	}

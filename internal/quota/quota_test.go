@@ -248,3 +248,49 @@ func TestLimiterConcurrency(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// The throttle response carries the retry hint twice — the Retry-After
+// header and the JSON body's retry_after_seconds. They must agree:
+// clients that read only the body would otherwise retry earlier than
+// the header allows (the body used to carry the raw fractional wait
+// while the header ceiled it).
+func TestThrottleBodyMatchesRetryAfterHeader(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(Limit{RPS: 1, Burst: 1})
+	l.SetNow(clk.now)
+	h := Middleware(l)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/search?q=a", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first request: %d, want 200", rec.Code)
+	}
+	// Partial refill: 0.25 tokens banked, so the true wait is a
+	// fractional 0.75s and header vs body can only agree by rounding
+	// to the same whole second.
+	clk.advance(250 * time.Millisecond)
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/search?q=a", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("throttled request: %d, want 429", rec.Code)
+	}
+	n, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || n < 1 {
+		t.Fatalf("Retry-After = %q, want integer >= 1", rec.Header().Get("Retry-After"))
+	}
+	var body struct {
+		RetryAfter float64 `json:"retry_after_seconds"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("429 body is not JSON: %v (%q)", err, rec.Body.String())
+	}
+	if body.RetryAfter != float64(n) {
+		t.Fatalf("retry_after_seconds = %v but Retry-After header = %d; the two hints disagree", body.RetryAfter, n)
+	}
+	if body.RetryAfter < 1 {
+		t.Fatalf("retry_after_seconds = %v, want >= 1", body.RetryAfter)
+	}
+}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -17,11 +19,16 @@ func TestEmptyResultsSerialiseAsArray(t *testing.T) {
 		name, path string
 	}{
 		{"search miss", "/api/search?q=zzzzqqq"},
-		{"search deep offset", "/api/search?q=ukraine&offset=9000&deep=1"},
+		{"search deep offset", "/api/search?q=missile&offset=9000&deep=1"},
 		{"timeline miss", "/api/timeline?entity=NO_SUCH_ENTITY"},
 		{"timeline past end", "/api/timeline?entity=UKR&offset=100000"},
 		{"by-entity miss", "/api/stories/by-entity?entity=NO_SUCH_ENTITY"},
 		{"by-entity past end", "/api/stories/by-entity?entity=UKR&offset=100000"},
+		// offset+limit overflows int: the window is empty but the
+		// envelope must still carry the true total, not panic or 400.
+		{"search overflow offset", "/api/search?q=missile&offset=9223372036854775800&limit=500"},
+		{"timeline overflow offset", "/api/timeline?entity=UKR&offset=9223372036854775800&limit=500"},
+		{"by-entity overflow offset", "/api/stories/by-entity?entity=UKR&offset=9223372036854775800&limit=500"},
 	} {
 		resp, err := http.Get(ts.URL + tc.path)
 		if err != nil {
@@ -78,6 +85,50 @@ func TestStoriesByEntityEndpoint(t *testing.T) {
 	for i, r := range scored.Results {
 		if r.ID != page.Results[i].ID {
 			t.Fatalf("scores=1 changed ranking: %+v vs %+v", scored.Results, page.Results)
+		}
+	}
+}
+
+// TestPagedEnvelopeBoundaries pins the numeric edges of the paged
+// envelopes: offset exactly at total is an empty page with the true
+// total, and limit=0 (like any limit < 1) is rejected as invalid
+// rather than treated as "no limit" — on every paged endpoint.
+func TestPagedEnvelopeBoundaries(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var probe struct {
+		Total int `json:"total"`
+	}
+	getJSON(t, ts.URL+"/api/stories/by-entity?entity=UKR", &probe)
+	if probe.Total == 0 {
+		t.Fatal("probe query has no hits; boundary test is vacuous")
+	}
+	var atEnd struct {
+		Total   int               `json:"total"`
+		Offset  int               `json:"offset"`
+		Results []json.RawMessage `json:"results"`
+	}
+	getJSON(t, fmt.Sprintf("%s/api/stories/by-entity?entity=UKR&offset=%d", ts.URL, probe.Total), &atEnd)
+	if atEnd.Total != probe.Total || atEnd.Offset != probe.Total || len(atEnd.Results) != 0 {
+		t.Fatalf("offset==total page = %+v, want empty window with total %d", atEnd, probe.Total)
+	}
+
+	for _, path := range []string{
+		"/api/search?q=missile&limit=0",
+		"/api/timeline?entity=UKR&limit=0",
+		"/api/stories/by-entity?entity=UKR&limit=0",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", path, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "invalid limit") {
+			t.Fatalf("%s: 400 body %q lacks the invalid-limit hint", path, body)
 		}
 	}
 }

@@ -514,10 +514,11 @@ func (s *Server) handleStories(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing source parameter")
 		return
 	}
-	stories := s.Pipeline().Stories(storypivot.SourceID(src))
+	p := s.Pipeline()
+	stories := p.Stories(storypivot.SourceID(src))
 	out := make([]StoryView, 0, len(stories))
 	for _, st := range stories {
-		out = append(out, storyView(st, r.URL.Query().Get("detail") == "1"))
+		out = append(out, storyView(p, st, r.URL.Query().Get("detail") == "1"))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	writeJSON(w, out)
@@ -525,11 +526,12 @@ func (s *Server) handleStories(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleIntegrated(w http.ResponseWriter, _ *http.Request) {
 	start := time.Now()
-	res := s.Pipeline().Result()
+	p := s.Pipeline()
+	res := p.Result()
 	s.alignT.Observe(time.Since(start))
 	out := make([]IntegratedView, 0, len(res.Integrated()))
 	for _, is := range res.Integrated() {
-		out = append(out, integratedView(is, false))
+		out = append(out, integratedView(p, is, false))
 	}
 	writeJSON(w, out)
 }
@@ -540,9 +542,10 @@ func (s *Server) handleIntegratedOne(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid story id")
 		return
 	}
-	for _, is := range s.Pipeline().Result().Integrated() {
+	p := s.Pipeline()
+	for _, is := range p.Result().Integrated() {
 		if uint64(is.ID) == id {
-			writeJSON(w, integratedView(is, true))
+			writeJSON(w, integratedView(p, is, true))
 			return
 		}
 	}
@@ -655,18 +658,18 @@ func serveEncoded(w http.ResponseWriter, r *http.Request, body []byte, etag, xca
 	writeBody(w, body)
 }
 
-func searchPage(hits []*storypivot.IntegratedStory, scores []float64, total, offset, limit int) SearchPageView {
+func searchPage(rd snippetTexter, hits []*storypivot.IntegratedStory, scores []float64, total, offset, limit int) SearchPageView {
 	out := make([]IntegratedView, 0, len(hits))
 	for _, is := range hits {
-		out = append(out, integratedView(is, false))
+		out = append(out, integratedView(rd, is, false))
 	}
 	return SearchPageView{Total: total, Offset: offset, Limit: limit, Results: out, Scores: scores}
 }
 
-func timelinePage(sns []*storypivot.Snippet, total, offset, limit int) TimelinePageView {
+func timelinePage(rd snippetTexter, sns []*storypivot.Snippet, total, offset, limit int) TimelinePageView {
 	out := make([]SnippetView, 0, len(sns))
 	for _, sn := range sns {
-		out = append(out, snippetView(sn, event.RoleUnknown))
+		out = append(out, snippetView(rd, sn, event.RoleUnknown))
 	}
 	return TimelinePageView{Total: total, Offset: offset, Limit: limit, Results: out}
 }
@@ -696,10 +699,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	compute := func(p *storypivot.Pipeline) (any, bool) {
 		if withScores {
 			hits, scores, total := p.SearchScoredN(q, offset, limit)
-			return searchPage(hits, scores, total, offset, limit), true
+			return searchPage(p, hits, scores, total, offset, limit), true
 		}
 		hits, total := p.SearchN(q, offset, limit)
-		return searchPage(hits, nil, total, offset, limit), true
+		return searchPage(p, hits, nil, total, offset, limit), true
 	}
 	if s.cache == nil {
 		view, _ := compute(s.Pipeline())
@@ -735,10 +738,10 @@ func (s *Server) handleStoriesByEntity(w http.ResponseWriter, r *http.Request) {
 	compute := func(p *storypivot.Pipeline) (any, bool) {
 		if withScores {
 			hits, scores, total := p.StoriesByEntityScoredN(storypivot.Entity(e), offset, limit)
-			return searchPage(hits, scores, total, offset, limit), true
+			return searchPage(p, hits, scores, total, offset, limit), true
 		}
 		hits, total := p.StoriesByEntityN(storypivot.Entity(e), offset, limit)
-		return searchPage(hits, nil, total, offset, limit), true
+		return searchPage(p, hits, nil, total, offset, limit), true
 	}
 	if s.cache == nil {
 		view, _ := compute(s.Pipeline())
@@ -762,15 +765,16 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.cache == nil {
-		sns, total := s.Pipeline().TimelineN(storypivot.Entity(e), offset, limit)
-		writeJSON(w, timelinePage(sns, total, offset, limit))
+		p := s.Pipeline()
+		sns, total := p.TimelineN(storypivot.Entity(e), offset, limit)
+		writeJSON(w, timelinePage(p, sns, total, offset, limit))
 		return
 	}
 	s.cachedQuery(w, r, "timeline", e,
 		func(deps *qcache.Deps) { deps.AddEntity(e) },
 		func(p *storypivot.Pipeline) (any, bool) {
 			sns, total := p.TimelineN(storypivot.Entity(e), offset, limit)
-			return timelinePage(sns, total, offset, limit), true
+			return timelinePage(p, sns, total, offset, limit), true
 		}, offset, limit)
 }
 
@@ -909,7 +913,7 @@ func (s *Server) handleTrending(w http.ResponseWriter, r *http.Request) {
 	out := make([]TrendView, 0, len(trends))
 	for _, tr := range trends {
 		out = append(out, TrendView{
-			Story:  integratedView(tr.Story, false),
+			Story:  integratedView(p, tr.Story, false),
 			Recent: tr.Recent,
 			Score:  tr.Score,
 		})

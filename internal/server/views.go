@@ -25,13 +25,29 @@ type SnippetView struct {
 	Role      string    `json:"role,omitempty"`
 }
 
-func snippetView(s *event.Snippet, role event.SnippetRole) SnippetView {
+// snippetTexter hydrates display text for snippets whose resident copy
+// carries none (tiered storage strips it); *storypivot.Pipeline
+// implements it. A nil reader renders the snippet as-is.
+type snippetTexter interface {
+	SnippetText(id event.SnippetID) (text, document string, ok bool)
+}
+
+func snippetView(rd snippetTexter, s *event.Snippet, role event.SnippetRole) SnippetView {
 	v := SnippetView{
 		ID:        uint64(s.ID),
 		Source:    string(s.Source),
 		Timestamp: s.Timestamp,
 		Text:      s.Text,
 		Document:  s.Document,
+	}
+	if rd != nil && v.Text == "" && v.Document == "" {
+		// Either the snippet genuinely has no display text (hydration
+		// returns the same empties and omitempty keeps the JSON
+		// identical) or it was stripped for the tiers and the store
+		// holds the payload.
+		if text, doc, ok := rd.SnippetText(s.ID); ok {
+			v.Text, v.Document = text, doc
+		}
 	}
 	for _, e := range s.Entities {
 		v.Entities = append(v.Entities, string(e))
@@ -70,7 +86,7 @@ type StoryView struct {
 	Snippets []SnippetView     `json:"snippetList,omitempty"`
 }
 
-func storyView(st *event.Story, withSnippets bool) StoryView {
+func storyView(rd snippetTexter, st *event.Story, withSnippets bool) StoryView {
 	v := StoryView{
 		ID:     uint64(st.ID),
 		Source: string(st.Source),
@@ -86,7 +102,7 @@ func storyView(st *event.Story, withSnippets bool) StoryView {
 	}
 	if withSnippets {
 		for _, s := range st.Snippets {
-			v.Snippets = append(v.Snippets, snippetView(s, event.RoleUnknown))
+			v.Snippets = append(v.Snippets, snippetView(rd, s, event.RoleUnknown))
 		}
 	}
 	return v
@@ -126,7 +142,7 @@ type IntegratedView struct {
 	Snippets []SnippetView     `json:"snippetList,omitempty"`
 }
 
-func integratedView(is *event.IntegratedStory, detail bool) IntegratedView {
+func integratedView(rd snippetTexter, is *event.IntegratedStory, detail bool) IntegratedView {
 	start, end := is.Extent()
 	v := IntegratedView{
 		ID:    uint64(is.ID),
@@ -157,10 +173,10 @@ func integratedView(is *event.IntegratedStory, detail bool) IntegratedView {
 	}
 	if detail {
 		for _, m := range is.Members {
-			v.Members = append(v.Members, storyView(m, false))
+			v.Members = append(v.Members, storyView(rd, m, false))
 		}
 		for _, s := range is.Snippets() {
-			v.Snippets = append(v.Snippets, snippetView(s, is.Roles[s.ID]))
+			v.Snippets = append(v.Snippets, snippetView(rd, s, is.Roles[s.ID]))
 		}
 	}
 	return v

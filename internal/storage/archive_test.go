@@ -292,3 +292,107 @@ func TestArchiveEntityFreeFingerprint(t *testing.T) {
 		t.Fatalf("TopTerms = %v, want volcano first (weight order)", metas[0].TopTerms)
 	}
 }
+
+// TestArchiveTornFrameAtRotationBoundary crashes an archive right at a
+// segment rotation: the rotated-out segment keeps a torn frame at its
+// tail while the successor already holds intact records. Recovery must
+// truncate the torn bytes in place and keep every intact record from
+// both segments — one torn boundary frame must not poison the
+// directory.
+func TestArchiveTornFrameAtRotationBoundary(t *testing.T) {
+	dir := t.TempDir()
+	arch, _, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch.segLimit = 256
+	var want []event.StoryID
+	for i := 1; i <= 12; i++ {
+		st := archStory(event.StoryID(i), "alpha", 1, "mh17", "ukraine")
+		if _, _, err := arch.AppendGroup(uint64(i), day(10), []*event.Story{st}); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, st.ID)
+	}
+	arch.Close()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("need at least two segments for the boundary crash, got %v (%v)", segs, err)
+	}
+
+	// Tear the tail of the FIRST (rotated-out) segment, not the last.
+	first := segmentPath(dir, segs[0])
+	f, err := os.OpenFile(first, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x31, 0x56, 0x50, 0x53, 0x01, 0xff, 0xff})
+	f.Close()
+
+	arch2, metas, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatalf("torn rotation boundary broke reopen: %v", err)
+	}
+	defer arch2.Close()
+	if len(metas) != len(want) {
+		t.Fatalf("boundary tear dropped records: scanned %d, want %d", len(metas), len(want))
+	}
+	for i, m := range metas {
+		if m.ID != want[i] {
+			t.Fatalf("scan order[%d] = story %d, want %d", i, m.ID, want[i])
+		}
+	}
+	// The torn bytes are gone: another reopen scans the same set.
+	arch2.Close()
+	_, metas, err = OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != len(want) {
+		t.Fatalf("second reopen scanned %d, want %d", len(metas), len(want))
+	}
+}
+
+// TestArchiveResetRemovesAllSegments pins Reset against a rotated
+// archive: every segment must go, not just the one currently open for
+// append — stale rotated-out segments would resurrect retired stories
+// the replay just rebuilt as live.
+func TestArchiveResetRemovesAllSegments(t *testing.T) {
+	dir := t.TempDir()
+	arch, _, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+	arch.segLimit = 256
+	for i := 1; i <= 12; i++ {
+		st := archStory(event.StoryID(i), "alpha", 1, "mh17", "ukraine")
+		if _, _, err := arch.AppendGroup(uint64(i), day(10), []*event.Story{st}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if segs, _ := listSegments(dir); len(segs) < 2 {
+		t.Fatalf("need a rotated archive, got segments %v", segs)
+	}
+	if err := arch.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != 0 {
+		t.Fatalf("segments after Reset = %v, want just the fresh seg 0", segs)
+	}
+	if _, _, err := arch.AppendGroup(99, day(20), []*event.Story{archStory(99, "alpha", 1, "gaza")}); err != nil {
+		t.Fatal(err)
+	}
+	arch.Close()
+	_, metas, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || metas[0].ID != 99 {
+		t.Fatalf("post-reset reopen scanned %v, want just story 99", metas)
+	}
+}

@@ -35,9 +35,15 @@ type DLQEntry struct {
 // are fsynced: a dead-lettered record is evidence of a misbehaving
 // upstream, and losing it to a crash defeats its purpose. A DLQ is safe
 // for concurrent use.
+// dlqSegLimit rotates DLQ segments past this size, matching the event
+// log and archive. Without rotation one misbehaving upstream grows a
+// single unbounded file whose full rescan every open pays for.
+const dlqSegLimit = 64 << 20
+
 type DLQ struct {
 	mu       sync.Mutex
 	dir      string
+	segLimit int64
 	seg      *segment
 	frameBuf []byte
 	entries  []DLQEntry
@@ -52,7 +58,7 @@ func OpenDLQ(dir string) (*DLQ, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	d := &DLQ{dir: dir}
+	d := &DLQ{dir: dir, segLimit: dlqSegLimit}
 	indices, err := listSegments(dir)
 	if err != nil {
 		return nil, err
@@ -89,6 +95,14 @@ func (d *DLQ) Append(e DLQEntry) error {
 	}
 	if e.At.IsZero() {
 		e.At = time.Now()
+	}
+	if d.seg.size > d.segLimit {
+		next, err := openSegmentForAppend(d.dir, d.seg.index+1)
+		if err != nil {
+			return err
+		}
+		d.seg.close()
+		d.seg = next
 	}
 	d.frameBuf = appendRecord(d.frameBuf[:0], encodeDLQEntry(nil, e))
 	if err := d.seg.append(d.frameBuf); err != nil {

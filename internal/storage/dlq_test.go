@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"testing"
 	"time"
@@ -81,5 +82,100 @@ func TestDLQTornTail(t *testing.T) {
 	defer d2.Close()
 	if d2.Len() != 1 {
 		t.Fatalf("Len after torn tail = %d, want 1", d2.Len())
+	}
+}
+
+// TestDLQSegmentRotation pins the rotation the event log and the
+// archive already have: past the size limit, appends move to a fresh
+// segment instead of growing one file without bound, and a reopen
+// replays every segment in order.
+func TestDLQSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDLQ(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.segLimit = 256 // force rotation quickly
+	const n = 20
+	for i := 0; i < n; i++ {
+		e := DLQEntry{Source: "s", Cursor: fmt.Sprint(i), Reason: "r",
+			Raw: []byte("padding padding padding padding padding")}
+		if err := d.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("expected rotation to produce multiple segments, got %v (%v)", segs, err)
+	}
+
+	d2, err := OpenDLQ(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got := d2.Entries()
+	if len(got) != n {
+		t.Fatalf("reopen replayed %d entries across %d segments, want %d", len(got), len(segs), n)
+	}
+	for i, e := range got {
+		if e.Cursor != fmt.Sprint(i) {
+			t.Fatalf("entry %d has cursor %q, want %q (order lost across segments)", i, e.Cursor, fmt.Sprint(i))
+		}
+	}
+	// Appends keep working on the reopened queue.
+	if err := d2.Append(DLQEntry{Source: "s", Reason: "post-reopen"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDLQTornFrameAtRotationBoundary crashes the queue right at a
+// rotation: the rotated-out segment keeps a torn frame at its tail
+// while the successor segment already holds intact records. Recovery
+// must truncate the torn bytes and keep every intact record from BOTH
+// segments — a torn boundary frame must not poison the directory.
+func TestDLQTornFrameAtRotationBoundary(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDLQ(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.segLimit = 128
+	for i := 0; i < 8; i++ {
+		e := DLQEntry{Source: "s", Cursor: fmt.Sprint(i), Reason: "r",
+			Raw: []byte("padding padding padding padding padding")}
+		if err := d.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("need at least two segments for the boundary crash, got %v (%v)", segs, err)
+	}
+	before, err := OpenDLQ(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intact := before.Len()
+	before.Close()
+
+	// Tear the tail of the FIRST (rotated-out) segment, not the last.
+	first := segmentPath(dir, segs[0])
+	f, err := os.OpenFile(first, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x31, 0x56, 0x50, 0x53, 0x01, 0xff, 0xff})
+	f.Close()
+
+	d2, err := OpenDLQ(dir)
+	if err != nil {
+		t.Fatalf("torn rotation boundary broke reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.Len() != intact {
+		t.Fatalf("Len after boundary tear = %d, want %d (later segments must survive)", d2.Len(), intact)
 	}
 }

@@ -1,0 +1,30 @@
+//go:build linux
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The mapping outlives the file
+// descriptor, so callers may close f immediately. The second return
+// reports whether the bytes are an actual mapping (and must go through
+// munmapChunk) or a plain heap read.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func munmapChunk(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

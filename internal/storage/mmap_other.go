@@ -1,0 +1,24 @@
+//go:build !linux
+
+package storage
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without the mmap syscall wiring falls back to a
+// plain read; the warm tier then behaves like the hot tier (resident
+// bytes) with the same interface.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	b := make([]byte, size)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+func munmapChunk(b []byte) error { return nil }

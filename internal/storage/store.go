@@ -32,6 +32,13 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncEvery is the batch size for SyncBatch (default 256).
 	SyncEvery int
+	// Tier, when non-nil, replaces the flat log + fully-resident indexes
+	// with the chunked hot/warm/cold store: only per-chunk metadata stays
+	// in memory and snippet payloads are fetched from their tier on
+	// demand. See TierOptions. Accessors behave identically except that
+	// All returns display-text-stripped snippets (callers hydrate via
+	// SnippetText) and per-snippet reads may touch disk.
+	Tier *TierOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -61,10 +68,12 @@ type Store struct {
 
 	// Indexes. byTime is kept sorted by (timestamp, ID); the common append
 	// pattern is mostly-chronological so insertion is near the end.
+	// In tiered mode these stay nil and tier serves every lookup.
 	byID     map[event.SnippetID]*event.Snippet
 	byTime   []*event.Snippet
 	bySource map[event.SourceID][]*event.Snippet
 	byEntity map[event.Entity][]*event.Snippet
+	tier     *TierStore
 }
 
 // Open opens (creating if necessary) a store in dir, replaying all
@@ -87,6 +96,23 @@ func Open(dir string, opts Options) (*Store, error) {
 		byID:     make(map[event.SnippetID]*event.Snippet),
 		bySource: make(map[event.SourceID][]*event.Snippet),
 		byEntity: make(map[event.Entity][]*event.Snippet),
+	}
+	if opts.Tier != nil {
+		t, err := openTierStore(dir, *opts.Tier, opts.Sync, opts.SyncEvery)
+		if err != nil {
+			return nil, err
+		}
+		// Carry a pre-tiering corpus forward: any flat-log segments in
+		// the directory are replayed into chunks (idempotently).
+		if err := t.importSegments(dir); err != nil {
+			t.Close()
+			return nil, err
+		}
+		s.tier = t
+		s.warnings = append(s.warnings, t.warnings...)
+		s.recoveryDrop += t.dropped
+		s.byID, s.bySource, s.byEntity = nil, nil, nil
+		return s, nil
 	}
 	indices, err := listSegments(dir)
 	if err != nil {
@@ -172,6 +198,16 @@ func (s *Store) Append(sn *event.Snippet) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.tier != nil {
+		if s.tier.Has(sn.ID) {
+			return fmt.Errorf("%w %d", ErrDuplicate, sn.ID)
+		}
+		if err := s.tier.Append(sn); err != nil {
+			return err
+		}
+		span.End()
+		return nil
+	}
 	if _, dup := s.byID[sn.ID]; dup {
 		return fmt.Errorf("%w %d", ErrDuplicate, sn.ID)
 	}
@@ -247,28 +283,77 @@ func lessSnip(a, b *event.Snippet) bool {
 	return a.ID < b.ID
 }
 
-// Get returns the snippet with the given ID, or nil if absent.
+// Get returns the snippet with the given ID, or nil if absent. In
+// tiered mode the snippet is decoded from its chunk (a fresh copy per
+// call) and a read failure surfaces as nil plus a recovery warning.
 func (s *Store) Get(id event.SnippetID) *event.Snippet {
+	if s.tier != nil {
+		// Tier reads mutate LRU/promotion state; take the write lock.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return nil
+		}
+		sn, err := s.tier.Get(id)
+		if err != nil {
+			s.warnings = append(s.warnings, err.Error())
+			return nil
+		}
+		return sn
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.byID[id]
+}
+
+// SnippetText returns the display text and source document of a stored
+// snippet. It is the hydration point for result rendering when the
+// engine holds text-stripped snippets (tiered mode).
+func (s *Store) SnippetText(id event.SnippetID) (text, document string, ok bool) {
+	if s.tier != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return "", "", false
+		}
+		sn, err := s.tier.Get(id)
+		if err != nil || sn == nil {
+			return "", "", false
+		}
+		return sn.Text, sn.Document, true
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sn := s.byID[id]
+	if sn == nil {
+		return "", "", false
+	}
+	return sn.Text, sn.Document, true
 }
 
 // Len returns the number of stored snippets.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.tier != nil {
+		return int(s.tier.Rows())
+	}
 	return len(s.byID)
 }
 
 // Sources returns the distinct source IDs present, sorted.
 func (s *Store) Sources() []event.SourceID {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]event.SourceID, 0, len(s.bySource))
-	for src := range s.bySource {
-		out = append(out, src)
+	var out []event.SourceID
+	if s.tier != nil {
+		out = s.tier.SourceIDs()
+	} else {
+		out = make([]event.SourceID, 0, len(s.bySource))
+		for src := range s.bySource {
+			out = append(out, src)
+		}
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -276,6 +361,16 @@ func (s *Store) Sources() []event.SourceID {
 // ScanRange invokes fn with every snippet whose timestamp lies in
 // [from, to], in chronological order, stopping early if fn returns false.
 func (s *Store) ScanRange(from, to time.Time, fn func(*event.Snippet) bool) {
+	if s.tier != nil {
+		for _, sn := range s.scanTier(func(sn *event.Snippet) bool {
+			return !sn.Timestamp.Before(from) && !sn.Timestamp.After(to)
+		}, true) {
+			if !fn(sn) {
+				return
+			}
+		}
+		return
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	lo := sort.Search(len(s.byTime), func(i int) bool {
@@ -291,9 +386,37 @@ func (s *Store) ScanRange(from, to time.Time, fn func(*event.Snippet) bool) {
 	}
 }
 
+// scanTier collects the snippets matching keep from every chunk,
+// chronologically sorted when chrono is set (chunk order otherwise).
+func (s *Store) scanTier(keep func(*event.Snippet) bool, chrono bool) []*event.Snippet {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	var out []*event.Snippet
+	err := s.tier.Scan(func(sn *event.Snippet) error {
+		if keep == nil || keep(sn) {
+			out = append(out, sn)
+		}
+		return nil
+	})
+	if err != nil {
+		s.warnings = append(s.warnings, err.Error())
+	}
+	s.mu.Unlock()
+	if chrono {
+		sort.Sort(event.ByTimestamp(out))
+	}
+	return out
+}
+
 // BySource returns the snippets of a source in insertion order. The
 // returned slice is a copy.
 func (s *Store) BySource(src event.SourceID) []*event.Snippet {
+	if s.tier != nil {
+		return s.scanTier(func(sn *event.Snippet) bool { return sn.Source == src }, false)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return append([]*event.Snippet(nil), s.bySource[src]...)
@@ -301,6 +424,16 @@ func (s *Store) BySource(src event.SourceID) []*event.Snippet {
 
 // ByEntity returns the snippets mentioning the entity, chronologically.
 func (s *Store) ByEntity(e event.Entity) []*event.Snippet {
+	if s.tier != nil {
+		return s.scanTier(func(sn *event.Snippet) bool {
+			for _, se := range sn.Entities {
+				if se == e {
+					return true
+				}
+			}
+			return false
+		}, true)
+	}
 	s.mu.RLock()
 	out := append([]*event.Snippet(nil), s.byEntity[e]...)
 	s.mu.RUnlock()
@@ -308,19 +441,70 @@ func (s *Store) ByEntity(e event.Entity) []*event.Snippet {
 	return out
 }
 
-// All returns every snippet in chronological order (a copy).
+// All returns every snippet in chronological order (a copy). In tiered
+// mode the returned snippets carry entities, terms, and timestamps but
+// have their display text and source document stripped — replay and
+// identification never read them, and keeping 10M text bodies out of
+// one slice is the whole point of the tiers. Callers that render text
+// hydrate through SnippetText.
 func (s *Store) All() []*event.Snippet {
+	if s.tier != nil {
+		return s.scanTier(func(sn *event.Snippet) bool {
+			sn.Text, sn.Document = "", ""
+			return true
+		}, true)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return append([]*event.Snippet(nil), s.byTime...)
 }
 
-// Sync forces an fsync of the active segment.
+// Tiered reports whether the store runs the chunked hot/warm/cold tiers.
+func (s *Store) Tiered() bool { return s.tier != nil }
+
+// TierStats summarises chunk tier occupancy; ok is false when tiering
+// is off.
+func (s *Store) TierStats() (TierStats, bool) {
+	if s.tier == nil {
+		return TierStats{}, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tier.Stats(), true
+}
+
+// TierManifestJSON serialises the live chunk manifest for checkpoint v3;
+// nil when tiering is off.
+func (s *Store) TierManifestJSON() ([]byte, error) {
+	if s.tier == nil {
+		return nil, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tier.ManifestJSON()
+}
+
+// TierReconcile compares a checkpointed chunk manifest against the live
+// chunk state, returning divergence findings (the chunks themselves
+// already self-healed at Open).
+func (s *Store) TierReconcile(manifest []byte) []string {
+	if s.tier == nil || len(manifest) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tier.ReconcileManifest(manifest)
+}
+
+// Sync forces an fsync of the active segment (or open chunk).
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if s.tier != nil {
+		return s.tier.Sync()
 	}
 	return s.active.sync()
 }
@@ -333,6 +517,9 @@ func (s *Store) Close() error {
 		return ErrClosed
 	}
 	s.closed = true
+	if s.tier != nil {
+		return s.tier.Close()
+	}
 	if err := s.active.sync(); err != nil {
 		s.active.close()
 		return err

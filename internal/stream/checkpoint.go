@@ -24,6 +24,12 @@ import (
 type Checkpoint struct {
 	Version int                                 `json:"version"`
 	Sources map[event.SourceID]SourceCheckpoint `json:"sources"`
+	// Tier carries the tiered store's chunk manifest (version 3). The
+	// stream layer treats it as opaque: the pipeline fills it in when
+	// tiered storage is enabled and hands it back to the store at
+	// restore, which reconciles it against the on-disk chunks the same
+	// way retire's archive reconcile works.
+	Tier json.RawMessage `json:"tier,omitempty"`
 }
 
 // SourceCheckpoint is one source's assignment table.
@@ -38,7 +44,7 @@ type SourceCheckpoint struct {
 	Archived []event.StoryID `json:"archived,omitempty"`
 }
 
-const checkpointVersion = 2
+const checkpointVersion = 3
 
 // ErrCheckpointStale reports a checkpoint that does not cover the
 // snippets it is being restored against.
@@ -84,7 +90,7 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err := json.NewDecoder(r).Decode(&c); err != nil {
 		return nil, fmt.Errorf("stream: reading checkpoint: %w", err)
 	}
-	if c.Version != 1 && c.Version != checkpointVersion {
+	if c.Version < 1 || c.Version > checkpointVersion {
 		return nil, fmt.Errorf("stream: unsupported checkpoint version %d", c.Version)
 	}
 	return &c, nil

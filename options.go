@@ -122,6 +122,51 @@ func WithStorageSync(policy int) Option {
 	return func(c *config) { c.storageOpt.Sync = storage.SyncPolicy(policy) }
 }
 
+// WithTieredStorage switches the event store to the chunked
+// hot/warm/cold layout: snippet payloads live in fixed-row chunk files,
+// the newest hotChunks sealed chunks stay resident in memory, the next
+// warmChunks are mmap'd read-only, and older chunks go cold on disk
+// (gzip-compressed when compress is set) with on-demand inflation.
+// The engine then holds display-text-stripped snippets and query
+// responses hydrate text through the pipeline's SnippetReader, so
+// resident memory stops scaling with corpus size while responses stay
+// byte-identical. Values ≤ 0 select the defaults (4 hot, 16 warm).
+// Requires WithStorage.
+func WithTieredStorage(hotChunks, warmChunks int, compress bool) Option {
+	return func(c *config) {
+		t := ensureTier(c)
+		t.HotChunks = hotChunks
+		t.WarmChunks = warmChunks
+		t.Compress = compress
+	}
+}
+
+// WithTierChunkRows sets the rows per chunk of the tiered store
+// (default 4096); mainly for tests and benchmarks that need tier
+// transitions at small corpus sizes. Implies tiered storage.
+func WithTierChunkRows(n int) Option {
+	return func(c *config) { ensureTier(c).ChunkRows = n }
+}
+
+// WithTierColdCache sets how many inflated cold chunks the tiered store
+// keeps in its LRU (default 2), and after how many faults a cold chunk
+// is promoted back to the warm tier (default 4; negative disables).
+// Implies tiered storage.
+func WithTierColdCache(chunks, promoteAfter int) Option {
+	return func(c *config) {
+		t := ensureTier(c)
+		t.ColdCache = chunks
+		t.PromoteAfter = promoteAfter
+	}
+}
+
+func ensureTier(c *config) *storage.TierOptions {
+	if c.storageOpt.Tier == nil {
+		c.storageOpt.Tier = &storage.TierOptions{}
+	}
+	return c.storageOpt.Tier
+}
+
 // WithScanQueries serves Search/StoriesByEntity/Timeline from the
 // legacy full-scan implementations instead of the incremental query
 // index. The scan path is the correctness oracle: it is what the

@@ -46,7 +46,12 @@ type Pipeline struct {
 	retire         *retire.Manager // nil unless WithRetireWindow; immutable after New
 	scanQueries    bool
 	checkpointPath string
-	warnings       []string // recovery findings from New (immutable after)
+	// stripText marks tiered storage: the engine (and so the query
+	// index, stories, and archive) holds snippets with display text and
+	// source document removed, and rendering hydrates through
+	// SnippetText. Immutable after New.
+	stripText bool
+	warnings  []string // recovery findings from New (immutable after)
 
 	mu     sync.Mutex
 	store  *storage.Store
@@ -75,6 +80,7 @@ func New(opts ...Option) (*Pipeline, error) {
 		kb:        cfg.kb,
 	}
 	p.extractor.Bigrams = cfg.bigrams
+	p.stripText = cfg.storageOpt.Tier != nil
 	if cfg.retire.Window > 0 {
 		if cfg.retire.Dir == "" {
 			if cfg.storageDir == "" {
@@ -216,6 +222,13 @@ func (p *Pipeline) tryRestore(opts stream.Options, snippets []*Snippet) (*stream
 		}
 		p.retire.Reconcile(keep)
 	}
+	if len(cp.Tier) > 0 {
+		// Checkpoint v3 carries the chunk manifest of the tiered store.
+		// The chunks already self-healed when the store opened; the
+		// reconcile surfaces what changed behind the checkpoint's back
+		// (a chunk vanished, rows truncated) as recovery warnings.
+		p.warnings = append(p.warnings, p.store.TierReconcile(cp.Tier)...)
+	}
 	return engine, nil
 }
 
@@ -236,6 +249,7 @@ func (p *Pipeline) WriteCheckpoint() error {
 	p.mu.Lock()
 	path := p.checkpointPath
 	closed := p.closed
+	st := p.store
 	p.mu.Unlock()
 	if closed {
 		return ErrClosed
@@ -249,6 +263,11 @@ func (p *Pipeline) WriteCheckpoint() error {
 	// lose the checkpoint the rename claimed to publish. Error paths
 	// never leave a temp file behind.
 	cp := p.engine.Checkpoint()
+	if st != nil {
+		if m, err := st.TierManifestJSON(); err == nil && len(m) > 0 {
+			cp.Tier = m
+		}
+	}
 	if err := storage.AtomicWrite(path, cp.Write); err != nil {
 		return err
 	}
@@ -302,7 +321,16 @@ func (p *Pipeline) Ingest(sn *Snippet) error {
 			return err
 		}
 	}
-	_, err := p.engine.Ingest(sn)
+	eng := sn
+	if p.stripText && (sn.Text != "" || sn.Document != "") {
+		// Tiered storage: the store holds the full payload; everything
+		// downstream of it (engine, index, archive) gets a copy with the
+		// display-only fields stripped so resident story state stops
+		// scaling with text size. Rendering hydrates via SnippetText.
+		eng = sn.Clone()
+		eng.Text, eng.Document = "", ""
+	}
+	_, err := p.engine.Ingest(eng)
 	if err == nil {
 		span.End()
 	}
@@ -373,6 +401,40 @@ func (p *Pipeline) Snippet(id SnippetID) *Snippet {
 		return nil
 	}
 	return st.Get(id)
+}
+
+// SnippetReader hydrates display text for result rendering. Under
+// tiered storage the engine's resident snippets carry no text; views
+// fetch it from the snippet's storage tier on demand.
+type SnippetReader interface {
+	SnippetText(id SnippetID) (text, document string, ok bool)
+}
+
+// SnippetText returns the display text and source document of a stored
+// snippet, implementing SnippetReader (requires WithStorage; without it
+// ok is always false and callers fall back to the text the snippet
+// itself carries).
+func (p *Pipeline) SnippetText(id SnippetID) (text, document string, ok bool) {
+	p.mu.Lock()
+	st := p.store
+	closed := p.closed
+	p.mu.Unlock()
+	if closed || st == nil {
+		return "", "", false
+	}
+	return st.SnippetText(id)
+}
+
+// TierStats reports the tiered store's chunk occupancy and fault
+// counters; ok is false when tiered storage is not enabled.
+func (p *Pipeline) TierStats() (storage.TierStats, bool) {
+	p.mu.Lock()
+	st := p.store
+	p.mu.Unlock()
+	if st == nil {
+		return storage.TierStats{}, false
+	}
+	return st.TierStats()
 }
 
 // Close releases the pipeline's resources, writing a checkpoint and

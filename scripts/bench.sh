@@ -20,6 +20,10 @@
 # off): heap at mid-stream and stream end (the on-slope must be flat),
 # resident/retired/reactivated story counts, and the query-panel tail
 # latency over the soaked pipelines, with the derived p99 ratio.
+# BENCH_scale.json — the GDELT-scale store benchmarks (1M/5M/10M
+# snippets, tiered vs flat): ingest ns/event, post-ingest heap, and
+# random-read p50/p99 (the tiered p99 is the cold-read path), with the
+# derived 1M→10M heap ratios — tiered must stay flat, flat grows.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -42,6 +46,7 @@ QOUT="BENCH_query.json"
 COUT="BENCH_cache.json"
 SOUT="BENCH_shard.json"
 WOUT="BENCH_window.json"
+SCOUT="BENCH_scale.json"
 if [ "${1:-}" = "--smoke" ]; then
     BENCHTIME="-benchtime=1x"
     # Queries are microseconds each; a handful of iterations still
@@ -56,11 +61,16 @@ if [ "${1:-}" = "--smoke" ]; then
     # design, and the smoke only proves the benchmarks still run.
     STORYPIVOT_SOAK_EVENTS=4000
     export STORYPIVOT_SOAK_EVENTS
+    # Shrink the scale base unit (the "1M" label) to a few thousand
+    # events; the smoke proves the benchmarks run and report, not shape.
+    STORYPIVOT_SCALE_EVENTS="${STORYPIVOT_SCALE_EVENTS:-5000}"
+    export STORYPIVOT_SCALE_EVENTS
     OUT="BENCH_identify.smoke.json"
     QOUT="BENCH_query.smoke.json"
     COUT="BENCH_cache.smoke.json"
     SOUT="BENCH_shard.smoke.json"
     WOUT="BENCH_window.smoke.json"
+    SCOUT="BENCH_scale.smoke.json"
 fi
 
 TMP="$(mktemp)"
@@ -253,3 +263,46 @@ END {
 
 echo "==> wrote $WOUT"
 cat "$WOUT"
+
+# --- GDELT scale: tiered vs flat store at 1M/5M/10M snippets --------------
+#
+# One iteration ingests the whole corpus into a fresh store and then
+# probes random reads across the full ID space. The headline numbers are
+# the 1M→10M heap ratios per arm: the tiered store's heap must stay flat
+# (hot tier + chunk metadata only; warm chunks are mmap'd and cold
+# chunks live on disk) while the flat store grows with the corpus.
+
+go test -run '^$' -bench 'BenchmarkScale(Tiered|Flat)(1M|5M|10M)$' \
+    -timeout 60m -benchtime=1x ./internal/storage | tee "$TMP"
+
+awk '
+/^BenchmarkScale/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ev = heap = p50 = p99 = mean = cold = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/event")    ev = $i
+        if ($(i + 1) == "heap_MB")     heap = $i
+        if ($(i + 1) == "read_us")     mean = $i
+        if ($(i + 1) == "read_p50_us") p50 = $i
+        if ($(i + 1) == "read_p99_us") p99 = $i
+        if ($(i + 1) == "cold_chunks") cold = $i
+    }
+    if (name ~ /Tiered1M$/)  t1 = heap
+    if (name ~ /Tiered10M$/) t10 = heap
+    if (name ~ /Flat1M$/)    f1 = heap
+    if (name ~ /Flat10M$/)   f10 = heap
+    rows[++n] = sprintf("  {\"benchmark\": \"%s\", \"ingest_ns_per_event\": %s, \"heap_mb\": %s, \"read_us\": %s, \"read_p50_us\": %s, \"read_p99_us\": %s, \"cold_chunks\": %s}", name, ev, heap, mean, p50, p99, cold)
+}
+END {
+    tr = (t1 != "" && t1 + 0 > 0) ? sprintf("%.2f", t10 / t1) : "null"
+    fr = (f1 != "" && f1 + 0 > 0) ? sprintf("%.2f", f10 / f1) : "null"
+    rows[++n] = sprintf("  {\"tiered_heap_10m_vs_1m\": %s, \"flat_heap_10m_vs_1m\": %s}", tr, fr)
+    print "["
+    for (i = 1; i <= n; i++) print rows[i] (i < n ? "," : "")
+    print "]"
+}
+' "$TMP" > "$SCOUT"
+
+echo "==> wrote $SCOUT"
+cat "$SCOUT"

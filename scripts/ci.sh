@@ -82,6 +82,22 @@ go test -race -count=1 ./internal/retire
 go test -race -count=1 -run 'TestArchive' ./internal/storage
 go test -race -count=1 -run 'TestWindowEndpoint' ./internal/server
 
+# Tiered-storage gate: the chunk tier suite (demotion/promotion,
+# crash-point recovery at both the storage and pipeline layers, the
+# manifest reconcile, and the ingest/query/cold-read hammer) must pass
+# under the race detector, and the 3-seed tiered-vs-all-hot server
+# differential must stay byte-identical on every endpoint. The paged
+# envelope boundaries ride along: they share the pagination code the
+# tiers must not perturb.
+echo "==> tiered storage gate (-race)"
+go test -race -count=1 -run 'TestTier' ./internal/storage
+go test -race -count=1 \
+  -run 'TestRecoveryTiered|TestTieredIngestQueryRace' .
+go test -race -count=1 \
+  -run 'TestTieredServerDifferential|TestPagedEnvelopeBoundaries' ./internal/server
+go test -race -count=1 -run 'TestClusterPagedEnvelopeEdgeCases' ./internal/cluster
+go test -race -count=1 -run 'TestDLQ|TestArchiveTornFrame|TestArchiveReset' ./internal/storage
+
 echo "==> bench smoke (scripts/bench.sh --smoke)"
 ./scripts/bench.sh --smoke
 
