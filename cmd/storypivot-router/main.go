@@ -25,11 +25,15 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/feed"
 	"repro/internal/httpx"
 	"repro/internal/obs"
 )
@@ -45,6 +49,22 @@ func main() {
 
 		shardTimeout = flag.Duration("shard-timeout", 5*time.Second, "per-shard request deadline")
 		hedgeAfter   = flag.Duration("hedge-after", 0, "duplicate a slow shard GET after this long (0 = no hedging)")
+
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "background worker health-probe period")
+		probeTimeout  = flag.Duration("probe-timeout", 1*time.Second, "per-probe deadline")
+		failThreshold = flag.Int("fail-threshold", 3, "consecutive failures (probe or live traffic) that quarantine a worker")
+		cooldown      = flag.Duration("cooldown", 10*time.Second, "how long a quarantined worker waits before a half-open readmission probe")
+
+		ingestRetries    = flag.Int("ingest-retries", 3, "retries for a routed ingest whose owner shard fails transiently")
+		ingestRetryBase  = flag.Duration("ingest-retry-base", 50*time.Millisecond, "base of the full-jitter backoff between ingest retries")
+		ingestRetryCap   = flag.Duration("ingest-retry-cap", 2*time.Second, "cap of the full-jitter backoff between ingest retries")
+		ingestRetryAfter = flag.Duration("ingest-retry-after", 10*time.Second, "Retry-After hint when the owner shard is quarantined (503)")
+
+		feedReplay        = flag.Int("feed-replay", 0, "cluster-managed feeds: replay a generated corpus of ~N snippets, each source's runner placed on its ring owner and failed over on quarantine (0 = off)")
+		feedSources       = flag.Int("feed-replay-sources", 3, "number of sources in the cluster-replayed corpus")
+		feedSeed          = flag.Int64("feed-replay-seed", 42, "seed for the cluster-replayed corpus")
+		feedNDJSON        = flag.String("feed-ndjson", "", "cluster-managed feeds: comma-separated source=url NDJSON endpoints, each assigned to its ring owner")
+		reconcileInterval = flag.Duration("reconcile-interval", 2*time.Second, "feed coordinator steady-state reconcile period (health changes reconcile immediately)")
 
 		maxInflight    = flag.Int("max-inflight", 256, "admission gate: max concurrent requests before shedding with 429 (0 = unlimited)")
 		retryAfter     = flag.Duration("retry-after", 1*time.Second, "Retry-After hint sent with 429 responses")
@@ -62,6 +82,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	specs, err := buildFeedSpecs(*feedNDJSON, *feedReplay, *feedSources, *feedSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rt, err := cluster.NewRouter(cluster.Config{
 		Members: ms,
 		Pins:    ps,
@@ -69,9 +93,28 @@ func main() {
 			Timeout:    *shardTimeout,
 			HedgeAfter: *hedgeAfter,
 		},
+		Health: cluster.HealthConfig{
+			ProbeInterval: *probeInterval,
+			ProbeTimeout:  *probeTimeout,
+			FailThreshold: *failThreshold,
+			Cooldown:      *cooldown,
+		},
+		Ingest: cluster.IngestConfig{
+			Retries:    *ingestRetries,
+			RetryBase:  *ingestRetryBase,
+			RetryCap:   *ingestRetryCap,
+			RetryAfter: *ingestRetryAfter,
+		},
+		Feeds:             specs,
+		ReconcileInterval: *reconcileInterval,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Close()
+	if len(specs) > 0 {
+		log.Printf("coordinating %d cluster feeds (reconcile every %s)", len(specs), *reconcileInterval)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -119,6 +162,47 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("drained, bye")
+}
+
+// replayIDOffset mirrors the worker cmd's constant: replayed snippet
+// IDs live far above anything the extraction pipeline mints.
+const replayIDOffset = 1 << 32
+
+// buildFeedSpecs assembles the cluster-managed feed definitions the
+// coordinator will place on workers. Replay specs carry only the corpus
+// parameters — each assigned worker regenerates the corpus
+// deterministically — but the router must generate it once itself to
+// learn the source names that key ring placement.
+func buildFeedSpecs(ndjson string, replay, sources int, seed int64) ([]feed.Spec, error) {
+	var specs []feed.Spec
+	if ndjson != "" {
+		for _, pair := range strings.Split(ndjson, ",") {
+			src, u, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || src == "" || u == "" {
+				return nil, fmt.Errorf("bad -feed-ndjson entry %q (want source=url)", pair)
+			}
+			specs = append(specs, feed.Spec{Source: src, Type: "ndjson", URL: u})
+		}
+	}
+	if replay > 0 {
+		bySource := datagen.Generate(experiments.CorpusScale(replay, sources, seed)).BySource()
+		names := make([]string, 0, len(bySource))
+		for src := range bySource {
+			names = append(names, string(src))
+		}
+		sort.Strings(names)
+		for _, src := range names {
+			specs = append(specs, feed.Spec{
+				Source:   src,
+				Type:     "replay",
+				Events:   replay,
+				Sources:  sources,
+				Seed:     seed,
+				IDOffset: replayIDOffset,
+			})
+		}
+	}
+	return specs, nil
 }
 
 // parseMembers accepts "w1=http://host:1234,w2=http://host:1235" or

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	storypivot "repro"
@@ -81,10 +82,57 @@ func (ps pipelineSink) WriteCheckpoint() error {
 	return ps.s.Pipeline().WriteCheckpoint()
 }
 
+// RemoveSource implements feed.SourceRemover: when the router withdraws
+// an interim feed tenure from this worker, the tenure's ingested data is
+// deleted so the returning ring owner's copy is the only one visible.
+func (ps pipelineSink) RemoveSource(src event.SourceID) bool {
+	return ps.s.Pipeline().RemoveSource(src)
+}
+
+// replaySpecFetcher builds fetchers for cluster-assigned "replay" specs:
+// the corpus is regenerated deterministically from (events, sources,
+// seed) rather than shipped over the wire. Generated corpora are cached
+// so N sources of one corpus cost one generation.
+func replaySpecFetcher() feed.SpecFetcher {
+	type corpusKey struct {
+		events, sources int
+		seed            int64
+	}
+	var mu sync.Mutex
+	cache := make(map[corpusKey]map[event.SourceID][]*event.Snippet)
+	return func(sp feed.Spec) (feed.Fetcher, error) {
+		if sp.Type != "replay" {
+			return nil, fmt.Errorf("unsupported feed spec type %q for source %q", sp.Type, sp.Source)
+		}
+		if sp.Events <= 0 || sp.Sources <= 0 {
+			return nil, fmt.Errorf("replay spec %q needs events and sources", sp.Source)
+		}
+		key := corpusKey{sp.Events, sp.Sources, sp.Seed}
+		mu.Lock()
+		bySource, ok := cache[key]
+		if !ok {
+			bySource = datagen.Generate(experiments.CorpusScale(sp.Events, sp.Sources, sp.Seed)).BySource()
+			cache[key] = bySource
+		}
+		mu.Unlock()
+		snippets, ok := bySource[event.SourceID(sp.Source)]
+		if !ok {
+			return nil, fmt.Errorf("replay spec %q: source not in generated corpus", sp.Source)
+		}
+		offset := sp.IDOffset
+		if offset == 0 {
+			offset = replayIDOffset
+		}
+		return feed.NewReplay(event.SourceID(sp.Source), snippets, offset), nil
+	}
+}
+
 // buildFeeds assembles the feed manager from flags. It returns nil when
-// no feed flags are in use.
-func buildFeeds(s *server.Server, ff feedFlags) (*feed.Manager, error) {
-	if ff.ndjson == "" && ff.replay <= 0 {
+// no feed flags are in use — except in cluster-worker mode, where an
+// (initially empty) manager always exists so the router's feed
+// coordinator can assign sources to this worker at runtime.
+func buildFeeds(s *server.Server, ff feedFlags, clusterWorker bool) (*feed.Manager, error) {
+	if ff.ndjson == "" && ff.replay <= 0 && !clusterWorker {
 		return nil, nil
 	}
 	cfg := feed.Config{
@@ -103,6 +151,9 @@ func buildFeeds(s *server.Server, ff feedFlags) (*feed.Manager, error) {
 	if ff.stateDir != "" {
 		cfg.CursorPath = filepath.Join(ff.stateDir, "cursors.json")
 		cfg.DLQDir = filepath.Join(ff.stateDir, "dlq")
+	}
+	if clusterWorker {
+		cfg.SpecFetcher = replaySpecFetcher()
 	}
 	m, err := feed.NewManager(pipelineSink{s}, cfg)
 	if err != nil {

@@ -183,7 +183,7 @@ func main() {
 		}
 	}
 
-	feeds, err := buildFeeds(s, ff)
+	feeds, err := buildFeeds(s, ff, *clusterWorker)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,8 +19,10 @@ package cluster_test
 // serving fabric, not the cache paper-over.
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -276,3 +278,131 @@ func benchIngest(b *testing.B, t *benchTarget) {
 
 func BenchmarkClusterIngestDirect(b *testing.B) { benchIngest(b, newBenchTarget(b, 0)) }
 func BenchmarkClusterIngestRouted(b *testing.B) { benchIngest(b, newBenchTarget(b, 4)) }
+
+// --- Failover: availability and tail latency through a worker kill -------
+
+// BenchmarkFailoverAvailability measures the self-healing loop end to
+// end: one iteration is a full kill → passive detection → quarantine →
+// restart → half-open readmission cycle over three workers, with
+// scatter queries issued through every phase. Reported metrics:
+// avail_pct is the fraction of queries answered below 500 across the
+// whole cycle (the contract is 100 — outages degrade to partial, never
+// error), and p99_us is the query tail during the outage window (kill
+// through readmission), the interval the health monitor exists to keep
+// short.
+func BenchmarkFailoverAvailability(b *testing.B) {
+	clusterBenchSetup(b)
+	type wk struct {
+		s    *server.Server
+		ts   *httptest.Server
+		addr string
+	}
+	workers := make([]*wk, 3)
+	members := make([]cluster.Member, 3)
+	pins := map[string]string{}
+	for i, src := range clusterBench.sources {
+		pins[string(src)] = fmt.Sprintf("w%d", i%3)
+	}
+	for g := 0; g < 3; g++ {
+		s, err := server.New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		workers[g] = &wk{s: s, ts: ts, addr: ts.Listener.Addr().String()}
+		members[g] = cluster.Member{Name: fmt.Sprintf("w%d", g), URL: "http://" + workers[g].addr}
+	}
+	b.Cleanup(func() {
+		for _, w := range workers {
+			w.ts.Close()
+			w.s.Close()
+		}
+	})
+	for i, src := range clusterBench.sources {
+		w := workers[i%3]
+		for _, sn := range clusterBench.bySource[src] {
+			cp := *sn
+			cp.TermIDs, cp.EntityIDs, cp.TermNorm = nil, nil, 0
+			if err := w.s.Pipeline().Ingest(&cp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, w := range workers {
+		w.s.Pipeline().Result()
+	}
+	const cooldown = 20 * time.Millisecond
+	rt, err := cluster.NewRouter(cluster.Config{
+		Members: members,
+		Pins:    pins,
+		Client:  cluster.ClientConfig{Timeout: 2 * time.Second},
+		Health: cluster.HealthConfig{
+			FailThreshold: 2,
+			Cooldown:      cooldown,
+			ProbeTimeout:  time.Second,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	b.Cleanup(rts.Close)
+	ctx := context.Background()
+
+	paths := make([]string, 0, len(clusterBench.queries))
+	for _, q := range clusterBench.queries {
+		paths = append(paths, "/api/search?q="+strings.ReplaceAll(q, " ", "+"))
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	var total, served int
+	var outage []time.Duration
+	query := func(n int, rec bool) {
+		for i := 0; i < n; i++ {
+			t0 := time.Now()
+			resp, err := client.Get(rts.URL + paths[total%len(paths)])
+			d := time.Since(t0)
+			total++
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode < 500 {
+					served++
+				}
+			}
+			if rec {
+				outage = append(outage, d)
+			}
+		}
+	}
+
+	victim := workers[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		query(20, false) // healthy baseline
+		victim.ts.Close()
+		query(4, true) // detection window: failed fan-outs are the signal
+		rt.ProbeNow(ctx)
+		query(40, true) // quarantined: dead member skipped, not timed out
+		ln, err := net.Listen("tcp", victim.addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nts := httptest.NewUnstartedServer(victim.s.Handler())
+		nts.Listener.Close()
+		nts.Listener = ln
+		nts.Start()
+		victim.ts = nts
+		time.Sleep(cooldown + 10*time.Millisecond)
+		rt.ProbeNow(ctx) // half-open readmission
+		query(20, false) // healed
+	}
+	b.StopTimer()
+	if total > 0 {
+		b.ReportMetric(100*float64(served)/float64(total), "avail_pct")
+	}
+	if len(outage) > 0 {
+		sort.Slice(outage, func(i, j int) bool { return outage[i] < outage[j] })
+		k := int(0.99 * float64(len(outage)-1))
+		b.ReportMetric(float64(outage[k].Nanoseconds())/1e3, "p99_us")
+	}
+}

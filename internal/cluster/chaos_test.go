@@ -1,0 +1,482 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	storypivot "repro"
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/event"
+	"repro/internal/experiments"
+	"repro/internal/feed"
+	"repro/internal/server"
+	"repro/internal/text"
+)
+
+// The chaos test: kill one worker of three mid ingest-and-query-replay
+// and prove the cluster self-heals end to end. Every transition is
+// driven deterministically (ProbeNow / ReconcileNow / an explicit
+// cursor checkpoint) rather than by background timers, so the test
+// asserts the protocol, not a race:
+//
+//  1. three workers with durable stores and cursor files run
+//     coordinator-assigned replay feeds, one per source, each pinned to
+//     its worker; the victim's source is gated to stall halfway;
+//  2. the victim is killed (listener closed, manager crash-aborted, no
+//     final checkpoint) with acknowledged-but-uncheckpointed records in
+//     its WAL — the at-least-once window;
+//  3. scatter queries stay 200 (partial, never 5xx) throughout, and
+//     post-quarantine p99 stays within 5× the healthy baseline because
+//     the quarantined member is skipped, not timed out;
+//  4. ingest for the victim-owned source answers 503 + Retry-After;
+//  5. the coordinator moves the source to an interim owner resuming
+//     from the last durably observed cursor;
+//  6. the victim restarts on the same address and store, restores its
+//     WAL past its cursor file, is readmitted by a half-open probe, the
+//     interim tenure is dropped, and the runner rebalances home;
+//  7. the gate lifts, ingest finishes, and the final differential shows
+//     every corpus snippet on exactly one worker exactly once: zero
+//     acknowledged-record loss, zero duplicates, despite the refetched
+//     WAL tail (absorbed as engine dedup rejections).
+
+type chaosWorker struct {
+	s    *server.Server
+	mgr  *feed.Manager
+	ts   *httptest.Server
+	addr string
+}
+
+func (w *chaosWorker) kill() {
+	w.ts.Close()
+	w.mgr.Abort()
+	// The pipeline is deliberately NOT closed: a crash writes no final
+	// checkpoint, leaving the WAL ahead of the cursor file — the
+	// at-least-once window the restart must absorb.
+}
+
+func TestClusterChaosFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness replays a full corpus through three workers")
+	}
+	corpus := datagen.Generate(experiments.CorpusScale(420, 3, 11))
+	bySource := corpus.BySource()
+	var srcs []string
+	for src := range bySource {
+		srcs = append(srcs, string(src))
+	}
+	sort.Strings(srcs)
+	if len(srcs) != 3 {
+		t.Fatalf("corpus has %d sources, want 3", len(srcs))
+	}
+	stalled := srcs[0]
+	stalledN := len(bySource[event.SourceID(stalled)])
+	half := stalledN / 2
+	const tail = 8 // acknowledged-but-uncheckpointed records lost to the crash window
+	var gate atomic.Int64
+	gate.Store(int64(half))
+
+	dir := t.TempDir()
+	storeDir := func(g int) string { return filepath.Join(dir, fmt.Sprintf("store%d", g)) }
+	cursorPath := func(g int) string { return filepath.Join(dir, fmt.Sprintf("cursors%d.json", g)) }
+
+	specFetch := func(sp feed.Spec) (feed.Fetcher, error) {
+		sns, ok := bySource[event.SourceID(sp.Source)]
+		if !ok {
+			return nil, fmt.Errorf("no corpus for %q", sp.Source)
+		}
+		var f feed.Fetcher = feed.NewReplay(event.SourceID(sp.Source), sns, 0)
+		if sp.Source == stalled {
+			f = &gatedFetcher{inner: f, stopAt: &gate}
+		}
+		return f, nil
+	}
+
+	start := func(g int, addr string) *chaosWorker {
+		t.Helper()
+		s, err := server.New(append(pipelineOpts(), storypivot.WithStorage(storeDir(g)))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr, err := feed.NewManager(s.Pipeline(), feed.Config{
+			BackoffBase:  time.Millisecond,
+			BackoffCap:   4 * time.Millisecond,
+			FetchTimeout: 2 * time.Second,
+			BatchSize:    16,
+			PollInterval: 3 * time.Millisecond,
+			CursorPath:   cursorPath(g),
+			// No periodic checkpointing: the test checkpoints explicitly
+			// so the durable/acknowledged gap at the crash is exact.
+			SpecFetcher: specFetch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mgr.Start(); err != nil {
+			t.Fatal(err)
+		}
+		s.AttachFeeds(mgr)
+		ts := httptest.NewUnstartedServer(s.Handler())
+		if addr != "" { // restart on the exact address the ring still holds
+			ts.Listener.Close()
+			ln, err := net.Listen("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts.Listener = ln
+		}
+		ts.Start()
+		return &chaosWorker{s: s, mgr: mgr, ts: ts, addr: ts.Listener.Addr().String()}
+	}
+
+	workers := make([]*chaosWorker, 3)
+	members := make([]cluster.Member, 3)
+	pins := map[string]string{}
+	for g := 0; g < 3; g++ {
+		workers[g] = start(g, "")
+		members[g] = cluster.Member{Name: fmt.Sprintf("w%d", g), URL: "http://" + workers[g].addr}
+		pins[srcs[g]] = members[g].Name
+	}
+	t.Cleanup(func() {
+		for _, w := range workers {
+			w.ts.Close()
+			w.mgr.Close()
+			w.s.Close()
+		}
+	})
+
+	var specs []feed.Spec
+	for _, src := range srcs {
+		specs = append(specs, feed.Spec{Source: src, Type: "chaos"})
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Members: members,
+		Pins:    pins,
+		Client:  cluster.ClientConfig{Timeout: 2 * time.Second},
+		Health: cluster.HealthConfig{
+			FailThreshold: 2,
+			Cooldown:      50 * time.Millisecond,
+			ProbeTimeout:  time.Second,
+		},
+		Feeds: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	ctx := t.Context()
+
+	assignments := func() map[string]cluster.FeedAssignment {
+		t.Helper()
+		code, body := get(t, rts.URL, "/api/cluster/feeds")
+		if code != http.StatusOK {
+			t.Fatalf("GET /api/cluster/feeds: %d: %s", code, body)
+		}
+		var view struct {
+			Assignments []cluster.FeedAssignment `json:"assignments"`
+		}
+		if err := json.Unmarshal(body, &view); err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]cluster.FeedAssignment{}
+		for _, a := range view.Assignments {
+			out[a.Source] = a
+		}
+		return out
+	}
+	waitFor := func(d time.Duration, cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	ingested := func(g int) uint64 { return workers[g].s.Pipeline().Engine().Ingested() }
+
+	// --- Placement: one reconcile puts every runner on its pinned owner.
+	rt.ReconcileNow(ctx)
+	for g, src := range srcs {
+		a := assignments()[src]
+		if a.Member != members[g].Name || a.Interim {
+			t.Fatalf("initial placement of %s: %+v", src, a)
+		}
+	}
+
+	// --- Ingest until the free sources finish and the gated one stalls.
+	waitFor(30*time.Second, func() bool {
+		return ingested(0) == uint64(half) &&
+			ingested(1) == uint64(len(bySource[event.SourceID(srcs[1])])) &&
+			ingested(2) == uint64(len(bySource[event.SourceID(srcs[2])]))
+	}, "replay to reach the gate")
+	// Durable cursors: the victim's checkpoint pins the stalled source at
+	// `half` — the cursor the coordinator must hand any interim owner.
+	for _, w := range workers {
+		if err := w.mgr.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.ReconcileNow(ctx) // harvest the durable cursors
+	if a := assignments()[stalled]; a.Cursor != strconv.Itoa(half) {
+		t.Fatalf("coordinator durable cursor for %s = %q, want %d", stalled, a.Cursor, half)
+	}
+
+	// --- Query replay: healthy baseline.
+	queries := chaosPanel(corpus)
+	type reply struct {
+		Partial bool `json:"partial"`
+	}
+	phase := func(n int, wantPartial bool, at string) (p99 time.Duration) {
+		t.Helper()
+		lat := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			q := queries[i%len(queries)]
+			begin := time.Now()
+			code, body := get(t, rts.URL, "/api/search?q="+urlEscape(q))
+			lat = append(lat, time.Since(begin))
+			if code != http.StatusOK {
+				t.Fatalf("%s: query %q answered %d (must never 5xx): %s", at, q, code, body)
+			}
+			var r reply
+			if err := json.Unmarshal(body, &r); err != nil {
+				t.Fatal(err)
+			}
+			if r.Partial != wantPartial {
+				t.Fatalf("%s: query %q partial=%v, want %v", at, q, r.Partial, wantPartial)
+			}
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[len(lat)*99/100]
+	}
+	baseline := phase(100, false, "healthy")
+
+	// --- Open the crash window: a tail of records is acknowledged into
+	// the victim's WAL but never cursor-checkpointed.
+	gate.Store(int64(half + tail))
+	waitFor(10*time.Second, func() bool { return ingested(0) == uint64(half+tail) }, "tail past the gate")
+
+	// --- Kill the victim mid-replay.
+	victim := workers[0]
+	victim.kill()
+
+	// Queries between the kill and the quarantine verdict degrade but
+	// never error; their failed fan-outs double as the passive health
+	// signal that trips the threshold.
+	for i := 0; i < 2; i++ {
+		if code, _ := get(t, rts.URL, "/api/search?q="+urlEscape(queries[0])); code != http.StatusOK {
+			t.Fatalf("query during failure detection answered %d", code)
+		}
+	}
+	rt.ProbeNow(ctx)
+	code, body := get(t, rts.URL, "/healthz")
+	if code != http.StatusOK || !strings.Contains(string(body), `"w0": "quarantined"`) {
+		t.Fatalf("healthz after kill: %d %s", code, body)
+	}
+
+	// --- Post-quarantine: still 200/partial, and fast — the dead member
+	// is skipped outright, so p99 must stay near the healthy baseline.
+	outageP99 := phase(100, true, "quarantined")
+	if bound := maxDur(5*baseline, 250*time.Millisecond); outageP99 > bound {
+		t.Fatalf("post-quarantine p99 %v exceeds bound %v (baseline %v)", outageP99, bound, baseline)
+	}
+
+	// --- Ingest addressed to the quarantined owner: 503 + Retry-After.
+	doc := fmt.Sprintf(`{"source":%q,"url":"http://example.com/x","title":"Jet crash in Ukraine","published":"2014-07-17T00:00:00Z","body":"A jet crashed near Donetsk in Ukraine and investigators reached the site."}`, stalled)
+	resp, err := http.Post(rts.URL+"/api/documents", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest to quarantined owner: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("quarantined-owner 503 missing Retry-After")
+	}
+
+	// --- Failover: the coordinator hands the source to an interim owner
+	// at the durable cursor. The interim refetches the crash-window tail
+	// (the victim's uncheckpointed WAL records are invisible — the
+	// victim is out of every scatter — so visibility never exceeds one).
+	rt.ReconcileNow(ctx)
+	a := assignments()[stalled]
+	if a.Member == "" || a.Member == "w0" || !a.Interim {
+		t.Fatalf("no interim takeover: %+v", a)
+	}
+	interimG := int(a.Member[1] - '0')
+	interimOwn := uint64(len(bySource[event.SourceID(srcs[interimG])]))
+	waitFor(10*time.Second, func() bool { return ingested(interimG) == interimOwn+tail }, "interim to refetch the tail")
+
+	// --- Restart the victim on the same address, store, and cursor file.
+	workers[0] = start(0, victim.addr)
+	if got := ingested(0); got != uint64(half+tail) {
+		t.Fatalf("restored WAL has %d snippets, want %d (checkpoint restore)", got, half+tail)
+	}
+
+	// Readmission is probe-only, after the cooldown, via half-open probe.
+	time.Sleep(120 * time.Millisecond)
+	rt.ProbeNow(ctx)
+	if code, body := get(t, rts.URL, "/healthz"); code != http.StatusOK || !strings.Contains(string(body), `"w0": "ok"`) {
+		t.Fatalf("healthz after readmission: %d %s", code, body)
+	}
+
+	// --- Rebalance home: the interim tenure is dropped (rows removed,
+	// cursor forgotten) and the owner resumes from its own cursor file.
+	rt.ReconcileNow(ctx)
+	if a := assignments()[stalled]; a.Member != "w0" || a.Interim {
+		t.Fatalf("runner did not rebalance home: %+v", a)
+	}
+	for _, s := range workers[interimG].s.Pipeline().Sources() {
+		if string(s) == stalled {
+			t.Fatalf("interim owner %s still holds dropped source %s", a.Member, stalled)
+		}
+	}
+
+	// The write path recovers with the worker.
+	rdoc := strings.Replace(doc, stalled, "recovery-probe", 1)
+	resp, err = http.Post(rts.URL+"/api/documents", "application/json", strings.NewReader(rdoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest after readmission: %d, want 200", resp.StatusCode)
+	}
+
+	// --- Lift the gate and drain the stream to the end. The restored
+	// owner refetches [half, half+tail) — already in its WAL — and the
+	// engine dedup turns the redelivery into rejections, not duplicates.
+	gate.Store(int64(stalledN))
+	waitFor(30*time.Second, func() bool {
+		for _, st := range workers[0].mgr.Status() {
+			if st.Source == stalled && st.CaughtUp && st.Cursor == strconv.Itoa(stalledN) {
+				return true
+			}
+		}
+		return false
+	}, "restarted owner to finish the stream")
+	var dups uint64
+	for _, st := range workers[0].mgr.Status() {
+		if st.Source == stalled {
+			dups = st.Duplicates
+		}
+	}
+	if dups < tail {
+		t.Fatalf("crash-window redelivery saw %d dedup rejections, want >= %d", dups, tail)
+	}
+
+	// --- Final differential: every corpus snippet lives on exactly one
+	// worker exactly once. Zero acknowledged-record loss, zero
+	// duplicates.
+	for g, src := range srcs {
+		for og := range workers {
+			has := false
+			for _, s := range workers[og].s.Pipeline().Sources() {
+				if string(s) == src {
+					has = true
+				}
+			}
+			if has != (og == g) {
+				t.Fatalf("source %s on worker %d (has=%v), want only on %d", src, og, has, g)
+			}
+		}
+		want := map[event.SnippetID]bool{}
+		for _, sn := range bySource[event.SourceID(src)] {
+			want[sn.ID] = true
+		}
+		got := map[event.SnippetID]int{}
+		for _, st := range workers[g].s.Pipeline().Stories(event.SourceID(src)) {
+			for _, sn := range st.Snippets {
+				got[sn.ID]++
+			}
+		}
+		for id := range want {
+			if got[id] != 1 {
+				t.Fatalf("source %s snippet %d appears %d times, want exactly 1", src, id, got[id])
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("source %s holds %d snippets, corpus has %d", src, len(got), len(want))
+		}
+	}
+	// And the cluster serves full (non-partial) answers again.
+	phase(len(queries), false, "healed")
+}
+
+// gatedFetcher stalls a replay fetcher at a movable high-water mark:
+// fetches at or past the gate report caught-up (so the runner idles at
+// PollInterval instead of erroring), fetches below it are capped at the
+// gate. The gate instance outlives worker restarts, so a restarted
+// victim resumes against the same stall.
+type gatedFetcher struct {
+	inner  feed.Fetcher
+	stopAt *atomic.Int64
+}
+
+func (g *gatedFetcher) Source() event.SourceID { return g.inner.Source() }
+
+func (g *gatedFetcher) Fetch(ctx context.Context, cursor string, limit int) (feed.Batch, error) {
+	start := 0
+	if cursor != "" {
+		n, err := strconv.Atoi(cursor)
+		if err != nil {
+			return feed.Batch{}, err
+		}
+		start = n
+	}
+	stop := int(g.stopAt.Load())
+	if start >= stop {
+		return feed.Batch{Next: cursor, Done: true}, nil
+	}
+	if limit > stop-start {
+		limit = stop - start
+	}
+	return g.inner.Fetch(ctx, cursor, limit)
+}
+
+// chaosPanel picks search tokens that survive the text pipeline
+// unchanged, one per source plus a cross-source pair.
+func chaosPanel(c *datagen.Corpus) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, sn := range c.Snippets {
+		for _, tm := range sn.Terms {
+			if seen[tm.Token] || len(out) >= 4 {
+				continue
+			}
+			seen[tm.Token] = true
+			if toks := text.Pipeline(tm.Token); len(toks) == 1 && toks[0] == tm.Token {
+				out = append(out, tm.Token)
+			}
+		}
+		if len(out) >= 4 {
+			break
+		}
+	}
+	if len(out) >= 2 {
+		out = append(out, out[0]+" "+out[1])
+	}
+	return out
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -160,6 +160,16 @@ func (c *Client) do(ctx context.Context, method, u string, body []byte, contentT
 	return httpResult{status: resp.StatusCode, body: b}
 }
 
+// StatusError reports a shard answering with an unexpected HTTP status.
+// Scatter paths use it to distinguish "the worker is up but rejected
+// this request" (4xx — not a health signal) from "the worker is down or
+// broken" (transport error or 5xx — counts toward quarantine).
+type StatusError struct {
+	Code int
+}
+
+func (e *StatusError) Error() string { return fmt.Sprintf("shard status %d", e.Code) }
+
 // GetPage fetches and decodes a worker's paged query envelope.
 func (c *Client) GetPage(ctx context.Context, base, path string, query url.Values) (*PageEnv, error) {
 	status, body, err := c.Get(ctx, base, path, query)
@@ -167,7 +177,7 @@ func (c *Client) GetPage(ctx context.Context, base, path string, query url.Value
 		return nil, err
 	}
 	if status != http.StatusOK {
-		return nil, fmt.Errorf("cluster: shard %s%s: status %d", base, path, status)
+		return nil, fmt.Errorf("cluster: shard %s%s: %w", base, path, &StatusError{Code: status})
 	}
 	var env PageEnv
 	if err := json.Unmarshal(body, &env); err != nil {

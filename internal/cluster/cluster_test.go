@@ -2,6 +2,7 @@ package cluster_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -451,15 +452,38 @@ func TestClusterDegradedServing(t *testing.T) {
 			t.Fatalf("degraded %s: partial flag missing: %s", path, body)
 		}
 	}
+	// The three failed scatters above are passive health signals: with
+	// the default threshold of 3 consecutive failures, w2 is now
+	// quarantined without a single background probe having run — and
+	// /healthz reports the cached verdict without fanning out.
 	code, body = get(t, rts.URL, "/healthz")
 	if code != http.StatusOK {
 		t.Fatalf("healthz with 2/3 up: %d (quorum intact): %s", code, body)
 	}
-	if !strings.Contains(string(body), `"w2": "down"`) {
+	if !strings.Contains(string(body), `"w2": "quarantined"`) {
 		t.Fatalf("healthz does not name the dead worker: %s", body)
 	}
 
+	// With w2 quarantined, scatters skip it outright: still 200, still
+	// partial, without burning the shard timeout on a known-dead member.
+	code, body = get(t, rts.URL, "/api/search?q=anything")
+	if code != http.StatusOK {
+		t.Fatalf("post-quarantine search: %d: %s", code, body)
+	}
+	var pq env
+	if err := json.Unmarshal(body, &pq); err != nil {
+		t.Fatal(err)
+	}
+	if !pq.Partial {
+		t.Fatalf("post-quarantine search not partial: %s", body)
+	}
+
 	tss[1].Close() // majority down: quorum lost
+	// The cached verdict lags until probes (or passive traffic) see the
+	// second death; drive the prober deterministically.
+	for i := 0; i < 3; i++ {
+		rt.ProbeNow(context.Background())
+	}
 	if code, body := get(t, rts.URL, "/healthz"); code != http.StatusServiceUnavailable {
 		t.Fatalf("healthz with 1/3 up: %d, want 503: %s", code, body)
 	}
@@ -575,6 +599,9 @@ func TestClusterMembersReconfigure(t *testing.T) {
 	rts := httptest.NewServer(rt.Handler())
 	t.Cleanup(rts.Close)
 
+	ts2 := httptest.NewServer(w.Handler())
+	t.Cleanup(ts2.Close)
+
 	put := func(body string) int {
 		req, _ := http.NewRequest(http.MethodPut, rts.URL+"/api/cluster/members", strings.NewReader(body))
 		resp, err := http.DefaultClient.Do(req)
@@ -584,7 +611,7 @@ func TestClusterMembersReconfigure(t *testing.T) {
 		resp.Body.Close()
 		return resp.StatusCode
 	}
-	if code := put(fmt.Sprintf(`{"members":[{"name":"w0","url":%q},{"name":"w1","url":%q}],"pins":{"hot":"w1"}}`, ts.URL, ts.URL)); code != http.StatusOK {
+	if code := put(fmt.Sprintf(`{"members":[{"name":"w0","url":%q},{"name":"w1","url":%q}],"pins":{"hot":"w1"}}`, ts.URL, ts2.URL)); code != http.StatusOK {
 		t.Fatalf("valid reconfigure: %d", code)
 	}
 	if got := len(rt.Ring().Members()); got != 2 {
@@ -593,11 +620,19 @@ func TestClusterMembersReconfigure(t *testing.T) {
 	if rt.Ring().Owner("hot").Name != "w1" {
 		t.Fatal("pin not applied after PUT")
 	}
-	if code := put(`{"members":[]}`); code != http.StatusBadRequest {
-		t.Fatalf("empty member list accepted: %d", code)
-	}
-	if code := put(`{"members":[{"name":"a","url":"u"}],"pins":{"x":"nope"}}`); code != http.StatusBadRequest {
-		t.Fatalf("bad pin accepted: %d", code)
+	for what, body := range map[string]string{
+		"empty member list": `{"members":[]}`,
+		"empty url":         `{"members":[{"name":"a","url":""}]}`,
+		"unparseable url":   `{"members":[{"name":"a","url":"u"}]}`,
+		"non-http scheme":   `{"members":[{"name":"a","url":"ftp://h:1"}]}`,
+		"hostless url":      `{"members":[{"name":"a","url":"http://"}]}`,
+		"duplicate name":    fmt.Sprintf(`{"members":[{"name":"a","url":%q},{"name":"a","url":%q}]}`, ts.URL, ts2.URL),
+		"duplicate url":     fmt.Sprintf(`{"members":[{"name":"a","url":%q},{"name":"b","url":%q}]}`, ts.URL, ts.URL),
+		"bad pin":           `{"members":[{"name":"a","url":"http://h:1"}],"pins":{"x":"nope"}}`,
+	} {
+		if code := put(body); code != http.StatusBadRequest {
+			t.Fatalf("%s accepted: %d", what, code)
+		}
 	}
 	if got := len(rt.Ring().Members()); got != 2 {
 		t.Fatalf("failed PUT mutated the ring: %d members", got)

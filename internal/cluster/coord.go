@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/feed"
+	"repro/internal/obs"
+)
+
+var (
+	metReconciles = obs.GetCounter("storypivot_cluster_feed_reconciles_total",
+		"feed coordinator reconcile rounds")
+	metAssignPuts = obs.GetCounter("storypivot_cluster_feed_assign_puts_total",
+		"assignment PUTs issued to workers")
+	metAssignPutErrs = obs.GetCounter("storypivot_cluster_feed_assign_put_errors_total",
+		"assignment PUTs that failed (including stale-epoch rejections)")
+	metFeedMoves = obs.GetCounter("storypivot_cluster_feed_moves_total",
+		"feed sources that changed workers")
+)
+
+// coordinator places cluster-managed feed runners: each source runs on
+// its ring owner, and when the owner is quarantined the runner moves to
+// the owner's ring successor as an *interim* tenure that is withdrawn
+// (data dropped, owner resumes from its own durable cursor) when the
+// owner is readmitted. See DESIGN.md §3.15 for the handoff protocol and
+// its at-least-once reasoning.
+//
+// Reconciliation is level-triggered: every round recomputes the full
+// desired placement from (ring, health) and PUTs each eligible member's
+// complete assignment list, so a worker that restarted (losing its
+// runners) or missed a round converges on the next one. The kick
+// channel collapses bursts of health/membership changes into one
+// immediate round.
+type coordinator struct {
+	rt       *Router
+	specs    map[string]feed.Spec
+	order    []string // spec sources, sorted
+	interval time.Duration
+	kickc    chan struct{}
+	epoch    atomic.Uint64
+
+	// roundMu serialises reconcile rounds (ticker, kicks, and
+	// ReconcileNow may race).
+	roundMu sync.Mutex
+
+	mu         sync.Mutex
+	assignedTo map[string]string // source → member it verifiably runs on
+	interim    map[string]bool   // source → current tenure is interim
+	lastCursor map[string]string // source → last durably observed cursor
+	caughtUp   map[string]bool
+	putErr     map[string]string // member → last assignment-PUT failure
+}
+
+func newCoordinator(rt *Router, specs []feed.Spec, interval time.Duration) (*coordinator, error) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	c := &coordinator{
+		rt:         rt,
+		specs:      make(map[string]feed.Spec, len(specs)),
+		interval:   interval,
+		kickc:      make(chan struct{}, 1),
+		assignedTo: make(map[string]string),
+		interim:    make(map[string]bool),
+		lastCursor: make(map[string]string),
+		caughtUp:   make(map[string]bool),
+		putErr:     make(map[string]string),
+	}
+	for _, sp := range specs {
+		if sp.Source == "" {
+			return nil, fmt.Errorf("cluster: feed spec with empty source")
+		}
+		if _, dup := c.specs[sp.Source]; dup {
+			return nil, fmt.Errorf("cluster: duplicate feed spec for source %q", sp.Source)
+		}
+		c.specs[sp.Source] = sp
+		c.order = append(c.order, sp.Source)
+	}
+	sort.Strings(c.order)
+	return c, nil
+}
+
+// kick requests an immediate reconcile round; coalesces.
+func (c *coordinator) kick() {
+	select {
+	case c.kickc <- struct{}{}:
+	default:
+	}
+}
+
+func (c *coordinator) run(ctx context.Context) {
+	c.reconcileRound(ctx)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.reconcileRound(ctx)
+		case <-c.kickc:
+			c.reconcileRound(ctx)
+		}
+	}
+}
+
+// assignPut is the wire request of PUT /api/cluster/feeds on a worker.
+type assignPut struct {
+	Epoch       uint64            `json:"epoch"`
+	Assignments []feed.Assignment `json:"assignments"`
+}
+
+// assignPutResp is the worker's response: its post-apply runner state.
+type assignPutResp struct {
+	Epoch   uint64                `json:"epoch"`
+	Running []feed.AssignedStatus `json:"running"`
+	Stopped map[string]string     `json:"stopped"`
+	Dropped []string              `json:"dropped"`
+	Error   string                `json:"error"`
+}
+
+// reconcileRound drives the cluster toward the desired placement once.
+func (c *coordinator) reconcileRound(ctx context.Context) {
+	c.roundMu.Lock()
+	defer c.roundMu.Unlock()
+	metReconciles.Inc()
+
+	ring := c.rt.Ring()
+	members := ring.Members()
+	eligible := func(i int) bool {
+		return c.rt.monitor.State(members[i].Name) != MemberQuarantined
+	}
+
+	// Desired placement: the ring owner if eligible, else its first
+	// eligible ring successor as an interim tenure. A source with no
+	// eligible member at all is left wherever it is (its current holder
+	// is down anyway; nothing useful can move).
+	type placement struct {
+		member  string
+		interim bool
+	}
+	desired := make(map[string]placement, len(c.specs))
+	desiredMember := make(map[string]string, len(c.specs))
+	for _, src := range c.order {
+		idx := ring.OwnerIndexAmong(src, eligible)
+		if idx < 0 {
+			continue
+		}
+		desired[src] = placement{
+			member:  members[idx].Name,
+			interim: idx != ring.OwnerIndex(src),
+		}
+		desiredMember[src] = members[idx].Name
+	}
+
+	c.mu.Lock()
+	lists := make(map[string][]feed.Assignment, len(members))
+	for i, m := range members {
+		if eligible(i) {
+			lists[m.Name] = []feed.Assignment{} // explicit empty list stops strays
+		}
+	}
+	moved := make(map[string]bool, len(desired))
+	for _, src := range c.order {
+		pl, ok := desired[src]
+		if !ok {
+			continue
+		}
+		if _, up := lists[pl.member]; !up {
+			continue
+		}
+		a := feed.Assignment{Spec: c.specs[src], Interim: pl.interim}
+		if c.assignedTo[src] != pl.member {
+			moved[src] = true
+			// A placement change carries the coordinator's last durably
+			// observed cursor. For a readmitted owner this is empty — the
+			// interim's tenure was dropped and its cursor deleted — which
+			// tells the owner to resume from its own restored checkpoint,
+			// the exact point interim coverage began at.
+			a.Cursor = c.lastCursor[src]
+		}
+		lists[pl.member] = append(lists[pl.member], a)
+	}
+	// Losers first: a member about to hand a source away must drain (or
+	// drop) it — and we must harvest the resulting cursor — before the
+	// gaining member starts the source, or two runners would feed it at
+	// once.
+	losers := make(map[string]bool)
+	for src, owner := range c.assignedTo {
+		if pl, ok := desired[src]; ok && pl.member != owner {
+			losers[owner] = true
+		}
+		if _, ok := desired[src]; !ok {
+			losers[owner] = true // spec no longer placeable; still drains on PUT
+		}
+	}
+	c.mu.Unlock()
+
+	order := make([]string, 0, len(lists))
+	for name := range lists {
+		if losers[name] {
+			order = append(order, name)
+		}
+	}
+	sort.Strings(order)
+	rest := make([]string, 0, len(lists))
+	for name := range lists {
+		if !losers[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	order = append(order, rest...)
+
+	ep := c.epoch.Add(1)
+	memberByName := make(map[string]Member, len(members))
+	for _, m := range members {
+		memberByName[m.Name] = m
+	}
+
+	// blocked: sources whose current (eligible) holder failed its drain
+	// PUT this round. Starting them elsewhere now could double-run the
+	// source; skip until the drain lands.
+	blocked := make(map[string]bool)
+	for _, name := range order {
+		list := lists[name]
+		if len(blocked) > 0 && !losers[name] {
+			kept := list[:0]
+			for _, a := range list {
+				if !blocked[a.Spec.Source] {
+					kept = append(kept, a)
+				}
+			}
+			list = kept
+		}
+		resp, err := c.put(ctx, memberByName[name], ep, list)
+		if err != nil {
+			c.mu.Lock()
+			c.putErr[name] = err.Error()
+			if losers[name] {
+				for src, owner := range c.assignedTo {
+					if owner == name {
+						blocked[src] = true
+					}
+				}
+			}
+			c.mu.Unlock()
+			if shardDown(err) {
+				c.rt.monitor.RecordFailure(name, "assign: "+err.Error())
+			}
+			continue
+		}
+		c.rt.monitor.RecordSuccess(name)
+		c.applyResp(name, desiredMember, resp, moved)
+	}
+}
+
+// applyResp folds one worker's post-PUT runner state into the
+// coordinator's book-keeping.
+func (c *coordinator) applyResp(name string, desired map[string]string, resp *assignPutResp, moved map[string]bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.putErr, name)
+	for src, cursor := range resp.Stopped {
+		// A drained handoff: the final cursor is durable on the old
+		// worker; the gainer resumes from it.
+		c.lastCursor[src] = cursor
+		if c.assignedTo[src] == name {
+			delete(c.assignedTo, src)
+			delete(c.interim, src)
+			delete(c.caughtUp, src)
+		}
+	}
+	for _, src := range resp.Dropped {
+		// A withdrawn interim tenure: its data is gone, so its cursors
+		// mean nothing. Forgetting the cursor is what makes the next
+		// placement (normally the returning owner) resume from its own
+		// durable state — and makes a *chained* failover refetch from
+		// scratch rather than trust coverage that just got deleted.
+		delete(c.lastCursor, src)
+		if c.assignedTo[src] == name {
+			delete(c.assignedTo, src)
+			delete(c.interim, src)
+			delete(c.caughtUp, src)
+		}
+	}
+	for _, st := range resp.Running {
+		if desired[st.Source] != name {
+			continue
+		}
+		if c.assignedTo[st.Source] != name && moved[st.Source] {
+			metFeedMoves.Inc()
+		}
+		c.assignedTo[st.Source] = name
+		c.interim[st.Source] = st.Interim
+		c.caughtUp[st.Source] = st.CaughtUp
+		// Harvest the runner's position so a later move has a resume
+		// point. Prefer the durable (checkpointed) cursor: it is ≤ what
+		// the worker itself would resume from after a crash, so an
+		// interim starting there can only overlap (deduped), never skip.
+		if st.Durable != "" {
+			c.lastCursor[st.Source] = st.Durable
+		} else if st.Cursor != "" && c.interim[st.Source] {
+			// An interim tenure that has not checkpointed yet: its live
+			// cursor is still safe to record, because the tenure's data
+			// is dropped (and this cursor deleted) before anyone else
+			// takes over permanently.
+			c.lastCursor[st.Source] = st.Cursor
+		}
+	}
+}
+
+// put sends one worker its full assignment list.
+func (c *coordinator) put(ctx context.Context, m Member, ep uint64, list []feed.Assignment) (*assignPutResp, error) {
+	metAssignPuts.Inc()
+	body, err := json.Marshal(assignPut{Epoch: ep, Assignments: list})
+	if err != nil {
+		return nil, err
+	}
+	status, respBody, err := c.rt.client.Post(ctx, http.MethodPut, m.URL, "/api/cluster/feeds", nil, body, "application/json")
+	if err != nil {
+		metAssignPutErrs.Inc()
+		return nil, err
+	}
+	var resp assignPutResp
+	if jerr := json.Unmarshal(respBody, &resp); jerr != nil && status == http.StatusOK {
+		metAssignPutErrs.Inc()
+		return nil, fmt.Errorf("cluster: worker %s assign response: %w", m.Name, jerr)
+	}
+	if status == http.StatusConflict {
+		// Stale epoch — typically a coordinator restart racing a worker
+		// that outlived it. Adopt the worker's epoch; the next round's
+		// bump wins everywhere.
+		metAssignPutErrs.Inc()
+		for {
+			cur := c.epoch.Load()
+			if resp.Epoch <= cur || c.epoch.CompareAndSwap(cur, resp.Epoch) {
+				break
+			}
+		}
+		return nil, &StatusError{Code: status}
+	}
+	if status != http.StatusOK {
+		metAssignPutErrs.Inc()
+		return nil, &StatusError{Code: status}
+	}
+	return &resp, nil
+}
+
+// FeedAssignment is one row of the coordinator's assignment table as
+// served by GET /api/cluster/feeds on the router.
+type FeedAssignment struct {
+	Source string `json:"source"`
+	// Member is the worker the source verifiably runs on; empty while
+	// unplaced (e.g. its drain is pending or no member is eligible).
+	Member   string `json:"member,omitempty"`
+	Interim  bool   `json:"interim,omitempty"`
+	Cursor   string `json:"cursor,omitempty"`
+	CaughtUp bool   `json:"caught_up"`
+}
+
+func (c *coordinator) statusView() []FeedAssignment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]FeedAssignment, 0, len(c.order))
+	for _, src := range c.order {
+		out = append(out, FeedAssignment{
+			Source:   src,
+			Member:   c.assignedTo[src],
+			Interim:  c.interim[src],
+			Cursor:   c.lastCursor[src],
+			CaughtUp: c.caughtUp[src],
+		})
+	}
+	return out
+}

@@ -15,6 +15,7 @@ package cluster
 import (
 	"fmt"
 	"hash/fnv"
+	"net/url"
 	"sort"
 )
 
@@ -48,7 +49,10 @@ type ringPoint struct {
 }
 
 // NewRing builds a ring. Member names must be unique and non-empty;
-// pins must reference existing members.
+// URLs must be unique, parseable, and http(s) with a host (a ring with
+// two names for one worker double-counts its sources, and a garbage URL
+// would only surface as a transport error under load); pins must
+// reference existing members.
 func NewRing(members []Member, pins map[string]string) (*Ring, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("cluster: ring needs at least one member")
@@ -59,6 +63,7 @@ func NewRing(members []Member, pins map[string]string) (*Ring, error) {
 		pins:    make(map[string]int, len(pins)),
 		byName:  make(map[string]int, len(members)),
 	}
+	byURL := make(map[string]string, len(members))
 	for i, m := range r.members {
 		if m.Name == "" || m.URL == "" {
 			return nil, fmt.Errorf("cluster: member %d needs both name and url", i)
@@ -66,6 +71,17 @@ func NewRing(members []Member, pins map[string]string) (*Ring, error) {
 		if _, dup := r.byName[m.Name]; dup {
 			return nil, fmt.Errorf("cluster: duplicate member name %q", m.Name)
 		}
+		u, err := url.Parse(m.URL)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: member %q: unparseable url %q", m.Name, m.URL)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("cluster: member %q: url %q must be http(s) with a host", m.Name, m.URL)
+		}
+		if prev, dup := byURL[m.URL]; dup {
+			return nil, fmt.Errorf("cluster: members %q and %q share url %q", prev, m.Name, m.URL)
+		}
+		byURL[m.URL] = m.Name
 		r.byName[m.Name] = i
 		for v := 0; v < vnodesPerMember; v++ {
 			r.points = append(r.points, ringPoint{hash64(fmt.Sprintf("%s#%d", m.Name, v)), i})
@@ -112,6 +128,28 @@ func (r *Ring) OwnerIndex(source string) int {
 		i = 0
 	}
 	return r.points[i].member
+}
+
+// OwnerIndexAmong returns the index of the member that owns source when
+// placement is restricted to members for which eligible(i) is true —
+// the failover variant of OwnerIndex. A pinned source stays pinned if
+// its pin is eligible; otherwise (and for unpinned sources) the walk
+// continues clockwise past ineligible members, so each quarantined
+// member's sources spill to its ring successor rather than re-shuffling
+// the whole ring. Returns -1 when no member is eligible.
+func (r *Ring) OwnerIndexAmong(source string, eligible func(int) bool) int {
+	if i, ok := r.pins[source]; ok && eligible(i) {
+		return i
+	}
+	h := hash64(source)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for k := 0; k < len(r.points); k++ {
+		p := r.points[(start+k)%len(r.points)]
+		if eligible(p.member) {
+			return p.member
+		}
+	}
+	return -1
 }
 
 // hash64 is FNV-1a with a splitmix64 finaliser. Raw FNV of short,

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sort"
@@ -15,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/feed"
 	"repro/internal/httpx"
 	"repro/internal/index"
 	"repro/internal/obs"
@@ -34,9 +37,53 @@ const (
 // to the worker owning the document's source. Failed shards degrade the
 // response (partial: true) instead of failing it — a reader losing one
 // shard's stories is strictly more useful than a 502.
+//
+// The router is also the cluster's health authority: a background
+// prober (plus passive signals from live traffic) classifies each
+// member healthy/suspect/quarantined, scatters skip quarantined members
+// without burning their shard timeout, and the feed coordinator moves
+// quarantined members' feed runners to their ring successors. Start
+// launches the background loops; a router that is never started still
+// serves, updating health only from passive traffic signals.
 type Router struct {
-	client *Client
-	ring   atomic.Pointer[Ring]
+	client  *Client
+	ring    atomic.Pointer[Ring]
+	monitor *Monitor
+	coord   *coordinator
+	ingest  IngestConfig
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// IngestConfig tunes the failover behaviour of routed ingest
+// (POST /api/documents). The zero value uses the defaults.
+type IngestConfig struct {
+	// Retries is how many times a failed ingest is retried against the
+	// owner before giving up (attempts = Retries+1).
+	Retries int // default 3
+	// RetryBase/RetryCap bound the full-jitter backoff between retries.
+	RetryBase time.Duration // default 50ms
+	RetryCap  time.Duration // default 2s
+	// RetryAfter is the hint returned in the Retry-After header when the
+	// owner is quarantined and the client should come back later.
+	RetryAfter time.Duration // default 10s
+}
+
+func (c IngestConfig) withDefaults() IngestConfig {
+	if c.Retries <= 0 {
+		c.Retries = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 2 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 10 * time.Second
+	}
+	return c
 }
 
 // Config assembles a router.
@@ -45,6 +92,17 @@ type Config struct {
 	// Pins maps source → member name, overriding hash placement.
 	Pins   map[string]string
 	Client ClientConfig
+	// Health tunes the background member prober.
+	Health HealthConfig
+	// Ingest tunes routed-ingest retry behaviour.
+	Ingest IngestConfig
+	// Feeds are cluster-managed feed definitions: the coordinator starts
+	// each source's runner on its ring owner and moves it on membership
+	// change or quarantine.
+	Feeds []feed.Spec
+	// ReconcileInterval is the feed coordinator's steady-state period
+	// (default 2s); health transitions trigger immediate reconciles.
+	ReconcileInterval time.Duration
 }
 
 // NewRouter builds a router over the initial member list.
@@ -53,13 +111,115 @@ func NewRouter(cfg Config) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := &Router{client: NewClient(cfg.Client)}
+	rt := &Router{
+		client: NewClient(cfg.Client),
+		ingest: cfg.Ingest.withDefaults(),
+	}
 	rt.ring.Store(ring)
+	rt.monitor = newMonitor(cfg.Health, rt.client)
+	rt.monitor.SetMembers(cfg.Members)
+	if len(cfg.Feeds) > 0 {
+		rt.coord, err = newCoordinator(rt, cfg.Feeds, cfg.ReconcileInterval)
+		if err != nil {
+			return nil, err
+		}
+		rt.monitor.onChange = rt.coord.kick
+	}
 	return rt, nil
 }
 
+// Start launches the background health prober and (when feeds are
+// configured) the feed coordinator. Close stops them.
+func (rt *Router) Start() {
+	if rt.cancel != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rt.cancel = cancel
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		rt.monitor.run(ctx)
+	}()
+	if rt.coord != nil {
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			rt.coord.run(ctx)
+		}()
+	}
+}
+
+// Close stops the background loops started by Start.
+func (rt *Router) Close() {
+	if rt.cancel == nil {
+		return
+	}
+	rt.cancel()
+	rt.wg.Wait()
+	rt.cancel = nil
+}
+
+// ProbeNow runs one synchronous health-probe round — the determinism
+// hook for tests and for operators poking at a cluster.
+func (rt *Router) ProbeNow(ctx context.Context) { rt.monitor.ProbeRound(ctx) }
+
+// ReconcileNow runs one synchronous feed-reconcile round (no-op without
+// configured feeds).
+func (rt *Router) ReconcileNow(ctx context.Context) {
+	if rt.coord != nil {
+		rt.coord.reconcileRound(ctx)
+	}
+}
+
+// Health returns the member health monitor.
+func (rt *Router) Health() *Monitor { return rt.monitor }
+
 // Ring returns the current ring snapshot.
 func (rt *Router) Ring() *Ring { return rt.ring.Load() }
+
+// scatterSet returns the members a fan-out should target: every member
+// not currently quarantined. Skipping quarantined members keeps their
+// shard timeout out of the critical path — the response is flagged
+// partial instead. If everything is quarantined the full list comes
+// back (trying known-bad members beats returning an empty page on a
+// verdict that may be stale).
+func (rt *Router) scatterSet() (members []Member, skipped bool) {
+	all := rt.Ring().Members()
+	alive := make([]Member, 0, len(all))
+	for _, m := range all {
+		if rt.monitor.State(m.Name) != MemberQuarantined {
+			alive = append(alive, m)
+		}
+	}
+	if len(alive) == 0 {
+		return all, false
+	}
+	return alive, len(alive) < len(all)
+}
+
+// recordScatter feeds scatter outcomes to the health monitor: live
+// traffic is a free probe.
+func (rt *Router) recordScatter(members []Member, errs []error) {
+	for i, m := range members {
+		if errs[i] == nil || !shardDown(errs[i]) {
+			rt.monitor.RecordSuccess(m.Name)
+		} else {
+			rt.monitor.RecordFailure(m.Name, errs[i].Error())
+		}
+	}
+}
+
+// shardDown reports whether a shard error means the worker itself is
+// unhealthy (transport failure, timeout, or 5xx) as opposed to a
+// request the worker rejected while perfectly alive (4xx).
+func shardDown(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500
+	}
+	return true
+}
 
 // Handler returns the router's HTTP handler with the always-on
 // middleware (recovery, instrumentation), mirroring server.Handler.
@@ -91,6 +251,7 @@ func (rt *Router) rawMux() http.Handler {
 	mux.HandleFunc("GET /api/feeds", rt.handleFeeds)
 	mux.HandleFunc("GET /api/cluster/members", rt.handleMembersGet)
 	mux.HandleFunc("PUT /api/cluster/members", rt.handleMembersPut)
+	mux.HandleFunc("GET /api/cluster/feeds", rt.handleFeedAssignments)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	return mux
 }
@@ -207,11 +368,12 @@ func (rt *Router) handleRanked(w http.ResponseWriter, r *http.Request, path, par
 		"scores": {"1"},
 		"deep":   {"1"},
 	}
-	members := rt.Ring().Members()
+	members, skipped := rt.scatterSet()
 	envs, errs := scatter(r.Context(), members, func(ctx context.Context, m Member) (*PageEnv, error) {
 		return rt.client.GetPage(ctx, m.URL, path, q)
 	})
-	partial := false
+	rt.recordScatter(members, errs)
+	partial := skipped
 	total := 0
 	pages := make([][]index.Ranked, 0, len(envs))
 	for si, env := range envs {
@@ -283,16 +445,17 @@ func (rt *Router) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		"limit":  {strconv.Itoa(shardLimit)},
 		"deep":   {"1"},
 	}
-	members := rt.Ring().Members()
+	members, skipped := rt.scatterSet()
 	envs, errs := scatter(r.Context(), members, func(ctx context.Context, m Member) (*PageEnv, error) {
 		return rt.client.GetPage(ctx, m.URL, "/api/timeline", q)
 	})
+	rt.recordScatter(members, errs)
 	type entry struct {
 		ts         time.Time
 		id         uint64
 		shard, pos int
 	}
-	partial := false
+	partial := skipped
 	total := 0
 	var all []entry
 	for si, env := range envs {
@@ -334,22 +497,23 @@ func (rt *Router) handleTimeline(w http.ResponseWriter, r *http.Request) {
 // handleDocuments aggregates every shard's document list, ordered by
 // (source, url) for a stable cluster-wide view.
 func (rt *Router) handleDocuments(w http.ResponseWriter, r *http.Request) {
-	members := rt.Ring().Members()
+	members, skipped := rt.scatterSet()
 	bodies, errs := scatter(r.Context(), members, func(ctx context.Context, m Member) ([]byte, error) {
 		status, body, err := rt.client.Get(ctx, m.URL, "/api/documents", nil)
 		if err != nil {
 			return nil, err
 		}
 		if status != http.StatusOK {
-			return nil, fmt.Errorf("status %d", status)
+			return nil, &StatusError{Code: status}
 		}
 		return body, nil
 	})
+	rt.recordScatter(members, errs)
 	type doc struct {
 		source, url string
 		raw         json.RawMessage
 	}
-	partial := false
+	partial := skipped
 	var docs []doc
 	for si, body := range bodies {
 		if errs[si] != nil {
@@ -392,6 +556,16 @@ func (rt *Router) handleDocuments(w http.ResponseWriter, r *http.Request) {
 
 // handleAddDocument routes an ingest to the worker owning the
 // document's source and relays the worker's response verbatim.
+//
+// Transient owner failures (transport errors, 5xx) are retried with
+// full-jitter backoff: retrying a POST the owner may have already
+// applied is safe because ingest is at-least-once by contract — the
+// worker's engine acknowledges a redelivered snippet as a duplicate
+// (stream.ErrDuplicate) rather than storing it twice. Once the owner is
+// quarantined (or retries are exhausted against a quarantined owner)
+// the client gets 503 + Retry-After instead of burning more attempts:
+// ingest cannot degrade to partial the way reads can, so "come back
+// shortly" is the honest answer while the source's runner fails over.
 func (rt *Router) handleAddDocument(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -410,12 +584,69 @@ func (rt *Router) handleAddDocument(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	owner := rt.Ring().Owner(dv.Source)
-	status, respBody, err := rt.client.Post(r.Context(), http.MethodPost, owner.URL, "/api/documents", nil, body, "application/json")
-	if err != nil {
-		httpError(w, http.StatusBadGateway, fmt.Sprintf("shard %s unreachable: %v", owner.Name, err))
-		return
+	var lastErr string
+	for attempt := 0; ; attempt++ {
+		if rt.monitor.State(owner.Name) == MemberQuarantined {
+			rt.ingestUnavailable(w, owner.Name, lastErr)
+			return
+		}
+		status, respBody, err := rt.client.Post(r.Context(), http.MethodPost, owner.URL, "/api/documents", nil, body, "application/json")
+		if err == nil && status < 500 {
+			rt.monitor.RecordSuccess(owner.Name)
+			relay(w, status, respBody)
+			return
+		}
+		if err != nil {
+			lastErr = err.Error()
+		} else {
+			lastErr = fmt.Sprintf("status %d", status)
+		}
+		rt.monitor.RecordFailure(owner.Name, lastErr)
+		if attempt >= rt.ingest.Retries {
+			if rt.monitor.State(owner.Name) == MemberQuarantined {
+				rt.ingestUnavailable(w, owner.Name, lastErr)
+			} else {
+				httpError(w, http.StatusBadGateway,
+					fmt.Sprintf("shard %s failed after %d attempts: %s", owner.Name, attempt+1, lastErr))
+			}
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			httpError(w, http.StatusBadGateway,
+				fmt.Sprintf("shard %s: request cancelled during retry: %s", owner.Name, lastErr))
+			return
+		case <-time.After(ingestBackoff(rt.ingest, attempt)):
+		}
 	}
-	relay(w, status, respBody)
+}
+
+// ingestBackoff returns the full-jitter delay before retry attempt+1:
+// uniform in [0, min(cap, base<<attempt)]. Full jitter (rather than
+// equal or decorrelated) because the common failure here is a worker
+// restarting — spreading the herd matters more than a tight lower
+// bound.
+func ingestBackoff(cfg IngestConfig, attempt int) time.Duration {
+	ceil := cfg.RetryBase << uint(attempt)
+	if ceil > cfg.RetryCap || ceil <= 0 {
+		ceil = cfg.RetryCap
+	}
+	return time.Duration(rand.Int63n(int64(ceil) + 1))
+}
+
+// ingestUnavailable answers an ingest whose owner is quarantined: 503
+// with a Retry-After hint sized to the readmission cooldown.
+func (rt *Router) ingestUnavailable(w http.ResponseWriter, ownerName, lastErr string) {
+	secs := int(rt.ingest.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	msg := fmt.Sprintf("shard %s quarantined; retry later", ownerName)
+	if lastErr != "" {
+		msg += ": " + lastErr
+	}
+	httpError(w, http.StatusServiceUnavailable, msg)
 }
 
 // handleSelect broadcasts a selection change; every worker applies it
@@ -433,18 +664,19 @@ func (rt *Router) handleSelect(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid selection JSON: "+err.Error())
 		return
 	}
-	members := rt.Ring().Members()
+	members, skipped := rt.scatterSet()
 	_, errs := scatter(r.Context(), members, func(ctx context.Context, m Member) (struct{}, error) {
 		status, _, err := rt.client.Post(ctx, http.MethodPost, m.URL, "/api/documents/select", nil, body, "application/json")
 		if err != nil {
 			return struct{}{}, err
 		}
 		if status != http.StatusOK {
-			return struct{}{}, fmt.Errorf("status %d", status)
+			return struct{}{}, &StatusError{Code: status}
 		}
 		return struct{}{}, nil
 	})
-	partial := false
+	rt.recordScatter(members, errs)
+	partial := skipped
 	for _, e := range errs {
 		if e != nil {
 			partial = true
@@ -467,7 +699,7 @@ func (rt *Router) handleRemoveDocument(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := url.Values{"url": {u}}
-	members := rt.Ring().Members()
+	members, _ := rt.scatterSet()
 	type resp struct {
 		status int
 		body   []byte
@@ -476,6 +708,7 @@ func (rt *Router) handleRemoveDocument(w http.ResponseWriter, r *http.Request) {
 		status, body, err := rt.client.Post(ctx, http.MethodDelete, m.URL, "/api/documents", q, nil, "")
 		return resp{status, body}, err
 	})
+	rt.recordScatter(members, errs)
 	for i, rp := range resps {
 		if errs[i] == nil && rp.status == http.StatusOK {
 			relay(w, rp.status, rp.body)
@@ -494,19 +727,20 @@ func (rt *Router) handleRemoveDocument(w http.ResponseWriter, r *http.Request) {
 // handleFeeds aggregates every worker's feed status keyed by member
 // name.
 func (rt *Router) handleFeeds(w http.ResponseWriter, r *http.Request) {
-	members := rt.Ring().Members()
+	members, skipped := rt.scatterSet()
 	bodies, errs := scatter(r.Context(), members, func(ctx context.Context, m Member) ([]byte, error) {
 		status, body, err := rt.client.Get(ctx, m.URL, "/api/feeds", nil)
 		if err != nil {
 			return nil, err
 		}
 		if status != http.StatusOK {
-			return nil, fmt.Errorf("status %d", status)
+			return nil, &StatusError{Code: status}
 		}
 		return body, nil
 	})
+	rt.recordScatter(members, errs)
 	workers := make(map[string]json.RawMessage, len(members))
-	partial := false
+	partial := skipped
 	for i, m := range members {
 		if errs[i] != nil {
 			partial = true
@@ -550,41 +784,54 @@ func (rt *Router) handleMembersPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.ring.Store(ring)
+	rt.monitor.SetMembers(req.Members)
+	if rt.coord != nil {
+		rt.coord.kick()
+	}
 	rt.handleMembersGet(w, r)
 }
 
 // handleHealthz folds the workers' health into a quorum verdict: the
-// cluster is up while a strict majority of workers answer 200. A
-// minority outage keeps serving (degraded, flagged per worker) — the
+// cluster is up while a strict majority of workers are not quarantined.
+// A minority outage keeps serving (degraded, flagged per worker) — the
 // scatter endpoints already mark those responses partial.
-func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	members := rt.Ring().Members()
-	statuses, errs := scatter(r.Context(), members, func(ctx context.Context, m Member) (int, error) {
-		status, _, err := rt.client.Get(ctx, m.URL, "/healthz", nil)
-		return status, err
-	})
+//
+// The verdict comes from the monitor's cache, not a live fan-out: a
+// load balancer polling /healthz every second must not multiply into
+// N×QPS probe traffic against the workers, and must not hang for the
+// shard timeout when a worker is down. The cache is at most one probe
+// interval stale, and passive traffic signals tighten that in practice.
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	snap := rt.monitor.Snapshot()
 	up := 0
-	workers := make(map[string]string, len(members))
-	for i, m := range members {
-		switch {
-		case errs[i] != nil:
-			workers[m.Name] = "down"
-		case statuses[i] != http.StatusOK:
-			workers[m.Name] = "unhealthy"
-		default:
-			workers[m.Name] = "ok"
+	workers := make(map[string]string, len(snap))
+	for _, v := range snap {
+		workers[v.Name] = v.State.String()
+		if v.State != MemberQuarantined {
 			up++
 		}
 	}
 	code := http.StatusOK
 	status := "ok"
-	if up*2 <= len(members) {
+	if up*2 <= len(snap) {
 		code = http.StatusServiceUnavailable
 		status = "quorum lost"
-	} else if up < len(members) {
+	} else if up < len(snap) {
 		status = "degraded"
 	}
 	writeJSON(w, code, map[string]any{"status": status, "workers": workers})
+}
+
+// handleFeedAssignments reports the coordinator's assignment table:
+// which member runs each cluster-managed source, whether the placement
+// is an interim (failover) tenure, and the last cursor the coordinator
+// observed for it.
+func (rt *Router) handleFeedAssignments(w http.ResponseWriter, _ *http.Request) {
+	if rt.coord == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"assignments": []any{}})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"assignments": rt.coord.statusView()})
 }
 
 // relay re-emits a worker's response verbatim.

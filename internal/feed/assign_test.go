@@ -1,0 +1,182 @@
+package feed
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+)
+
+// remSink is a recSink that also implements SourceRemover, recording
+// which sources were removed — the worker-side half of an interim
+// tenure withdrawal.
+type remSink struct {
+	*recSink
+	mu      sync.Mutex
+	removed []event.SourceID
+}
+
+func (s *remSink) RemoveSource(src event.SourceID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removed = append(s.removed, src)
+	return true
+}
+
+func (s *remSink) removedSources() []event.SourceID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]event.SourceID(nil), s.removed...)
+}
+
+// testSpecFetcher serves "test" specs from a fixed snippet corpus.
+func testSpecFetcher(corpus map[string][]*event.Snippet) SpecFetcher {
+	return func(sp Spec) (Fetcher, error) {
+		sns, ok := corpus[sp.Source]
+		if !ok {
+			return nil, fmt.Errorf("no corpus for %q", sp.Source)
+		}
+		return NewReplay(event.SourceID(sp.Source), sns, sp.IDOffset), nil
+	}
+}
+
+func TestAssignLifecycle(t *testing.T) {
+	sink := &remSink{recSink: newRecSink(0)}
+	sink.dedup = true
+	cfg := fastCfg()
+	cfg.SpecFetcher = testSpecFetcher(map[string][]*event.Snippet{
+		"a": makeSnips("a", 10),
+		"b": makeSnips("b", 10),
+	})
+	m, err := NewManager(sink, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Assign(nil); !errors.Is(err, ErrManagerState) {
+		t.Fatalf("Assign before Start: %v", err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	specA := Spec{Source: "a", Type: "test"}
+	specB := Spec{Source: "b", Type: "test", IDOffset: 100}
+	res, err := m.Assign([]Assignment{{Spec: specA}, {Spec: specB, Interim: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Running) != 2 || len(res.Stopped) != 0 || len(res.Dropped) != 0 {
+		t.Fatalf("initial assign: %+v", res)
+	}
+	waitFor(t, 10*time.Second, func() bool { return sink.accepted() >= 20 }, "both sources ingested")
+
+	// Idempotent re-send: same specs, nothing restarts, state reported.
+	res, err = m.Assign([]Assignment{{Spec: specA}, {Spec: specB, Interim: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stopped) != 0 || len(res.Dropped) != 0 {
+		t.Fatalf("idempotent assign stopped something: %+v", res)
+	}
+	for _, st := range res.Running {
+		if st.Source == "b" && !st.Interim {
+			t.Fatal("interim flag lost on re-send")
+		}
+	}
+
+	// Withdraw both: the owner drains (final cursor reported and kept),
+	// the interim drops (data removed, cursors forgotten).
+	waitFor(t, 10*time.Second, func() bool {
+		for _, st := range m.Assigned() {
+			if !st.CaughtUp {
+				return false
+			}
+		}
+		return true
+	}, "assigned runners caught up")
+	res, err = m.Assign(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stopped["a"]; got != "10" {
+		t.Fatalf("drained cursor for a = %q, want \"10\"", got)
+	}
+	if len(res.Dropped) != 1 || res.Dropped[0] != "b" {
+		t.Fatalf("dropped = %v, want [b]", res.Dropped)
+	}
+	if rm := sink.removedSources(); len(rm) != 1 || rm[0] != "b" {
+		t.Fatalf("RemoveSource calls = %v, want [b]", rm)
+	}
+	if len(m.Assigned()) != 0 {
+		t.Fatalf("runners survive withdrawal: %+v", m.Assigned())
+	}
+
+	// Re-assigning the drained source resumes from its kept cursor: the
+	// dedup sink sees no redelivery at all.
+	accepted := sink.accepted()
+	if _, err := m.Assign([]Assignment{{Spec: specA}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		for _, st := range m.Assigned() {
+			if st.Source == "a" && st.CaughtUp {
+				return true
+			}
+		}
+		return false
+	}, "re-assigned source caught up")
+	if sink.accepted() != accepted || sink.dupRejections() != 0 {
+		t.Fatalf("resume re-ingested: accepted %d→%d, dups %d",
+			accepted, sink.accepted(), sink.dupRejections())
+	}
+
+	// The dropped interim source lost its cursor: re-assigning refetches
+	// from the start (10 fresh snippets on a sink that forgot nothing —
+	// dedup absorbs them as the engine would after a RemoveSource).
+	if _, err := m.Assign([]Assignment{{Spec: specA}, {Spec: specB}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool { return sink.dupRejections() >= 10 }, "interim refetch deduped")
+}
+
+func TestAssignValidation(t *testing.T) {
+	sink := newRecSink(0)
+	cfg := fastCfg()
+	cfg.SpecFetcher = testSpecFetcher(map[string][]*event.Snippet{"a": nil})
+	m, err := NewManager(sink, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(NewReplay("static", nil, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if _, err := m.Assign([]Assignment{{Spec: Spec{Source: "", Type: "test"}}}); err == nil {
+		t.Fatal("empty source accepted")
+	}
+	if _, err := m.Assign([]Assignment{
+		{Spec: Spec{Source: "a", Type: "test"}},
+		{Spec: Spec{Source: "a", Type: "test"}},
+	}); err == nil {
+		t.Fatal("duplicate source accepted")
+	}
+	if _, err := m.Assign([]Assignment{{Spec: Spec{Source: "static", Type: "test"}}}); err == nil {
+		t.Fatal("static-fetcher clash accepted")
+	}
+	if _, err := m.Assign([]Assignment{{Spec: Spec{Source: "nope", Type: "test"}}}); err == nil {
+		t.Fatal("unbuildable spec accepted")
+	}
+	// A rejected PUT must not half-apply: valid source "a" rode along
+	// with the clash above and must not be running.
+	if got := len(m.Assigned()); got != 0 {
+		t.Fatalf("rejected assign left %d runners", got)
+	}
+}

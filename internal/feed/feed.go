@@ -144,6 +144,12 @@ type Config struct {
 	// fault-injection tests drive failure *sequences* via injectors and
 	// keep timing bounded by Base/Cap).
 	Seed int64
+
+	// SpecFetcher builds Fetchers for Assign specs whose Type the feed
+	// package does not know natively ("ndjson" is built in). Required
+	// only when the manager receives cluster feed assignments of other
+	// types (the cmd layer injects the "replay" builder here).
+	SpecFetcher SpecFetcher
 }
 
 func (c Config) withDefaults() Config {

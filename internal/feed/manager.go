@@ -33,12 +33,18 @@ type Manager struct {
 	workerWG sync.WaitGroup
 	loopWG   sync.WaitGroup
 
-	mu      sync.Mutex
-	runners []*runner
-	cursors map[string]cursorEntry // restored from CursorPath at New
-	started bool
-	closing bool
-	closed  bool
+	// assignMu serialises Assign calls (the coordinator's reconcile
+	// PUTs) so overlapping reconfigurations cannot interleave their
+	// stop/start phases.
+	assignMu sync.Mutex
+
+	mu       sync.Mutex
+	runners  []*runner
+	cursors  map[string]cursorEntry // restored from CursorPath at New
+	lastCkpt map[string]cursorEntry // last durably checkpointed cursors
+	started  bool
+	closing  bool
+	closed   bool
 }
 
 // qItem is one queued snippet awaiting ingest; wg is the owning
@@ -96,6 +102,12 @@ func NewManager(sink Sink, cfg Config) (*Manager, error) {
 			}
 			return nil, err
 		}
+	}
+	// Restored cursors are by definition durable: they were read from
+	// the checkpoint file this process will keep appending to.
+	m.lastCkpt = make(map[string]cursorEntry, len(m.cursors))
+	for src, ce := range m.cursors {
+		m.lastCkpt[src] = ce
 	}
 	return m, nil
 }
@@ -167,8 +179,7 @@ func (m *Manager) Start() error {
 		go m.worker()
 	}
 	for _, r := range m.runners {
-		m.runnerWG.Add(1)
-		go r.run(m.ctx)
+		m.startRunnerLocked(r)
 	}
 	if m.cfg.CheckpointEvery > 0 {
 		m.loopWG.Add(1)
@@ -179,6 +190,21 @@ func (m *Manager) Start() error {
 	m.mu.Unlock()
 	m.updateStateGauges()
 	return nil
+}
+
+// startRunnerLocked launches one runner goroutine with its own
+// cancellable context nested inside the manager's, so Assign can stop
+// it individually while Close still stops everything at once. Caller
+// holds m.mu.
+func (m *Manager) startRunnerLocked(r *runner) {
+	rctx, cancel := context.WithCancel(m.ctx)
+	r.cancel = cancel
+	r.done = make(chan struct{})
+	m.runnerWG.Add(1)
+	go func() {
+		defer close(r.done)
+		r.run(rctx)
+	}()
 }
 
 // worker drains the shared queue into the sink. Duplicate rejections
@@ -305,6 +331,14 @@ func (m *Manager) Checkpoint() error {
 			errs = append(errs, fmt.Errorf("feed: writing cursors: %w", err))
 		} else {
 			metCheckpoints.Inc()
+			// Remember what just became durable: these are the cursors a
+			// coordinator may safely hand to another worker, because a
+			// crash-restart of this process resumes from exactly here.
+			m.mu.Lock()
+			for src, ce := range cf.Sources {
+				m.lastCkpt[src] = ce
+			}
+			m.mu.Unlock()
 		}
 	}
 	return errors.Join(errs...)
@@ -343,6 +377,42 @@ func (m *Manager) Close() error {
 	if m.dlq != nil {
 		if cerr := m.dlq.Close(); cerr != nil && !errors.Is(cerr, storage.ErrClosed) {
 			err = errors.Join(err, cerr)
+		}
+	}
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.updateStateGauges()
+	return err
+}
+
+// Abort stops the subsystem like a crash would: runners and workers
+// stop and the queue drains (acknowledged data is never thrown away),
+// but NO final checkpoint is written — the durable cursor stays wherever
+// the last periodic checkpoint left it. Chaos tests and kill drills use
+// this to exercise the restart path the sink-first checkpoint ordering
+// exists for; production shutdown should use Close.
+func (m *Manager) Abort() error {
+	m.mu.Lock()
+	if m.closed || m.closing {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: Abort after Close", ErrManagerState)
+	}
+	m.closing = true
+	started := m.started
+	m.mu.Unlock()
+
+	m.cancel()
+	if started {
+		m.runnerWG.Wait()
+		close(m.queue)
+		m.workerWG.Wait()
+		m.loopWG.Wait()
+	}
+	var err error
+	if m.dlq != nil {
+		if cerr := m.dlq.Close(); cerr != nil && !errors.Is(cerr, storage.ErrClosed) {
+			err = cerr
 		}
 	}
 	m.mu.Lock()

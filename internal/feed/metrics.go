@@ -25,6 +25,12 @@ var (
 		"circuit-breaker open transitions")
 	metCheckpoints = obs.GetCounter("storypivot_feed_checkpoints_total",
 		"cursor checkpoints written")
+	metAssignStarts = obs.GetCounter("storypivot_feed_assign_starts_total",
+		"cluster-assigned runners started by Assign")
+	metAssignStops = obs.GetCounter("storypivot_feed_assign_stops_total",
+		"cluster-assigned runners stopped by Assign (drains and drops)")
+	metInterimDrops = obs.GetCounter("storypivot_feed_interim_drops_total",
+		"withdrawn interim tenures whose ingested data was removed")
 
 	metQueueDepth = obs.GetGauge("storypivot_feed_queue_depth",
 		"snippets waiting in the bounded ingest queue")
@@ -36,4 +42,6 @@ var (
 		"sources currently degraded (failing, breaker closed)")
 	metQuarantined = obs.GetGauge("storypivot_feed_sources_quarantined",
 		"sources currently quarantined by an open breaker")
+	metAssigned = obs.GetGauge("storypivot_feed_assigned_runners",
+		"runners currently under cluster assignment")
 )

@@ -20,10 +20,19 @@ type runner struct {
 	bo  *backoff
 	br  *breaker
 
+	// Cluster-assignment plumbing: assigned runners are started and
+	// stopped at runtime by Manager.Assign; cancel/done give each one an
+	// individually stoppable lifetime nested inside the manager's.
+	assigned bool
+	spec     Spec
+	cancel   context.CancelFunc
+	done     chan struct{}
+
 	mu        sync.Mutex
 	cursor    string
 	caughtUp  bool
 	state     State
+	interim   bool
 	lastError string
 	lastFetch time.Time
 
@@ -150,6 +159,22 @@ func (r *runner) setLastError(msg string) {
 	r.mu.Lock()
 	r.lastError = msg
 	r.mu.Unlock()
+}
+
+// assignedStatus snapshots the runner for the cluster assignment API.
+// durable is the last checkpointed cursor the manager holds for this
+// source — the resume point a coordinator may hand to another worker.
+func (r *runner) assignedStatus(durable string) AssignedStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return AssignedStatus{
+		Source:   r.src,
+		Cursor:   r.cursor,
+		Durable:  durable,
+		CaughtUp: r.caughtUp,
+		Interim:  r.interim,
+		State:    r.state,
+	}
 }
 
 // cursorSnapshot returns the acknowledged cursor and caught-up flag.

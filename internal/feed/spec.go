@@ -1,0 +1,107 @@
+package feed
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Spec is a declarative feed definition: enough to (re)construct the
+// source's Fetcher on whichever worker the cluster assigns it to. Specs
+// travel over the wire (router → worker admin endpoint), so they carry
+// data, never code — the receiving manager turns a Spec into a Fetcher
+// via the built-in constructors or Config.SpecFetcher.
+type Spec struct {
+	// Source names the feed; it is the assignment key, the cursor key,
+	// and the consistent-hash routing key, so it must be stable.
+	Source string `json:"source"`
+	// Type selects the fetcher constructor: "ndjson" is built in; any
+	// other value is delegated to Config.SpecFetcher.
+	Type string `json:"type"`
+	// URL is the endpoint for "ndjson" specs.
+	URL string `json:"url,omitempty"`
+	// Events, Sources, and Seed parameterise generated-corpus replay
+	// specs (type "replay"): the corpus is regenerated deterministically
+	// on the assigned worker rather than shipped.
+	Events  int   `json:"events,omitempty"`
+	Sources int   `json:"sources,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+	// IDOffset is added to replayed snippet IDs so replay corpora cannot
+	// collide with IDs minted by the extraction pipeline.
+	IDOffset uint64 `json:"id_offset,omitempty"`
+}
+
+// SpecFetcher builds a Fetcher from a Spec for types the feed package
+// does not know natively (e.g. "replay", which needs datagen — injected
+// by the cmd layer to keep this package dependency-free).
+type SpecFetcher func(Spec) (Fetcher, error)
+
+// Assignment is one source the cluster coordinator wants running on
+// this worker.
+type Assignment struct {
+	Spec Spec `json:"spec"`
+	// Cursor is where the runner should resume. Empty means "resume
+	// from this worker's own restored cursor" — the right choice both
+	// for an unchanged assignment and for a readmitted owner whose
+	// durable cursor is exactly the point the interim coverage started
+	// at. Non-empty cursors carry the coordinator's last durably
+	// observed position across a permanent handoff.
+	Cursor string `json:"cursor,omitempty"`
+	// Interim marks a takeover tenure: this worker is covering for a
+	// quarantined ring owner. When the assignment is later withdrawn,
+	// the manager deletes the tenure's ingested data (SourceRemover) so
+	// the returning owner's copy is the only one — the mechanism that
+	// keeps the handoff dup-free without cross-worker cursor agreement.
+	Interim bool `json:"interim,omitempty"`
+}
+
+// SourceRemover is optionally implemented by a Sink. The manager calls
+// it when an interim assignment is withdrawn: the covering worker's
+// tenure data is removed wholesale, because the readmitted ring owner
+// re-ingests the same records from its own durable cursor.
+type SourceRemover interface {
+	RemoveSource(event.SourceID) bool
+}
+
+// AssignedStatus describes one cluster-assigned runner.
+type AssignedStatus struct {
+	Source   string `json:"source"`
+	Cursor   string `json:"cursor"`
+	Durable  string `json:"durable"` // last checkpointed cursor: safe failover resume point
+	CaughtUp bool   `json:"caught_up"`
+	Interim  bool   `json:"interim"`
+	State    State  `json:"state"`
+}
+
+// AssignResult reports what one Assign call changed.
+type AssignResult struct {
+	Running []AssignedStatus  `json:"running"`
+	Stopped map[string]string `json:"stopped,omitempty"` // source → drained final cursor
+	Dropped []string          `json:"dropped,omitempty"` // interim tenures whose data was removed
+}
+
+// buildFetcher turns a Spec into a Fetcher.
+func (m *Manager) buildFetcher(sp Spec) (Fetcher, error) {
+	if sp.Source == "" {
+		return nil, fmt.Errorf("feed: spec needs a source")
+	}
+	switch sp.Type {
+	case "ndjson":
+		if sp.URL == "" {
+			return nil, fmt.Errorf("feed: ndjson spec %q needs a url", sp.Source)
+		}
+		return NewHTTPFetcher(event.SourceID(sp.Source), sp.URL, nil), nil
+	default:
+		if m.cfg.SpecFetcher == nil {
+			return nil, fmt.Errorf("feed: no fetcher builder for spec type %q", sp.Type)
+		}
+		f, err := m.cfg.SpecFetcher(sp)
+		if err != nil {
+			return nil, err
+		}
+		if string(f.Source()) != sp.Source {
+			return nil, fmt.Errorf("feed: spec fetcher for %q reports source %q", sp.Source, f.Source())
+		}
+		return f, nil
+	}
+}

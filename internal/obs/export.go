@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"time"
 )
@@ -33,19 +34,35 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 	r.mu.RUnlock()
 
+	// Registered names may carry an inline label set ("foo{member=\"w0\"}"
+	// — the registry's way of spelling per-entity series without a label
+	// API). HELP/TYPE lines must name the bare metric family exactly
+	// once, so strip the label clause and deduplicate; the sorted order
+	// groups a family's series together.
+	seenFamily := make(map[string]bool)
+	meta := func(name, help, typ string) {
+		fam := name
+		if i := strings.IndexByte(fam, '{'); i >= 0 {
+			fam = fam[:i]
+		}
+		if seenFamily[fam] {
+			return
+		}
+		seenFamily[fam] = true
+		if help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", fam, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ)
+	}
 	for _, name := range sortedNames(counters) {
 		c := counters[name]
-		if c.help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", name, c.help)
-		}
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value())
+		meta(name, c.help, "counter")
+		fmt.Fprintf(w, "%s %d\n", name, c.Value())
 	}
 	for _, name := range sortedNames(gauges) {
 		g := gauges[name]
-		if g.help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", name, g.help)
-		}
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value())
+		meta(name, g.help, "gauge")
+		fmt.Fprintf(w, "%s %d\n", name, g.Value())
 	}
 	for _, name := range sortedNames(hists) {
 		h := hists[name]

@@ -72,6 +72,10 @@ type Server struct {
 	// backs /api/feeds and folds into /healthz.
 	feeds atomic.Pointer[feed.Manager]
 
+	// feedEpoch is the highest cluster feed-assignment epoch applied via
+	// PUT /api/cluster/feeds; older epochs are rejected with 409.
+	feedEpoch atomic.Uint64
+
 	ingestT *eval.Timer
 	alignT  *eval.Timer
 
@@ -349,6 +353,8 @@ func (s *Server) rawMux() http.Handler {
 	mux.HandleFunc("GET /api/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /api/stories/by-entity", s.handleStoriesByEntity)
 	mux.HandleFunc("GET /api/cluster/members", s.handleClusterMembers)
+	mux.HandleFunc("GET /api/cluster/feeds", s.handleFeedAssignGet)
+	mux.HandleFunc("PUT /api/cluster/feeds", s.handleFeedAssignPut)
 	mux.HandleFunc("GET /api/context/{id}", s.handleContext)
 	mux.HandleFunc("GET /api/profiles", s.handleProfiles)
 	mux.HandleFunc("GET /api/trending", s.handleTrending)

@@ -24,6 +24,10 @@
 # snippets, tiered vs flat): ingest ns/event, post-ingest heap, and
 # random-read p50/p99 (the tiered p99 is the cold-read path), with the
 # derived 1M→10M heap ratios — tiered must stay flat, flat grows.
+# BENCH_failover.json — the self-healing loop (one op = a full worker
+# kill → quarantine → restart → readmission cycle with queries through
+# every phase): availability % across the cycle (contract: 100) and the
+# query p99 during the outage window.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,6 +40,10 @@ CACHETIME=""
 # stall is the phenomenon under measurement), so the iteration count is
 # fixed instead of time-based to keep the run bounded.
 SHARDTIME="-benchtime=300x"
+# One failover op is a whole kill→quarantine→readmit cycle (tens of
+# milliseconds of phased queries plus two health cooldowns), so the
+# iteration count is fixed.
+FAILTIME="-benchtime=20x"
 # One soak iteration IS the measurement (a whole stream per op), so the
 # iteration count is pinned; the window-query panel needs enough
 # iterations for stable percentiles.
@@ -47,6 +55,7 @@ COUT="BENCH_cache.json"
 SOUT="BENCH_shard.json"
 WOUT="BENCH_window.json"
 SCOUT="BENCH_scale.json"
+FOUT="BENCH_failover.json"
 if [ "${1:-}" = "--smoke" ]; then
     BENCHTIME="-benchtime=1x"
     # Queries are microseconds each; a handful of iterations still
@@ -56,6 +65,7 @@ if [ "${1:-}" = "--smoke" ]; then
     # the smoke hit rate is indicative, not gated.
     CACHETIME="-benchtime=200x"
     SHARDTIME="-benchtime=30x"
+    FAILTIME="-benchtime=3x"
     WQUERYTIME="-benchtime=50x"
     # Shrink the soak stream: the unbounded arm is superlinear in it by
     # design, and the smoke only proves the benchmarks still run.
@@ -71,6 +81,7 @@ if [ "${1:-}" = "--smoke" ]; then
     SOUT="BENCH_shard.smoke.json"
     WOUT="BENCH_window.smoke.json"
     SCOUT="BENCH_scale.smoke.json"
+    FOUT="BENCH_failover.smoke.json"
 fi
 
 TMP="$(mktemp)"
@@ -212,6 +223,40 @@ END {
 
 echo "==> wrote $SOUT"
 cat "$SOUT"
+
+# --- Self-healing failover: availability and outage tail latency ---------
+#
+# One iteration is a full kill → passive detection → quarantine →
+# restart → half-open readmission cycle over three workers, querying
+# through every phase. The availability contract is 100% (outages
+# degrade to partial responses, never errors); outage_p99_us is the
+# query tail while the dead member is being detected and skipped.
+
+# shellcheck disable=SC2086  # FAILTIME is deliberately word-split
+go test -run '^$' -bench 'BenchmarkFailoverAvailability$' \
+    $FAILTIME ./internal/cluster | tee "$TMP"
+
+awk '
+/^BenchmarkFailoverAvailability/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = avail = p99 = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")     ns = $i
+        if ($(i + 1) == "avail_pct") avail = $i
+        if ($(i + 1) == "p99_us")    p99 = $i
+    }
+    rows[++n] = sprintf("  {\"benchmark\": \"%s\", \"ns_per_cycle\": %s, \"availability_pct\": %s, \"outage_p99_us\": %s}", name, ns, avail, p99)
+}
+END {
+    print "["
+    for (i = 1; i <= n; i++) print rows[i] (i < n ? "," : "")
+    print "]"
+}
+' "$TMP" > "$FOUT"
+
+echo "==> wrote $FOUT"
+cat "$FOUT"
 
 # --- Bounded-memory window: soak + query tail latency ---------------------
 #

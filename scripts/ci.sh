@@ -98,6 +98,22 @@ go test -race -count=1 \
 go test -race -count=1 -run 'TestClusterPagedEnvelopeEdgeCases' ./internal/cluster
 go test -race -count=1 -run 'TestDLQ|TestArchiveTornFrame|TestArchiveReset' ./internal/storage
 
+# Self-healing cluster gate: the chaos suite must prove, under the race
+# detector, that killing one worker of three mid ingest-and-query-replay
+# keeps every scatter query at 200 (partial, never 5xx) with bounded
+# p99, quarantines the dead member off passive signals, fails its feed
+# runner over to an interim owner at the last durable cursor, readmits
+# the restarted worker via a half-open probe with its WAL restored past
+# the cursor file, rebalances the runner home, and ends with zero
+# acknowledged-record loss and zero duplicates. The hedging contract,
+# the health state machine + per-member metrics, the failover placement
+# walk, and the worker-side assignment lifecycle ride along.
+echo "==> self-healing cluster chaos gate (-race)"
+go test -race -count=1 \
+  -run 'TestClusterChaosFailover|TestClientHedging|TestHealthMonitorStateMachine|TestRingOwnerIndexAmong' \
+  ./internal/cluster
+go test -race -count=1 -run 'TestAssignLifecycle|TestAssignValidation' ./internal/feed
+
 echo "==> bench smoke (scripts/bench.sh --smoke)"
 ./scripts/bench.sh --smoke
 

@@ -3,9 +3,13 @@
 # ingests the demo corpus through the router (each document lands on
 # the shard owning its source), and runs the query panel both through
 # the router and against the workers directly so the merge is visible.
-# Ends by killing one worker to demonstrate degraded serving: the
-# router keeps answering 200 with "partial": true, and /healthz stays
-# 200 while a majority of workers is up.
+# Ends with the self-healing loop, live: worker 3 is killed mid-run —
+# the router keeps answering 200 with "partial": true, /healthz stays
+# 200 while a majority of workers is up, the health monitor quarantines
+# the dead member, and its coordinator-assigned feed runner fails over
+# to an interim owner. The worker is then restarted on the same port
+# and store: a half-open probe readmits it, and its runner rebalances
+# home, resuming from its checkpointed cursor.
 #
 # Usage: scripts/cluster_demo.sh  (or: make cluster-demo)
 set -eu
@@ -19,6 +23,7 @@ STATE=$(mktemp -d)
 PIDS=""
 cleanup() {
     for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true # let workers finish their final checkpoint before rm
     rm -rf "$STATE"
 }
 trap cleanup EXIT INT TERM
@@ -27,15 +32,30 @@ echo "==> building"
 go build -o "$STATE/server" ./cmd/storypivot-server
 go build -o "$STATE/router" ./cmd/storypivot-router
 
+start_worker() {
+    # Durable store + feed state per worker so a restarted worker
+    # resumes from its own checkpoint (the self-healing demo at the
+    # end kills and revives worker 3).
+    "$STATE/server" -addr "$HOST:$1" -cluster-worker \
+        -peers "http://$HOST:$W1,http://$HOST:$W2,http://$HOST:$W3" \
+        -store-dir "$STATE/store$1" -feed-state-dir "$STATE/feed$1" \
+        -feed-checkpoint-every 1s -feed-poll 100ms &
+}
+
 echo "==> starting 3 workers + router on $HOST:$RPORT"
-for port in $W1 $W2 $W3; do
-    "$STATE/server" -addr "$HOST:$port" -cluster-worker \
-        -peers "http://$HOST:$W1,http://$HOST:$W2,http://$HOST:$W3" &
+for port in $W1 $W2; do
+    start_worker "$port"
     PIDS="$PIDS $!"
 done
+start_worker "$W3"
+W3_PID=$!
+PIDS="$PIDS $W3_PID"
 "$STATE/router" -addr "$HOST:$RPORT" \
     -members "w1=http://$HOST:$W1,w2=http://$HOST:$W2,w3=http://$HOST:$W3" \
-    -hedge-after 250ms &
+    -hedge-after 250ms \
+    -feed-replay 300 -feed-replay-sources 3 \
+    -probe-interval 300ms -fail-threshold 2 -cooldown 1s \
+    -reconcile-interval 500ms &
 ROUTER_PID=$!
 PIDS="$PIDS $ROUTER_PID"
 
@@ -69,14 +89,34 @@ curl -fsS "http://$HOST:$RPORT/api/search?q=ukraine+crash&limit=5"
 echo "==> merged timeline through the router"
 curl -fsS "http://$HOST:$RPORT/api/timeline?entity=UKR&limit=5"
 
+echo "==> coordinator-assigned feed runners (each source on its ring owner)"
+sleep 1.5
+curl -fsS "http://$HOST:$RPORT/api/cluster/feeds"
+
 echo "==> killing worker 3 — router degrades instead of failing"
-kill "$(echo "$PIDS" | awk '{print $3}')" 2>/dev/null || true
+kill "$W3_PID" 2>/dev/null || true
 sleep 0.3
 echo "==> search with a dead shard (note \"partial\": true, status still 200)"
 curl -sS -o /dev/null -w 'status=%{http_code}\n' "http://$HOST:$RPORT/api/search?q=ukraine&limit=5"
 curl -fsS "http://$HOST:$RPORT/api/search?q=ukraine&limit=5" | tail -3
-echo "==> quorum health (2 of 3 up: still 200)"
+echo "==> quorum health (2 of 3 up: still 200, dead member quarantined after probes)"
+sleep 1.5
 curl -sS -o /dev/null -w 'status=%{http_code}\n' "http://$HOST:$RPORT/healthz"
 curl -sS "http://$HOST:$RPORT/healthz"
+echo "==> feed assignments after quarantine (w3's runner failed over, interim)"
+curl -fsS "http://$HOST:$RPORT/api/cluster/feeds"
+
+echo "==> restarting worker 3 on the same port and store"
+start_worker "$W3"
+W3_PID=$!
+PIDS="$PIDS $W3_PID"
+wait_up "$HOST:$W3"
+sleep 2.5  # cooldown + half-open probe + reconcile
+echo "==> health after readmission (w3 back to ok)"
+curl -sS "http://$HOST:$RPORT/healthz"
+echo "==> feed assignments after readmission (runner rebalanced home)"
+curl -fsS "http://$HOST:$RPORT/api/cluster/feeds"
+echo "==> search after healing (partial flag gone)"
+curl -sS -o /dev/null -w 'status=%{http_code}\n' "http://$HOST:$RPORT/api/search?q=ukraine&limit=5"
 
 echo "==> done"
